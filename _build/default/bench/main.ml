@@ -1,0 +1,102 @@
+(* Benchmark harness: regenerates every table and figure of the
+   paper's evaluation (via d2_experiments) and then runs Bechamel
+   micro-benchmarks of the core data-structure operations.
+
+   Scale is controlled by D2_SCALE (paper | quick); see
+   lib/experiments/config.mli.  Pass experiment ids as argv to run a
+   subset, e.g. `dune exec bench/main.exe -- fig9 fig13`. *)
+
+module Config = D2_experiments.Config
+module Registry = D2_experiments.Registry
+module Key = D2_keyspace.Key
+module Encoding = D2_keyspace.Encoding
+module Ring = D2_dht.Ring
+module Rng = D2_util.Rng
+module Lookup_cache = D2_cache.Lookup_cache
+
+let run_experiments scale ids =
+  let entries =
+    match ids with
+    | [] -> Registry.all
+    | ids ->
+        List.filter_map
+          (fun id ->
+            match Registry.find id with
+            | Some e -> Some e
+            | None ->
+                Printf.eprintf "unknown experiment id %S (see `d2ctl list`)\n%!" id;
+                None)
+          ids
+  in
+  Printf.printf "== D2 evaluation reproduction (scale: %s) ==\n\n%!"
+    (Config.scale_name scale);
+  List.iter (Registry.run_and_print scale) entries
+
+(* {1 Bechamel micro-benchmarks} *)
+
+let micro_tests () =
+  let open Bechamel in
+  let rng = Rng.create 99 in
+  let keys = Array.init 1024 (fun _ -> Key.random rng) in
+  let ring = Ring.create () in
+  for i = 0 to 999 do
+    Ring.add ring ~id:(Key.random rng) ~node:i
+  done;
+  let cache = Lookup_cache.create () in
+  for i = 0 to 499 do
+    let lo = keys.(i) and hi = keys.(i + 1) in
+    if Key.compare lo hi < 0 then Lookup_cache.insert cache ~now:0.0 ~lo ~hi ~node:i
+  done;
+  let idx = ref 0 in
+  let next_key () =
+    idx := (!idx + 1) land 1023;
+    keys.(!idx)
+  in
+  let volume = Encoding.volume_id "bench" in
+  [
+    Test.make ~name:"key_compare" (Staged.stage (fun () ->
+        ignore (Key.compare (next_key ()) keys.(0))));
+    Test.make ~name:"key_encode_fig4" (Staged.stage (fun () ->
+        ignore
+          (Encoding.of_slot_path ~volume ~slots:[ 1; 2; 3; 4 ] ~block:7L ~version:0l)));
+    Test.make ~name:"key_decode_fig4" (Staged.stage (
+        let k = Encoding.of_slot_path ~volume ~slots:[ 1; 2; 3; 4 ] ~block:7L ~version:0l in
+        fun () -> ignore (Encoding.decode k)));
+    Test.make ~name:"ring_successor_1000" (Staged.stage (fun () ->
+        ignore (Ring.successor ring (next_key ()))));
+    Test.make ~name:"ring_route_hops_1000" (Staged.stage (fun () ->
+        ignore (Ring.route_hops ring ~src:0 ~key:(next_key ()))));
+    Test.make ~name:"lookup_cache_probe" (Staged.stage (fun () ->
+        ignore (Lookup_cache.lookup cache ~now:1.0 (next_key ()))));
+  ]
+
+let run_micro () =
+  let open Bechamel in
+  let open Bechamel.Toolkit in
+  print_endline "== Bechamel micro-benchmarks ==";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let tests = micro_tests () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let ols =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+          Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Bechamel.Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "  %-24s %12.1f ns/op\n%!" name est
+          | _ -> Printf.printf "  %-24s (no estimate)\n%!" name)
+        ols)
+    tests
+
+let () =
+  let ids = List.tl (Array.to_list Sys.argv) in
+  let scale = Config.of_env () in
+  let t0 = Unix.gettimeofday () in
+  run_experiments scale ids;
+  run_micro ();
+  Printf.printf "\nTotal wall time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,1 @@
+examples/home_directories.ml: Array D2_core D2_trace D2_util List Printf

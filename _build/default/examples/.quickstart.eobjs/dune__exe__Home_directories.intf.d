@@ -1,0 +1,1 @@
+examples/home_directories.mli:

@@ -1,0 +1,1 @@
+examples/key_anatomy.ml: Array D2_core D2_keyspace Int64 List Printf String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array D2_fs D2_keyspace D2_simnet D2_store D2_util List Printf String

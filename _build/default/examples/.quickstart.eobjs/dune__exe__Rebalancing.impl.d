@@ -1,0 +1,1 @@
+examples/rebalancing.ml: Array D2_balance D2_core D2_keyspace D2_simnet D2_store D2_util Printf

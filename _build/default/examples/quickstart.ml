@@ -1,0 +1,62 @@
+(* Quickstart: bring up a simulated D2 deployment, mount a volume,
+   and see defragmentation with your own eyes.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Key = D2_keyspace.Key
+module Engine = D2_simnet.Engine
+module Cluster = D2_store.Cluster
+module Fs = D2_fs.Fs
+module Rng = D2_util.Rng
+
+let holders_of cluster fs path =
+  let keys = Fs.file_block_keys fs path in
+  List.sort_uniq compare
+    (List.concat_map (fun k -> Cluster.physical_holders cluster ~key:k) keys)
+
+let () =
+  (* 1. A 64-node storage cluster on a virtual clock. *)
+  let engine = Engine.create () in
+  let rng = Rng.create 1 in
+  let ids = Array.init 64 (fun _ -> Key.random rng) in
+  let cluster = Cluster.create ~engine ~config:Cluster.default_config ~ids in
+
+  (* 2. Mount a D2 volume (locality-preserving keys, Fig. 4). *)
+  let fs = Fs.create ~cluster ~volume:"quickstart" ~mode:Fs.D2 () in
+
+  (* 3. Write a small project tree. *)
+  Fs.mkdir fs "/paper/figures";
+  Fs.write_file fs ~path:"/paper/intro.tex" ~data:(String.make 24_000 'i');
+  Fs.write_file fs ~path:"/paper/eval.tex" ~data:(String.make 40_000 'e');
+  Fs.write_file fs ~path:"/paper/figures/fig1.svg" ~data:(String.make 9_000 'f');
+  Fs.flush fs;
+  Engine.run engine;
+
+  (* 4. All three files — 10 blocks — live on one replica group. *)
+  let all_holders =
+    List.sort_uniq compare
+      (List.concat_map (holders_of cluster fs)
+         [ "/paper/intro.tex"; "/paper/eval.tex"; "/paper/figures/fig1.svg" ])
+  in
+  Printf.printf "The whole /paper tree is stored on %d of 64 nodes: %s\n"
+    (List.length all_holders)
+    (String.concat ", " (List.map string_of_int all_holders));
+
+  (* 5. Compare with a traditional (consistent-hashing) volume. *)
+  let trad = Fs.create ~cluster ~volume:"quickstart-trad" ~mode:Fs.Traditional () in
+  Fs.write_file trad ~path:"/paper/intro.tex" ~data:(String.make 24_000 'i');
+  Fs.write_file trad ~path:"/paper/eval.tex" ~data:(String.make 40_000 'e');
+  Fs.write_file trad ~path:"/paper/figures/fig1.svg" ~data:(String.make 9_000 'f');
+  Fs.flush trad;
+  Engine.run engine;
+  let trad_holders =
+    List.sort_uniq compare
+      (List.concat_map (holders_of cluster trad)
+         [ "/paper/intro.tex"; "/paper/eval.tex"; "/paper/figures/fig1.svg" ])
+  in
+  Printf.printf "Under consistent hashing the same tree is spread over %d nodes.\n"
+    (List.length trad_holders);
+
+  (* 6. Reads verify integrity hashes up from the signed root. *)
+  assert (Fs.read_file fs "/paper/eval.tex" = Some (String.make 40_000 'e'));
+  Printf.printf "Read back eval.tex (40000 bytes) with per-block integrity checks.\n"

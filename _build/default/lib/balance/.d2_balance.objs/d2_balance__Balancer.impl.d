@@ -1,0 +1,1 @@
+lib/balance/balancer.ml: D2_dht D2_keyspace D2_simnet D2_store D2_util Logs

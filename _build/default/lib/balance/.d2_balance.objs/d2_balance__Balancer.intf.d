@@ -1,0 +1,1 @@
+lib/balance/balancer.mli: D2_store D2_util

@@ -1,0 +1,45 @@
+(** Karger–Ruhl / Mercury dynamic load balancing (paper §6).
+
+    Each node periodically probes a uniformly random other node; if
+    the probed node's (primary) load exceeds [threshold] times its
+    own, the prober leaves its ring position and rejoins as the
+    predecessor of the probed node, taking half of its load.  With
+    threshold ≥ 4 every node ends up within a constant factor of the
+    average load in O(log n) steps w.h.p. (Karger & Ruhl, SPAA'04);
+    the paper — and our default — uses threshold 4 and a 10-minute
+    probe interval.
+
+    The actual data movement that an ID change implies is delegated to
+    {!D2_store.Cluster.change_id}, which uses block pointers to defer
+    and often avoid transfers. *)
+
+type config = {
+  probe_interval : float;  (** seconds; paper: 600 *)
+  threshold : float;  (** load ratio that triggers a move; paper: 4 *)
+}
+
+val default_config : config
+
+type stats = {
+  probes : int;
+  moves : int;  (** ID changes performed *)
+}
+
+type t
+
+val attach :
+  cluster:D2_store.Cluster.t ->
+  rng:D2_util.Rng.t ->
+  ?config:config ->
+  until:float ->
+  unit ->
+  t
+(** Start per-node probe timers (staggered within the first interval)
+    on the cluster's engine, active until the given virtual time. *)
+
+val stats : t -> stats
+
+val probe_once : cluster:D2_store.Cluster.t -> ?config:config -> prober:int -> target:int -> unit -> bool
+(** One synchronous probe step (testing hook): [prober] compares loads
+    with [target] and moves if imbalanced. Returns whether a move
+    happened. *)

@@ -1,0 +1,1 @@
+lib/cache/block_cache.ml: D2_keyspace Hashtbl List Map

@@ -1,0 +1,1 @@
+lib/cache/lookup_cache.ml: D2_keyspace Map

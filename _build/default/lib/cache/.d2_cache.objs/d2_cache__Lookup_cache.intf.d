@@ -1,0 +1,1 @@
+lib/cache/lookup_cache.mli: D2_keyspace

@@ -1,0 +1,1 @@
+lib/cache/retrieval_cache.ml: D2_keyspace Hashtbl

@@ -1,0 +1,1 @@
+lib/cache/retrieval_cache.mli: D2_keyspace

@@ -1,0 +1,37 @@
+(** The 30-second buffer / write-back cache of D2-FS (paper §3).
+
+    Reads of a block within [window] of a previous access are served
+    locally (no DHT fetch); writes are buffered for up to [window]
+    before being flushed, which absorbs short-lived temporary files.
+    This module is the bookkeeping both the file-system layer and the
+    performance simulator share: it answers "is this block still warm"
+    and tracks dirty blocks awaiting flush. *)
+
+module Key = D2_keyspace.Key
+
+type t
+
+val create : ?window:float -> unit -> t
+(** [window] defaults to 30 s. *)
+
+val touch : t -> now:float -> Key.t -> bool
+(** Record a read access; returns [true] if the block was already warm
+    (a cache hit — no fetch needed). *)
+
+val is_warm : t -> now:float -> Key.t -> bool
+(** Non-mutating warmth check. *)
+
+val write : t -> now:float -> Key.t -> size:int -> unit
+(** Buffer a dirty block. Overwrites of a buffered block are absorbed
+    (only the last version will flush). *)
+
+val cancel : t -> Key.t -> unit
+(** Drop a dirty block before it flushes (file deleted in window —
+    the write never reaches the DHT). *)
+
+val flush_due : t -> now:float -> (Key.t * int) list
+(** Dirty blocks whose window has elapsed, removed from the buffer, in
+    flush order. *)
+
+val dirty_count : t -> int
+val window : t -> float

@@ -1,0 +1,78 @@
+module Key = D2_keyspace.Key
+module KeyMap = Map.Make (Key)
+
+type entry = { lo : Key.t; node : int; expires : float }
+
+type t = {
+  ttl : float;
+  mutable entries : entry KeyMap.t;  (** keyed by range upper bound [hi] *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable last_purge : float;
+}
+
+let create ?(ttl = 4500.0) () =
+  if ttl <= 0.0 then invalid_arg "Lookup_cache.create: ttl must be positive";
+  { ttl; entries = KeyMap.empty; hits = 0; misses = 0; last_purge = 0.0 }
+
+let purge t ~now =
+  t.entries <- KeyMap.filter (fun _ e -> e.expires > now) t.entries;
+  t.last_purge <- now
+
+let lookup t ~now key =
+  if now -. t.last_purge > 4.0 *. t.ttl then purge t ~now;
+  (* The candidate entry is the one with the smallest hi >= key. *)
+  let candidate =
+    match KeyMap.find_first_opt (fun hi -> Key.compare hi key >= 0) t.entries with
+    | Some (hi, e) -> Some (hi, e)
+    | None -> None
+  in
+  match candidate with
+  | Some (hi, e) when Key.in_interval key ~lo:e.lo ~hi ->
+      if e.expires > now then begin
+        t.hits <- t.hits + 1;
+        Some e.node
+      end
+      else begin
+        t.entries <- KeyMap.remove hi t.entries;
+        t.misses <- t.misses + 1;
+        None
+      end
+  | Some _ | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let insert_piece t ~lo ~hi ~node ~expires =
+  t.entries <- KeyMap.add hi { lo; node; expires } t.entries
+
+let insert t ~now ~lo ~hi ~node =
+  let expires = now +. t.ttl in
+  let c = Key.compare lo hi in
+  if c = 0 then
+    (* Single node owns the whole ring. *)
+    insert_piece t ~lo:Key.max_key ~hi:Key.max_key ~node ~expires
+  else if c < 0 then insert_piece t ~lo ~hi ~node ~expires
+  else begin
+    (* Wrapping range (lo, max] ∪ [zero, hi]: two pieces.  The second
+       piece uses lo = max_key, for which [in_interval] accepts every
+       key ≤ hi. *)
+    insert_piece t ~lo ~hi:Key.max_key ~node ~expires;
+    insert_piece t ~lo:Key.max_key ~hi ~node ~expires
+  end
+
+let hits t = t.hits
+let misses t = t.misses
+
+let miss_rate t =
+  let total = t.hits + t.misses in
+  if total = 0 then 0.0 else float_of_int t.misses /. float_of_int total
+
+let entry_count t = KeyMap.cardinal t.entries
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0
+
+let clear t =
+  t.entries <- KeyMap.empty;
+  reset_stats t

@@ -1,0 +1,30 @@
+(** Per-node retrieval cache: LRU of recently served blocks.
+
+    §6 of the paper: D2 balances {e storage} with Mercury and relies on
+    "traditional caching techniques to balance request load" — in CFS
+    and PAST, nodes along a lookup path cache the blocks they forward,
+    so a hot object is soon served by many nodes instead of only its
+    replica group.  This module is that cache; the hot-spot experiment
+    ({!D2_experiments}'s [ablation_hotspot]) measures its effect.
+
+    Capacity is in bytes; insertion evicts least-recently-used entries
+    until the new block fits. *)
+
+module Key = D2_keyspace.Key
+
+type t
+
+val create : capacity:int -> t
+(** [capacity] in bytes, must be positive. *)
+
+val insert : t -> Key.t -> size:int -> unit
+(** Cache a block (refreshes recency if present; evicts LRU entries to
+    fit).  Blocks larger than the whole capacity are ignored. *)
+
+val mem : t -> Key.t -> bool
+(** Presence check that also refreshes recency (a cache hit). *)
+
+val bytes_used : t -> int
+val entry_count : t -> int
+val evictions : t -> int
+(** Cumulative evictions (for tests and tuning). *)

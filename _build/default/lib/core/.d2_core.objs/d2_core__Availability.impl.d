@@ -1,0 +1,1 @@
+lib/core/availability.ml: Array D2_simnet D2_store D2_trace D2_util Float Hashtbl Keymap List System

@@ -1,0 +1,1 @@
+lib/core/availability.mli: D2_store D2_trace Keymap

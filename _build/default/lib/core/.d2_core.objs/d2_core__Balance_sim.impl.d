@@ -1,0 +1,1 @@
+lib/core/balance_sim.ml: Array D2_balance D2_simnet D2_store D2_trace D2_util Float Keymap System

@@ -1,0 +1,1 @@
+lib/core/balance_sim.mli: D2_trace

@@ -1,0 +1,1 @@
+lib/core/keymap.ml: D2_keyspace D2_trace Hashtbl Int64 List String

@@ -1,0 +1,1 @@
+lib/core/keymap.mli: D2_keyspace D2_trace

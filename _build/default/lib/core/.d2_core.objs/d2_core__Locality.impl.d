@@ -1,0 +1,1 @@
+lib/core/locality.ml: Array D2_keyspace D2_trace D2_util Hashtbl Int64 List Printf

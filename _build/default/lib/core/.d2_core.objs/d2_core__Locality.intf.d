@@ -1,0 +1,1 @@
+lib/core/locality.mli: D2_trace

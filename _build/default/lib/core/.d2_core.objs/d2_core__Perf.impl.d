@@ -1,0 +1,1 @@
+lib/core/perf.ml: Array D2_cache D2_dht D2_keyspace D2_simnet D2_store D2_trace D2_util Float Hashtbl Keymap List Option Printf System

@@ -1,0 +1,1 @@
+lib/core/perf.mli: D2_trace Hashtbl Keymap

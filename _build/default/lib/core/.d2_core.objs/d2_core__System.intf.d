@@ -1,0 +1,1 @@
+lib/core/system.mli: D2_balance D2_keyspace D2_simnet D2_store D2_trace D2_util Keymap

@@ -1,0 +1,122 @@
+module Op = D2_trace.Op
+module Hashing = D2_keyspace.Hashing
+module Stats_acc = D2_util.Stats.Online
+
+type scenario = Traditional | Ordered | Lower_bound
+
+let scenario_name = function
+  | Traditional -> "traditional"
+  | Ordered -> "ordered"
+  | Lower_bound -> "lower-bound"
+
+type result = {
+  scenario : scenario;
+  mean_nodes_per_user_hour : float;
+  user_hours : int;
+}
+
+let block_name path block = Printf.sprintf "%s#%08d" path block
+
+(* The universe of block names: initial files' blocks plus every block
+   created during the trace. *)
+let universe (trace : Op.t) =
+  let tbl = Hashtbl.create 65536 in
+  Array.iter
+    (fun (fi : Op.file_info) ->
+      let nblocks = Op.blocks_of_bytes fi.Op.file_bytes in
+      for b = 0 to nblocks - 1 do
+        Hashtbl.replace tbl (block_name fi.Op.file_path b) ()
+      done)
+    trace.Op.initial_files;
+  Array.iter
+    (fun (o : Op.op) ->
+      match o.Op.kind with
+      | Op.Create | Op.Write -> Hashtbl.replace tbl (block_name o.Op.path o.Op.block) ()
+      | Op.Read | Op.Delete -> ())
+    trace.Op.ops;
+  let names = Array.make (Hashtbl.length tbl) "" in
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun name () ->
+      names.(!i) <- name;
+      incr i)
+    tbl;
+  Array.sort compare names;
+  names
+
+(* Distinct blocks each (user, hour) accessed. *)
+let buckets (trace : Op.t) =
+  let tbl : (int * int, (string, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 1024 in
+  Array.iter
+    (fun (o : Op.op) ->
+      match o.Op.kind with
+      | Op.Delete -> ()
+      | Op.Read | Op.Write | Op.Create ->
+          let key = (o.Op.user, int_of_float (o.Op.time /. 3600.0)) in
+          let set =
+            match Hashtbl.find_opt tbl key with
+            | Some s -> s
+            | None ->
+                let s = Hashtbl.create 64 in
+                Hashtbl.replace tbl key s;
+                s
+          in
+          Hashtbl.replace set (block_name o.Op.path o.Op.block) ())
+    trace.Op.ops;
+  tbl
+
+let rank_of names name =
+  (* Binary search; creations are all in the universe, so this finds
+     an exact match. *)
+  let lo = ref 0 and hi = ref (Array.length names - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if compare names.(mid) name < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let compute (trace : Op.t) ~nodes scenarios =
+  if nodes <= 0 then invalid_arg "Locality.analyze: nodes must be positive";
+  let names = universe trace in
+  let total = Array.length names in
+  let per_node = max 1 ((total + nodes - 1) / nodes) in
+  let tbl = buckets trace in
+  let node_traditional name =
+    Int64.to_int (Int64.rem (Hashing.int64_of ("fig3|" ^ name)) (Int64.of_int nodes))
+  in
+  let node_ordered name = rank_of names name / per_node in
+  List.map
+    (fun scenario ->
+      let acc = Stats_acc.create () in
+      Hashtbl.iter
+        (fun _ set ->
+          let count =
+            match scenario with
+            | Lower_bound ->
+                (Hashtbl.length set + per_node - 1) / per_node
+            | Traditional | Ordered ->
+                let nodes_hit = Hashtbl.create 16 in
+                Hashtbl.iter
+                  (fun name () ->
+                    let n =
+                      match scenario with
+                      | Traditional -> node_traditional name
+                      | Ordered -> node_ordered name
+                      | Lower_bound -> assert false
+                    in
+                    Hashtbl.replace nodes_hit n ())
+                  set;
+                Hashtbl.length nodes_hit
+          in
+          Stats_acc.add acc (float_of_int count))
+        tbl;
+      {
+        scenario;
+        mean_nodes_per_user_hour = Stats_acc.mean acc;
+        user_hours = Stats_acc.count acc;
+      })
+    scenarios
+
+let analyze trace ~nodes scenario = List.hd (compute trace ~nodes [ scenario ])
+
+let analyze_all trace ~nodes = compute trace ~nodes [ Traditional; Ordered; Lower_bound ]

@@ -1,0 +1,34 @@
+(** The §4.1 data-locality analysis behind Fig. 3.
+
+    For a given workload and node count, estimates the mean number of
+    distinct storage nodes each user touches per hour under three
+    static placements:
+
+    - {e traditional}: every block is assigned to a uniformly random
+      node (consistent hashing of independent block keys);
+    - {e ordered}: blocks are sorted by name (full path + block
+      number; for disk traces the block number itself) and dealt out
+      in contiguous runs of [universe/nodes] blocks per node — the
+      idealized locality-preserving assignment;
+    - {e lower-bound}: ⌈blocks accessed / blocks per node⌉ — the
+      information-theoretic floor, which may not be achievable (§4.1).
+
+    The block universe is the trace's initial files plus every block
+    created during the trace (deleted blocks keep their rank — a
+    static-placement approximation the paper also makes by analyzing
+    a fixed assignment). *)
+
+type scenario = Traditional | Ordered | Lower_bound
+
+val scenario_name : scenario -> string
+
+type result = {
+  scenario : scenario;
+  mean_nodes_per_user_hour : float;
+  user_hours : int;  (** number of (user, hour) buckets with activity *)
+}
+
+val analyze : D2_trace.Op.t -> nodes:int -> scenario -> result
+
+val analyze_all : D2_trace.Op.t -> nodes:int -> result list
+(** All three scenarios, sharing one pass over the trace. *)

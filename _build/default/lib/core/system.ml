@@ -1,0 +1,112 @@
+module Key = D2_keyspace.Key
+module Cluster = D2_store.Cluster
+module Engine = D2_simnet.Engine
+module Op = D2_trace.Op
+module Rng = D2_util.Rng
+module Stats = D2_util.Stats
+
+type file_state = { path : string; blocks : (int, int) Hashtbl.t }
+
+type t = {
+  mode : Keymap.mode;
+  cluster : Cluster.t;
+  keymap : Keymap.t;
+  engine : Engine.t;
+  files : (int, file_state) Hashtbl.t;
+  mutable baseline : float;
+}
+
+let create ~engine ~mode ~rng ~nodes ?(config = Cluster.default_config)
+    ?(volume = "vol") () =
+  if nodes <= 0 then invalid_arg "System.create: nodes must be positive";
+  let ids = Array.init nodes (fun _ -> Key.random rng) in
+  let cluster = Cluster.create ~engine ~config ~ids in
+  {
+    mode;
+    cluster;
+    keymap = Keymap.create mode ~volume;
+    engine;
+    files = Hashtbl.create 1024;
+    baseline = 0.0;
+  }
+
+let cluster t = t.cluster
+let keymap t = t.keymap
+let mode t = t.mode
+let engine t = t.engine
+let baseline_written t = t.baseline
+
+let key_of_op t o = Keymap.key_of_op t.keymap o
+
+let file_state t ~file ~path =
+  match Hashtbl.find_opt t.files file with
+  | Some fs -> fs
+  | None ->
+      let fs = { path; blocks = Hashtbl.create 8 } in
+      Hashtbl.replace t.files file fs;
+      fs
+
+let put_block t ~path ~file ~block ~size =
+  let fs = file_state t ~file ~path in
+  Hashtbl.replace fs.blocks block size;
+  let key = Keymap.key_of t.keymap ~path ~block in
+  Cluster.put t.cluster ~key ~size ()
+
+let load_initial t (trace : Op.t) =
+  let before = Cluster.written_bytes t.cluster in
+  Array.iter
+    (fun (fi : Op.file_info) ->
+      let nblocks = Op.blocks_of_bytes fi.Op.file_bytes in
+      for b = 0 to nblocks - 1 do
+        let size =
+          if b = nblocks - 1 then begin
+            let rem = fi.Op.file_bytes - (b * Op.block_size) in
+            if rem = 0 then Op.block_size else rem
+          end
+          else Op.block_size
+        in
+        put_block t ~path:fi.Op.file_path ~file:fi.Op.file_id ~block:b ~size
+      done)
+    trace.Op.initial_files;
+  t.baseline <- t.baseline +. (Cluster.written_bytes t.cluster -. before)
+
+let apply_op t (o : Op.op) =
+  match o.Op.kind with
+  | Op.Read -> ()
+  | Op.Write | Op.Create ->
+      put_block t ~path:o.Op.path ~file:o.Op.file ~block:o.Op.block ~size:o.Op.bytes
+  | Op.Delete -> (
+      match Hashtbl.find_opt t.files o.Op.file with
+      | None -> ()
+      | Some fs ->
+          Hashtbl.iter
+            (fun block _ ->
+              let key = Keymap.key_of t.keymap ~path:fs.path ~block in
+              Cluster.remove t.cluster ~key ())
+            fs.blocks;
+          Hashtbl.remove t.files o.Op.file)
+
+let file_blocks t ~file =
+  match Hashtbl.find_opt t.files file with
+  | None -> []
+  | Some fs -> List.sort compare (Hashtbl.fold (fun b s acc -> (b, s) :: acc) fs.blocks [])
+
+let attach_balancer t ~rng ?config ~until () =
+  D2_balance.Balancer.attach ~cluster:t.cluster ~rng ?config ~until ()
+
+let up_loads t =
+  let n = Cluster.node_count t.cluster in
+  let loads = ref [] in
+  for i = 0 to n - 1 do
+    let s = Cluster.node_stats t.cluster i in
+    if s.Cluster.up then loads := float_of_int s.Cluster.physical_bytes :: !loads
+  done;
+  Array.of_list !loads
+
+let imbalance t = Stats.normalized_stddev (up_loads t)
+
+let max_over_mean_load t =
+  let loads = up_loads t in
+  let m = Stats.mean loads in
+  if m = 0.0 then 0.0
+  else Array.fold_left Float.max neg_infinity loads /. m

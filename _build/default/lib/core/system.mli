@@ -1,0 +1,64 @@
+(** A complete simulated deployment: cluster + key policy + replay
+    bookkeeping.
+
+    Wraps a {!D2_store.Cluster} with a {!Keymap} and tracks the live
+    block set of every file in a replayed trace, so that trace deletes
+    can remove all of a file's blocks and overwrites reuse keys.  The
+    §8 availability, §9 performance and §10 load-balance simulators
+    all build on this. *)
+
+module Key = D2_keyspace.Key
+
+type t
+
+val create :
+  engine:D2_simnet.Engine.t ->
+  mode:Keymap.mode ->
+  rng:D2_util.Rng.t ->
+  nodes:int ->
+  ?config:D2_store.Cluster.config ->
+  ?volume:string ->
+  unit ->
+  t
+(** Fresh deployment of [nodes] nodes with uniformly random IDs drawn
+    from [rng]. *)
+
+val cluster : t -> D2_store.Cluster.t
+val keymap : t -> Keymap.t
+val mode : t -> Keymap.mode
+val engine : t -> D2_simnet.Engine.t
+
+val load_initial : t -> D2_trace.Op.t -> unit
+(** Insert every block of the trace's initial files (without counting
+    them as user write traffic — see {!baseline_written}). *)
+
+val baseline_written : t -> float
+(** Bytes inserted by [load_initial]; subtract from
+    [Cluster.written_bytes] to get replayed user writes. *)
+
+val apply_op : t -> D2_trace.Op.op -> unit
+(** Apply one trace op's storage effect: [Create]/[Write] put the
+    block, [Delete] removes every live block of the file, [Read] does
+    nothing. *)
+
+val key_of_op : t -> D2_trace.Op.op -> Key.t
+
+val file_blocks : t -> file:int -> (int * int) list
+(** Live (block index, size) pairs for a replayed file id, or [] —
+    test/inspection hook. *)
+
+val attach_balancer :
+  t ->
+  rng:D2_util.Rng.t ->
+  ?config:D2_balance.Balancer.config ->
+  until:float ->
+  unit ->
+  D2_balance.Balancer.t
+(** Start Karger–Ruhl balancing (D2 and "Traditional+Merc" setups). *)
+
+val imbalance : t -> float
+(** Normalized standard deviation of per-node physical bytes over up
+    nodes — the Fig. 16/17 metric. *)
+
+val max_over_mean_load : t -> float
+(** Max node load divided by mean node load (§10's other statistic). *)

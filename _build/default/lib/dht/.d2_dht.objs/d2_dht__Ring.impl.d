@@ -1,0 +1,1 @@
+lib/dht/ring.ml: Array D2_keyspace Hashtbl List

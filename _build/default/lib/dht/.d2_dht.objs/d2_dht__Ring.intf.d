@@ -1,0 +1,1 @@
+lib/dht/ring.mli: D2_keyspace

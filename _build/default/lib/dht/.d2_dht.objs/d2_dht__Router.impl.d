@@ -1,0 +1,1 @@
+lib/dht/router.ml: Array D2_keyspace D2_util List Printf Ring

@@ -1,0 +1,1 @@
+lib/dht/router.mli: D2_keyspace D2_util Ring

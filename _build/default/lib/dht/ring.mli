@@ -1,0 +1,70 @@
+(** DHT ring membership and key-to-node assignment.
+
+    Nodes are integer handles placed on the 64-byte key ring; the node
+    whose ID is the immediate successor of a key owns it (consistent
+    hashing's assignment rule, which D2 keeps — only the choice of IDs
+    changes, via load balancing ID reassignment).
+
+    Routing is modelled after Mercury/Chord-style small-world graphs
+    that work for {e non-uniform} key distributions: every node keeps
+    links to the nodes at ring-rank distance 1, 2, 4, 8, … (rank-based
+    fingers — what Mercury approximates with sampled histograms), so a
+    greedy lookup takes [popcount] of the rank distance hops, i.e.
+    O(log n) with mean ~log2(n)/2.  {!route_hops} computes that hop
+    count exactly from the current membership. *)
+
+type t
+
+val create : unit -> t
+
+val size : t -> int
+
+val add : t -> id:D2_keyspace.Key.t -> node:int -> unit
+(** Join a node with the given ID.
+    @raise Invalid_argument if the ID is taken or the node is already
+    a member. *)
+
+val remove : t -> node:int -> unit
+(** Leave. @raise Invalid_argument if not a member. *)
+
+val change_id : t -> node:int -> id:D2_keyspace.Key.t -> unit
+(** Atomic leave + rejoin used by the load balancer. *)
+
+val mem : t -> node:int -> bool
+
+val id_taken : t -> D2_keyspace.Key.t -> bool
+(** Whether some member already uses this exact ID. *)
+
+val id_of : t -> node:int -> D2_keyspace.Key.t
+(** @raise Invalid_argument if not a member. *)
+
+val successor : t -> D2_keyspace.Key.t -> int
+(** Owner of a key. @raise Invalid_argument on an empty ring. *)
+
+val successors : t -> D2_keyspace.Key.t -> int -> int list
+(** The replica set: the [r] distinct nodes clockwise from (and
+    including) the key's owner.  Returns fewer when the ring is
+    smaller than [r]. *)
+
+val predecessor_id : t -> node:int -> D2_keyspace.Key.t
+(** ID of the node's predecessor (its own ID when it is alone);
+    the node's responsibility range is [(predecessor_id, id_of]]. *)
+
+val rank_of : t -> node:int -> int
+(** Position in ID order, 0-based. *)
+
+val node_at : t -> int -> int
+(** Node at a rank (mod ring size). *)
+
+val nth_successor_of_node : t -> node:int -> int -> int
+(** The node [k] ranks clockwise of [node]. *)
+
+val route_hops : t -> src:int -> key:D2_keyspace.Key.t -> int
+(** Hops for a greedy rank-finger lookup from [src] to the key's
+    owner; 0 when [src] owns the key. *)
+
+val members : t -> int list
+(** All node handles, in ring order. *)
+
+val check_invariants : t -> unit
+(** Internal-consistency check for tests. *)

@@ -1,0 +1,80 @@
+module Key = D2_keyspace.Key
+module Rng = D2_util.Rng
+
+type policy = Fingers | Harmonic of int | Successor_only
+
+let policy_name = function
+  | Fingers -> "fingers"
+  | Harmonic k -> Printf.sprintf "harmonic-%d" k
+  | Successor_only -> "successor-only"
+
+type t = {
+  ring : Ring.t;
+  pol : policy;
+  rng : Rng.t;
+  mutable offsets : int array array;
+  (** per rank: sorted outgoing link rank-offsets (all ≥ 1) *)
+}
+
+(* Sample a rank offset in [1, n) with P(d) ∝ 1/d. *)
+let harmonic_offset rng n =
+  let u = Rng.float rng 1.0 in
+  let d = int_of_float (float_of_int n ** u) in
+  max 1 (min (n - 1) d)
+
+let build_tables t =
+  let n = Ring.size t.ring in
+  let table rank =
+    let offs =
+      match t.pol with
+      | Successor_only -> [ 1 ]
+      | Fingers ->
+          let rec powers acc p = if p >= n then acc else powers (p :: acc) (2 * p) in
+          powers [] 1
+      | Harmonic k ->
+          ignore rank;
+          1 :: List.init (max 0 k) (fun _ -> harmonic_offset t.rng n)
+    in
+    let offs = List.sort_uniq compare (List.filter (fun d -> d >= 1 && d < n) offs) in
+    Array.of_list offs
+  in
+  t.offsets <- Array.init n table
+
+let create ~ring ~policy ~rng =
+  if Ring.size ring = 0 then invalid_arg "Router.create: empty ring";
+  let t = { ring; pol = policy; rng; offsets = [||] } in
+  build_tables t;
+  t
+
+let rebuild t = build_tables t
+
+let policy t = t.pol
+
+let links_of t ~node =
+  let n = Ring.size t.ring in
+  let rank = Ring.rank_of t.ring ~node in
+  Array.to_list (Array.map (fun d -> Ring.node_at t.ring ((rank + d) mod n)) t.offsets.(rank))
+
+let route t ~src ~key =
+  let n = Ring.size t.ring in
+  if n <> Array.length t.offsets then
+    invalid_arg "Router.route: ring changed since build; call rebuild";
+  let owner = Ring.successor t.ring key in
+  let target = Ring.rank_of t.ring ~node:owner in
+  let rec go rank acc steps =
+    if steps > 2 * n then invalid_arg "Router.route: routing did not converge"
+    else begin
+      let d = ((target - rank) mod n + n) mod n in
+      if d = 0 then List.rev acc
+      else begin
+        (* Farthest link that does not overshoot the owner. *)
+        let best = ref 1 in
+        Array.iter (fun off -> if off <= d && off > !best then best := off) t.offsets.(rank);
+        let next = (rank + !best) mod n in
+        go next (Ring.node_at t.ring next :: acc) (steps + 1)
+      end
+    end
+  in
+  go (Ring.rank_of t.ring ~node:src) [] 0
+
+let hops t ~src ~key = List.length (route t ~src ~key)

@@ -1,0 +1,46 @@
+(** Explicit long-link routing tables over a ring snapshot.
+
+    {!Ring.route_hops} computes the hop count of an idealized
+    rank-finger graph analytically; this module builds the {e actual}
+    per-node link tables and routes greedily over them, so routing
+    behaviour (paths, hop distributions, the effect of the link
+    policy) can be measured rather than assumed.
+
+    Three link policies:
+    - [Fingers]: links at rank distance 1, 2, 4, 8, … — the
+      deterministic small-world graph (Chord-in-rank-space), which is
+      what Mercury's histogram-guided link placement approximates for
+      non-uniform key distributions;
+    - [Harmonic k]: [k] links per node with rank offsets drawn from
+      the harmonic distribution P(d) ∝ 1/d — Mercury/Symphony's
+      randomized construction, expected O(log²n / k) hops;
+    - [Successor_only]: ring walking, the O(n) baseline.
+
+    Tables are built from a ring snapshot; call {!rebuild} after
+    membership changes. *)
+
+type policy = Fingers | Harmonic of int | Successor_only
+
+val policy_name : policy -> string
+
+type t
+
+val create : ring:Ring.t -> policy:policy -> rng:D2_util.Rng.t -> t
+(** Build link tables for every current member.
+    @raise Invalid_argument on an empty ring. *)
+
+val rebuild : t -> unit
+(** Refresh tables after ring membership/ID changes. *)
+
+val policy : t -> policy
+
+val links_of : t -> node:int -> int list
+(** This node's outgoing links (node handles), successor first. *)
+
+val route : t -> src:int -> key:D2_keyspace.Key.t -> int list
+(** Greedy clockwise route: the sequence of nodes after [src], ending
+    with the key's owner ([[]] if [src] owns the key).  Total
+    messages for a recursive lookup = path length + 1 reply. *)
+
+val hops : t -> src:int -> key:D2_keyspace.Key.t -> int
+(** [List.length (route t ~src ~key)]. *)

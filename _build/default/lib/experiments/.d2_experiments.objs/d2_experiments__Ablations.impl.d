@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Array Config D2_cache D2_core D2_dht D2_keyspace D2_simnet D2_store D2_util Data Float List Printf

@@ -1,0 +1,1 @@
+lib/experiments/ablations.mli: Config D2_util

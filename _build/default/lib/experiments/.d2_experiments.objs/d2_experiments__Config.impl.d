@@ -1,0 +1,1 @@
+lib/experiments/config.ml: D2_trace Printf Sys

@@ -1,0 +1,1 @@
+lib/experiments/data.ml: Config D2_trace D2_util Hashtbl

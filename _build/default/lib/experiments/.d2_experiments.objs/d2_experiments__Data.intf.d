@@ -1,0 +1,1 @@
+lib/experiments/data.mli: Config D2_trace

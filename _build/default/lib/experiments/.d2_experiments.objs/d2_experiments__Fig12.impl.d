@@ -1,0 +1,1 @@
+lib/experiments/fig12.ml: Array Config D2_core D2_util List Printf Suites

@@ -1,0 +1,1 @@
+lib/experiments/fig13.ml: Config D2_core D2_util List Suites

@@ -1,0 +1,1 @@
+lib/experiments/fig14.mli: Config D2_core D2_util

@@ -1,0 +1,1 @@
+lib/experiments/fig15.ml: D2_core Fig14

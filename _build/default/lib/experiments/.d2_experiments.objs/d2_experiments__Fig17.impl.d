@@ -1,0 +1,1 @@
+lib/experiments/fig17.ml: Fig16

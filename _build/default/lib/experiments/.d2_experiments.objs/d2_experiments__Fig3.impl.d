@@ -1,0 +1,1 @@
+lib/experiments/fig3.ml: Config D2_core D2_util Data List Printf

@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: Array Config D2_core D2_util Data Float List Printf Suites

@@ -1,0 +1,1 @@
+lib/experiments/fig8.ml: Array D2_core D2_util Data Suites

@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Ablations Config D2_util Fig10 Fig11 Fig12 Fig13 Fig14 Fig15 Fig16 Fig17 Fig3 Fig7 Fig8 Fig9 List Printf Table1 Table2 Table3 Table4 Unix

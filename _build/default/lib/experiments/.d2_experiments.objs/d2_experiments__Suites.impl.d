@@ -1,0 +1,1 @@
+lib/experiments/suites.ml: Config D2_core Data Hashtbl Printf

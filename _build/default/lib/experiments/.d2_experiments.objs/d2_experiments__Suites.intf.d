@@ -1,0 +1,1 @@
+lib/experiments/suites.mli: Config D2_core

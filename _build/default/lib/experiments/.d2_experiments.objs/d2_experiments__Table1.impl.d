@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Array D2_trace D2_util Data Printf

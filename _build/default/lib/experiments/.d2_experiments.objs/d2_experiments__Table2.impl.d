@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: Config D2_core D2_trace D2_util Data List Printf Suites

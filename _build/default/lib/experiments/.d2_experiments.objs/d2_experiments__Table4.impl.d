@@ -1,0 +1,1 @@
+lib/experiments/table4.ml: Array D2_core D2_util List Printf Suites

@@ -1,0 +1,27 @@
+(** Ablation and extension benches beyond the paper's figures; each
+    returns printable tables like the figure modules (see DESIGN.md §5
+    and EXPERIMENTS.md for what each one shows). *)
+
+val pointers : Config.scale -> D2_util.Report.t list
+(** Block pointers on/off: migration traffic during load balancing (§6). *)
+
+val routing : Config.scale -> D2_util.Report.t list
+(** Link policies over real tables: fingers vs harmonic vs successor. *)
+
+val hotspot : Config.scale -> D2_util.Report.t list
+(** Request-load hot spot with and without retrieval caches (§6). *)
+
+val stp : Config.scale -> D2_util.Report.t list
+(** Per-pair TCP vs an STP-style shared congestion window (§9.3). *)
+
+val cache_ttl : Config.scale -> D2_util.Report.t list
+(** Lookup-cache TTL sweep: D2 vs traditional miss rates (§5). *)
+
+val hybrid : Config.scale -> D2_util.Report.t list
+(** §11 future-work hybrid locality+hashed replica placement. *)
+
+val erasure : Config.scale -> D2_util.Report.t list
+(** Replication vs m-of-n erasure coding at matched storage (§3). *)
+
+val replicas : Config.scale -> D2_util.Report.t list
+(** Replication factor r ∈ {2,3,4} vs task unavailability (§8.2). *)

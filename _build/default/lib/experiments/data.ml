@@ -1,0 +1,46 @@
+module Rng = D2_util.Rng
+
+let memo_tbl : (string, D2_trace.Op.t) Hashtbl.t = Hashtbl.create 8
+
+let memo key build =
+  match Hashtbl.find_opt memo_tbl key with
+  | Some t -> t
+  | None ->
+      let t = build () in
+      Hashtbl.replace memo_tbl key t;
+      t
+
+let harvard scale =
+  memo
+    ("harvard-" ^ Config.scale_name scale)
+    (fun () ->
+      D2_trace.Harvard.generate
+        ~rng:(Rng.create Config.master_seed)
+        ~params:(Config.harvard_params scale) ())
+
+let hp scale =
+  memo
+    ("hp-" ^ Config.scale_name scale)
+    (fun () ->
+      D2_trace.Hp.generate
+        ~rng:(Rng.create (Config.master_seed + 1))
+        ~params:(Config.hp_params scale) ())
+
+let web scale =
+  memo
+    ("web-" ^ Config.scale_name scale)
+    (fun () ->
+      D2_trace.Web.generate
+        ~rng:(Rng.create (Config.master_seed + 2))
+        ~params:(Config.web_params scale) ())
+
+let webcache scale =
+  memo
+    ("webcache-" ^ Config.scale_name scale)
+    (fun () -> D2_trace.Webcache.of_web_trace (web scale))
+
+let failures scale ~trial =
+  let trace = harvard scale in
+  D2_trace.Failure.generate
+    ~rng:(Rng.create (Config.master_seed + 100 + trial))
+    ~n:(Config.avail_nodes scale) ~duration:trace.D2_trace.Op.duration ()

@@ -1,0 +1,15 @@
+(** Memoized workload and failure traces shared by the experiments.
+
+    Generating the Harvard trace takes a few seconds at paper scale;
+    experiments that share it (Table 2, Figs. 7–17) reuse one
+    instance per scale.  Everything is deterministic in
+    {!Config.master_seed}. *)
+
+val harvard : Config.scale -> D2_trace.Op.t
+val hp : Config.scale -> D2_trace.Op.t
+val web : Config.scale -> D2_trace.Op.t
+val webcache : Config.scale -> D2_trace.Op.t
+
+val failures : Config.scale -> trial:int -> D2_trace.Failure.t
+(** Failure trace for one availability trial (sized to
+    {!Config.avail_nodes} and the Harvard trace duration). *)

@@ -1,0 +1,7 @@
+(* Figure 11: speedup of D2 over the traditional-file DHT (§9.3). *)
+
+module Keymap = D2_core.Keymap
+
+let run scale =
+  Fig10.speedup_rows scale ~baseline_mode:Keymap.Traditional_file
+    ~title:"Figure 11: speedup of D2 over the traditional-file DHT"

@@ -1,0 +1,3 @@
+(** Figure 11: speedup of D2 over the traditional-file DHT (§9.3). *)
+
+val run : Config.scale -> D2_util.Report.t list

@@ -1,0 +1,3 @@
+(** Figure 12: per-user speedup distribution in the largest scenario (§9.3). *)
+
+val run : Config.scale -> D2_util.Report.t list

@@ -1,0 +1,3 @@
+(** Figure 13: mean lookup-cache miss rate per scenario (§9.3). *)
+
+val run : Config.scale -> D2_util.Report.t list

@@ -1,0 +1,3 @@
+(** Figure 15: latency scatter vs the traditional-file DHT (§9.3). *)
+
+val run : Config.scale -> D2_util.Report.t list

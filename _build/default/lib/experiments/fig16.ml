@@ -1,0 +1,49 @@
+(* Figure 16: storage load imbalance (normalized stddev of node load)
+   over the Harvard week, for D2, traditional, traditional-file and
+   traditional+Mercury (§10). *)
+
+module Report = D2_util.Report
+module Balance_sim = D2_core.Balance_sim
+
+let series scale ~trace ~title =
+  let results =
+    List.map (fun setup -> Suites.balance_result scale ~trace ~setup)
+      Balance_sim.all_setups
+  in
+  let r =
+    Report.create ~title
+      ~columns:
+        ("time"
+        :: List.map (fun x -> Balance_sim.setup_name x.Balance_sim.r_setup) results)
+  in
+  (* Print every 12 hours of trace time. *)
+  let d2_samples = (List.hd results).Balance_sim.samples in
+  let step = 12.0 *. 3600.0 in
+  let next = ref 0.0 in
+  Array.iteri
+    (fun i (t, _) ->
+      if t >= !next then begin
+        next := !next +. step;
+        Report.add_row r
+          (Printf.sprintf "%.1fd" (t /. 86400.0)
+          :: List.map
+               (fun res ->
+                 let samples = res.Balance_sim.samples in
+                 if i < Array.length samples then
+                   Report.fmt_float ~decimals:3 (snd samples.(i))
+                 else "-")
+               results)
+      end)
+    d2_samples;
+  Report.add_row r
+    ("max/mean load"
+    :: List.map
+         (fun res -> Report.fmt_float ~decimals:2 res.Balance_sim.max_over_mean)
+         results);
+  Report.add_row r
+    ("balancer moves"
+    :: List.map (fun res -> string_of_int res.Balance_sim.balancer_moves) results);
+  r
+
+let run scale =
+  [ series scale ~trace:`Harvard ~title:"Figure 16: load imbalance over time (Harvard)" ]

@@ -1,0 +1,10 @@
+(** Figure 16: storage imbalance over time, Harvard workload (§10). *)
+
+val series :
+  Config.scale ->
+  trace:[ `Harvard | `Webcache ] ->
+  title:string ->
+  D2_util.Report.t
+(** Shared imbalance-series builder (also drives Figure 17). *)
+
+val run : Config.scale -> D2_util.Report.t list

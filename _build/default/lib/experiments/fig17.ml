@@ -1,0 +1,8 @@
+(* Figure 17: load imbalance over time under the Webcache workload —
+   the extreme-churn stress test (§10). *)
+
+let run scale =
+  [
+    Fig16.series scale ~trace:`Webcache
+      ~title:"Figure 17: load imbalance over time (Webcache)";
+  ]

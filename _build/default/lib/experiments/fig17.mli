@@ -1,0 +1,3 @@
+(** Figure 17: storage imbalance over time, Webcache workload (§10). *)
+
+val run : Config.scale -> D2_util.Report.t list

@@ -1,0 +1,42 @@
+(* Figure 3: mean nodes accessed per user each hour, normalized
+   against the traditional assignment, for traditional / ordered /
+   lower-bound placements over all three workloads (§4.1). *)
+
+module Report = D2_util.Report
+module Locality = D2_core.Locality
+
+let run scale =
+  let nodes = Config.fig3_nodes scale in
+  let r =
+    Report.create
+      ~title:
+        (Printf.sprintf "Figure 3: mean nodes accessed per user-hour (%d nodes)" nodes)
+      ~columns:
+        [ "workload"; "scenario"; "nodes/user-hour"; "normalized vs traditional" ]
+  in
+  List.iter
+    (fun (name, trace) ->
+      let results = Locality.analyze_all trace ~nodes in
+      let traditional =
+        match results with
+        | { Locality.scenario = Locality.Traditional; mean_nodes_per_user_hour; _ } :: _ ->
+            mean_nodes_per_user_hour
+        | _ -> 1.0
+      in
+      List.iter
+        (fun (res : Locality.result) ->
+          Report.add_row r
+            [
+              name;
+              Locality.scenario_name res.Locality.scenario;
+              Report.fmt_float ~decimals:2 res.Locality.mean_nodes_per_user_hour;
+              Report.fmt_float ~decimals:4
+                (res.Locality.mean_nodes_per_user_hour /. traditional);
+            ])
+        results)
+    [
+      ("harvard", Data.harvard scale);
+      ("hp", Data.hp scale);
+      ("web", Data.web scale);
+    ];
+  [ r ]

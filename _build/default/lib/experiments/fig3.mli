@@ -1,0 +1,4 @@
+(** Figure 3: mean nodes accessed per user-hour under traditional /
+    ordered / lower-bound placements, all three workloads (§4.1). *)
+
+val run : Config.scale -> D2_util.Report.t list

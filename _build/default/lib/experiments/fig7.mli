@@ -1,0 +1,4 @@
+(** Figure 7: task unavailability vs the inter-access threshold, all
+    systems, several trials (§8.2). *)
+
+val run : Config.scale -> D2_util.Report.t list

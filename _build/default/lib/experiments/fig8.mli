@@ -1,0 +1,3 @@
+(** Figure 8: per-user task unavailability, ranked (§8.2). *)
+
+val run : Config.scale -> D2_util.Report.t list

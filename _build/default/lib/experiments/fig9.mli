@@ -1,0 +1,3 @@
+(** Figure 9: DHT lookup messages per node vs system size (§9.2). *)
+
+val run : Config.scale -> D2_util.Report.t list

@@ -1,0 +1,41 @@
+type entry = {
+  id : string;
+  title : string;
+  run : Config.scale -> D2_util.Report.t list;
+}
+
+let all =
+  [
+    { id = "table1"; title = "Workloads analyzed"; run = Table1.run };
+    { id = "fig3"; title = "Locality of key orderings"; run = Fig3.run };
+    { id = "table2"; title = "Objects and nodes per task"; run = Table2.run };
+    { id = "fig7"; title = "Task unavailability vs inter"; run = Fig7.run };
+    { id = "fig8"; title = "Per-user unavailability"; run = Fig8.run };
+    { id = "fig9"; title = "Lookup traffic vs system size"; run = Fig9.run };
+    { id = "fig10"; title = "Speedup over traditional"; run = Fig10.run };
+    { id = "fig11"; title = "Speedup over traditional-file"; run = Fig11.run };
+    { id = "fig12"; title = "Per-user speedup"; run = Fig12.run };
+    { id = "fig13"; title = "Lookup cache miss rate"; run = Fig13.run };
+    { id = "fig14"; title = "Latency scatter vs traditional"; run = Fig14.run };
+    { id = "fig15"; title = "Latency scatter vs traditional-file"; run = Fig15.run };
+    { id = "fig16"; title = "Load imbalance (Harvard)"; run = Fig16.run };
+    { id = "fig17"; title = "Load imbalance (Webcache)"; run = Fig17.run };
+    { id = "table3"; title = "Daily churn ratios"; run = Table3.run };
+    { id = "table4"; title = "Write vs migration traffic"; run = Table4.run };
+    { id = "ablation_pointers"; title = "Block pointers on/off"; run = Ablations.pointers };
+    { id = "ablation_routing"; title = "Routing hop counts"; run = Ablations.routing };
+    { id = "ablation_cache_ttl"; title = "Cache TTL sweep"; run = Ablations.cache_ttl };
+    { id = "ablation_replicas"; title = "Replication factor"; run = Ablations.replicas };
+    { id = "ablation_hybrid"; title = "Hybrid replica placement (§11)"; run = Ablations.hybrid };
+    { id = "ablation_erasure"; title = "Replication vs erasure coding (§3)"; run = Ablations.erasure };
+    { id = "ablation_stp"; title = "TCP vs STP-style transport (§9.3)"; run = Ablations.stp };
+    { id = "ablation_hotspot"; title = "Retrieval caches vs hot spots (§6)"; run = Ablations.hotspot };
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+
+let run_and_print scale entry =
+  let t0 = Unix.gettimeofday () in
+  let reports = entry.run scale in
+  List.iter D2_util.Report.print reports;
+  Printf.printf "[%s: %.1fs]\n\n%!" entry.id (Unix.gettimeofday () -. t0)

@@ -1,0 +1,18 @@
+(** Catalogue of every reproducible experiment: the paper's tables and
+    figures plus the ablations.  The bench harness and the CLI both
+    drive experiments through this list. *)
+
+type entry = {
+  id : string;  (** e.g. "fig9", "table3", "ablation_pointers" *)
+  title : string;
+  run : Config.scale -> D2_util.Report.t list;
+}
+
+val all : entry list
+(** Paper order: table1, fig3, table2, fig7, fig8, fig9..fig17,
+    table3, table4, then the ablations. *)
+
+val find : string -> entry option
+
+val run_and_print : Config.scale -> entry -> unit
+(** Run one entry, print its tables and the elapsed wall time. *)

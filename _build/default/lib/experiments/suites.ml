@@ -1,0 +1,66 @@
+module Keymap = D2_core.Keymap
+module Availability = D2_core.Availability
+module Perf = D2_core.Perf
+module Balance_sim = D2_core.Balance_sim
+
+let all_modes = [ Keymap.Traditional; Keymap.Traditional_file; Keymap.D2 ]
+
+let avail_memo : (string, Availability.replay) Hashtbl.t = Hashtbl.create 32
+let perf_memo : (string, Perf.pass) Hashtbl.t = Hashtbl.create 32
+let balance_memo : (string, Balance_sim.result) Hashtbl.t = Hashtbl.create 16
+
+let memo tbl key build =
+  match Hashtbl.find_opt tbl key with
+  | Some v -> v
+  | None ->
+      let v = build () in
+      Hashtbl.replace tbl key v;
+      v
+
+let availability_replay scale ~mode ~trial =
+  let key =
+    Printf.sprintf "%s|%s|%d" (Config.scale_name scale) (Keymap.mode_name mode) trial
+  in
+  memo avail_memo key (fun () ->
+      let trace = Data.harvard scale in
+      let failures = Data.failures scale ~trial in
+      Availability.replay ~trace ~failures ~mode
+        ~seed:(Config.master_seed + 200 + trial)
+        ())
+
+let perf_pass scale ~mode ~nodes ~bandwidth =
+  let key =
+    Printf.sprintf "%s|%s|%d|%.0f" (Config.scale_name scale) (Keymap.mode_name mode)
+      nodes bandwidth
+  in
+  memo perf_memo key (fun () ->
+      let trace = Data.harvard scale in
+      let config =
+        {
+          (Perf.default_config ~nodes ~bandwidth) with
+          Perf.base_nodes = Config.perf_base_nodes scale;
+          seed = Config.master_seed + 300;
+        }
+      in
+      Perf.run_pass ~trace ~mode ~config)
+
+let balance_result scale ~trace ~setup =
+  let tname = match trace with `Harvard -> "harvard" | `Webcache -> "webcache" in
+  let key =
+    Printf.sprintf "%s|%s|%s" (Config.scale_name scale) tname
+      (Balance_sim.setup_name setup)
+  in
+  memo balance_memo key (fun () ->
+      let tr = match trace with `Harvard -> Data.harvard scale | `Webcache -> Data.webcache scale in
+      let params =
+        Balance_sim.default_params ~nodes:(Config.balance_nodes scale)
+          ~seed:(Config.master_seed + 400)
+      in
+      (* The web cache starts empty; skip the pre-trace balancing
+         phase that only makes sense with preloaded data. *)
+      let params =
+        match trace with
+        | `Harvard -> params
+        | `Webcache -> { params with Balance_sim.warmup = 3600.0 }
+      in
+      Balance_sim.run ~trace:tr ~setup ~params)

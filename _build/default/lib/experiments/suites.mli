@@ -1,0 +1,27 @@
+(** Memoized heavy simulation runs shared across experiment tables.
+
+    Figures 7, 8 and Table 2 share the availability replays; Figures
+    9–15 share the performance passes.  Each is computed once per
+    (scale, configuration) and cached for the process lifetime, so
+    regenerating one figure after another costs one simulation, not
+    one per figure. *)
+
+val availability_replay :
+  Config.scale -> mode:D2_core.Keymap.mode -> trial:int -> D2_core.Availability.replay
+
+val perf_pass :
+  Config.scale ->
+  mode:D2_core.Keymap.mode ->
+  nodes:int ->
+  bandwidth:float ->
+  D2_core.Perf.pass
+
+val balance_result :
+  Config.scale ->
+  trace:[ `Harvard | `Webcache ] ->
+  setup:D2_core.Balance_sim.setup ->
+  D2_core.Balance_sim.result
+
+val all_modes : D2_core.Keymap.mode list
+(** Traditional, Traditional_file, D2 — comparison order used in the
+    tables. *)

@@ -1,0 +1,35 @@
+(* Table 1: the workloads analyzed — duration, access counts, active
+   data.  Ours are synthetic equivalents (DESIGN.md §2), so this table
+   doubles as the record of their actual sizes at each scale. *)
+
+module Op = D2_trace.Op
+module Report = D2_util.Report
+
+let describe (t : Op.t) =
+  let mb = float_of_int (Op.total_initial_bytes t) /. 1.0e6 in
+  [
+    t.Op.name;
+    Printf.sprintf "%.1f days" (t.Op.duration /. 86400.0);
+    string_of_int (Array.length t.Op.ops);
+    Printf.sprintf "%.0f MB" mb;
+    string_of_int t.Op.users;
+  ]
+
+let run scale =
+  let r =
+    Report.create ~title:"Table 1: workloads analyzed (synthetic equivalents)"
+      ~columns:[ "workload"; "duration"; "accesses"; "active data"; "users" ]
+  in
+  Report.add_row r (describe (Data.harvard scale));
+  Report.add_row r (describe (Data.hp scale));
+  Report.add_row r (describe (Data.web scale));
+  let wc = Data.webcache scale in
+  Report.add_row r
+    [
+      wc.Op.name;
+      Printf.sprintf "%.1f days" (wc.Op.duration /. 86400.0);
+      string_of_int (Array.length wc.Op.ops);
+      "(starts empty)";
+      string_of_int wc.Op.users;
+    ];
+  [ r ]

@@ -1,0 +1,3 @@
+(** Table 1: the workloads analyzed — our synthetic equivalents' sizes. *)
+
+val run : Config.scale -> D2_util.Report.t list

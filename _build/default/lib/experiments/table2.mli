@@ -1,0 +1,3 @@
+(** Table 2: mean blocks, files and nodes accessed per task (§8.2). *)
+
+val run : Config.scale -> D2_util.Report.t list

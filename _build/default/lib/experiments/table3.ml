@@ -1,0 +1,35 @@
+(* Table 3: daily data churn — bytes written (W_i) and removed (R_i)
+   relative to the bytes present at the start of each day (T_i), for
+   the Harvard and Webcache workloads (§10). *)
+
+module Report = D2_util.Report
+module Balance_sim = D2_core.Balance_sim
+
+let ratio w t = if t <= 0.0 then "-" else Report.fmt_float ~decimals:2 (w /. t)
+
+let rows r name (res : Balance_sim.result) =
+  let ndays = Array.length res.Balance_sim.daily_written_mb in
+  let row label get =
+    Report.add_row r
+      (label :: List.init ndays (fun d -> get d))
+  in
+  row (name ^ " W/T") (fun d ->
+      ratio res.Balance_sim.daily_written_mb.(d) res.Balance_sim.total_at_day_start_mb.(d));
+  row (name ^ " R/T") (fun d ->
+      ratio res.Balance_sim.daily_removed_mb.(d) res.Balance_sim.total_at_day_start_mb.(d))
+
+let run scale =
+  let harvard = Suites.balance_result scale ~trace:`Harvard ~setup:Balance_sim.D2 in
+  let webcache = Suites.balance_result scale ~trace:`Webcache ~setup:Balance_sim.D2 in
+  let ndays =
+    max
+      (Array.length harvard.Balance_sim.daily_written_mb)
+      (Array.length webcache.Balance_sim.daily_written_mb)
+  in
+  let r =
+    Report.create ~title:"Table 3: daily churn ratios W_i/T_i and R_i/T_i"
+      ~columns:("workload" :: List.init ndays (fun d -> Printf.sprintf "day %d" (d + 1)))
+  in
+  rows r "Harvard" harvard;
+  rows r "Webcache" webcache;
+  [ r ]

@@ -1,0 +1,3 @@
+(** Table 3: daily churn ratios W_i/T_i and R_i/T_i (§10). *)
+
+val run : Config.scale -> D2_util.Report.t list

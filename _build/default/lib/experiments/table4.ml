@@ -1,0 +1,40 @@
+(* Table 4: mean write traffic W_i vs load-balancing (migration)
+   traffic L_i per day (§10).  With pointers, Harvard's migration
+   traffic is a fraction of its write traffic. *)
+
+module Report = D2_util.Report
+module Balance_sim = D2_core.Balance_sim
+
+let rows r name (res : Balance_sim.result) =
+  let ndays = Array.length res.Balance_sim.daily_written_mb in
+  let total arr = Array.fold_left ( +. ) 0.0 arr in
+  let row label arr =
+    Report.add_row r
+      ((name ^ " " ^ label)
+      :: (List.init ndays (fun d -> Report.fmt_float ~decimals:1 arr.(d))
+         @ [ Report.fmt_float ~decimals:1 (total arr) ]))
+  in
+  row "W (MB)" res.Balance_sim.daily_written_mb;
+  row "L (MB)" res.Balance_sim.daily_migrated_mb;
+  let tw = total res.Balance_sim.daily_written_mb in
+  let tl = total res.Balance_sim.daily_migrated_mb in
+  Report.add_row r
+    [ name ^ " L/W"; (if tw > 0.0 then Report.fmt_float ~decimals:2 (tl /. tw) else "-") ]
+
+let run scale =
+  let harvard = Suites.balance_result scale ~trace:`Harvard ~setup:Balance_sim.D2 in
+  let webcache = Suites.balance_result scale ~trace:`Webcache ~setup:Balance_sim.D2 in
+  let ndays =
+    max
+      (Array.length harvard.Balance_sim.daily_written_mb)
+      (Array.length webcache.Balance_sim.daily_written_mb)
+  in
+  let r =
+    Report.create ~title:"Table 4: daily write traffic vs load-balancing traffic"
+      ~columns:
+        ("workload"
+        :: (List.init ndays (fun d -> Printf.sprintf "day %d" (d + 1)) @ [ "total" ]))
+  in
+  rows r "Harvard" harvard;
+  rows r "Webcache" webcache;
+  [ r ]

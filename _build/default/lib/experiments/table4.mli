@@ -1,0 +1,3 @@
+(** Table 4: daily write traffic vs load-balancing traffic (§10). *)
+
+val run : Config.scale -> D2_util.Report.t list

@@ -1,0 +1,1 @@
+lib/fs/fs.ml: Array Buffer Bytes D2_cache D2_keyspace D2_simnet D2_store Hashtbl Int32 Int64 Layout List Printf String

@@ -1,0 +1,1 @@
+lib/fs/fs.mli: D2_keyspace D2_store

@@ -1,0 +1,1 @@
+lib/fs/layout.ml: Buffer Char D2_keyspace List Printf String

@@ -1,0 +1,1 @@
+lib/fs/layout.mli: D2_keyspace

@@ -1,0 +1,205 @@
+module Key = D2_keyspace.Key
+module Hashing = D2_keyspace.Hashing
+
+let max_block_bytes = 8192
+let inline_threshold = 512
+
+type entry_kind = Dir | File
+
+type dir_entry = {
+  name : string;
+  slot : int;
+  kind : entry_kind;
+  child_key : Key.t;
+  child_hash : string;
+}
+
+type dir_block = {
+  dir_slots : int list;
+  dir_generation : int;
+  reserved_slots : int list;
+  entries : dir_entry list;
+}
+
+type inode_block = { size : int; generation : int; contents : file_contents }
+
+and file_contents = Inline of string | Blocks of (Key.t * string) list
+
+type root_block = {
+  volume : string;
+  root_dir_key : Key.t;
+  root_dir_hash : string;
+  root_version : int;
+  signature : string;
+}
+
+type block =
+  | Root of root_block
+  | Directory of dir_block
+  | Inode of inode_block
+  | Data of string
+
+(* {1 Codec}
+
+   Length-prefixed binary encoding.  Integers are big-endian; strings
+   are u32-length-prefixed.  The first byte tags the block type. *)
+
+let put_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xff))
+
+let put_u16 buf v =
+  put_u8 buf (v lsr 8);
+  put_u8 buf v
+
+let put_u32 buf v =
+  put_u16 buf (v lsr 16);
+  put_u16 buf v
+
+let put_str buf s =
+  put_u32 buf (String.length s);
+  Buffer.add_string buf s
+
+type reader = { src : string; mutable pos : int }
+
+let fail () = invalid_arg "Layout.decode: malformed block"
+
+let get_u8 r =
+  if r.pos >= String.length r.src then fail ();
+  let v = Char.code r.src.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let get_u16 r =
+  let a = get_u8 r in
+  (a lsl 8) lor get_u8 r
+
+let get_u32 r =
+  let a = get_u16 r in
+  (a lsl 16) lor get_u16 r
+
+let get_str r =
+  let n = get_u32 r in
+  if r.pos + n > String.length r.src then fail ();
+  let s = String.sub r.src r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let get_key r =
+  let s = get_str r in
+  if String.length s <> Key.size then fail ();
+  Key.of_string s
+
+let content_hash s = Hashing.bytes 16 ("block:" ^ s)
+
+let sign_root ~volume ~root_dir_key ~root_dir_hash ~version =
+  Hashing.bytes 16
+    (Printf.sprintf "root|%s|%s|%s|%d" volume
+       (Key.to_string root_dir_key)
+       root_dir_hash version)
+
+let verify_root rb =
+  String.equal rb.signature
+    (sign_root ~volume:rb.volume ~root_dir_key:rb.root_dir_key
+       ~root_dir_hash:rb.root_dir_hash ~version:rb.root_version)
+
+let encode block =
+  let buf = Buffer.create 256 in
+  (match block with
+  | Root rb ->
+      put_u8 buf 0;
+      put_str buf rb.volume;
+      put_str buf (Key.to_string rb.root_dir_key);
+      put_str buf rb.root_dir_hash;
+      put_u32 buf rb.root_version;
+      put_str buf rb.signature
+  | Directory db ->
+      put_u8 buf 1;
+      put_u16 buf (List.length db.dir_slots);
+      List.iter (put_u16 buf) db.dir_slots;
+      put_u32 buf db.dir_generation;
+      put_u32 buf (List.length db.reserved_slots);
+      List.iter (put_u16 buf) db.reserved_slots;
+      put_u32 buf (List.length db.entries);
+      List.iter
+        (fun e ->
+          put_str buf e.name;
+          put_u16 buf e.slot;
+          put_u8 buf (match e.kind with Dir -> 0 | File -> 1);
+          put_str buf (Key.to_string e.child_key);
+          put_str buf e.child_hash)
+        db.entries
+  | Inode ib ->
+      put_u8 buf 2;
+      put_u32 buf ib.size;
+      put_u32 buf ib.generation;
+      (match ib.contents with
+      | Inline s ->
+          put_u8 buf 0;
+          put_str buf s
+      | Blocks bs ->
+          put_u8 buf 1;
+          put_u32 buf (List.length bs);
+          List.iter
+            (fun (k, h) ->
+              put_str buf (Key.to_string k);
+              put_str buf h)
+            bs)
+  | Data s ->
+      put_u8 buf 3;
+      put_str buf s);
+  let s = Buffer.contents buf in
+  (match block with
+  | Data _ -> ()
+  | Root _ | Directory _ | Inode _ ->
+      if String.length s > max_block_bytes then
+        invalid_arg "Layout.encode: metadata block exceeds 8 KB");
+  s
+
+let decode s =
+  let r = { src = s; pos = 0 } in
+  let block =
+    match get_u8 r with
+    | 0 ->
+        let volume = get_str r in
+        let root_dir_key = get_key r in
+        let root_dir_hash = get_str r in
+        let root_version = get_u32 r in
+        let signature = get_str r in
+        Root { volume; root_dir_key; root_dir_hash; root_version; signature }
+    | 1 ->
+        let nslots = get_u16 r in
+        let dir_slots = List.init nslots (fun _ -> get_u16 r) in
+        let dir_generation = get_u32 r in
+        let nreserved = get_u32 r in
+        let reserved_slots = List.init nreserved (fun _ -> get_u16 r) in
+        let n = get_u32 r in
+        let entries =
+          List.init n (fun _ ->
+              let name = get_str r in
+              let slot = get_u16 r in
+              let kind = match get_u8 r with 0 -> Dir | 1 -> File | _ -> fail () in
+              let child_key = get_key r in
+              let child_hash = get_str r in
+              { name; slot; kind; child_key; child_hash })
+        in
+        Directory { dir_slots; dir_generation; reserved_slots; entries }
+    | 2 ->
+        let size = get_u32 r in
+        let generation = get_u32 r in
+        let contents =
+          match get_u8 r with
+          | 0 -> Inline (get_str r)
+          | 1 ->
+              let n = get_u32 r in
+              Blocks
+                (List.init n (fun _ ->
+                     let k = get_key r in
+                     let h = get_str r in
+                     (k, h)))
+          | _ -> fail ()
+        in
+        Inode { size; generation; contents }
+    | 3 -> Data (get_str r)
+    | _ -> fail ()
+  in
+  if r.pos <> String.length s then fail ();
+  block

@@ -1,0 +1,79 @@
+(** On-DHT block formats of D2-FS (paper §3, Fig. 2).
+
+    Four block types: a mutable {e root block}, immutable {e directory}
+    blocks, {e inode} blocks and raw {e data} blocks.  Every pointer to
+    a child block carries the child's current DHT key and a content
+    hash, so signing (here: hashing) the root transitively
+    authenticates all metadata, and readers verify every block they
+    fetch.  Blocks serialize to a compact length-prefixed binary form;
+    all metadata blocks must fit in 8 KB ({!Op.block_size} in the trace
+    library; 8192 here). *)
+
+module Key = D2_keyspace.Key
+
+val max_block_bytes : int
+(** 8192. *)
+
+val inline_threshold : int
+(** Files up to this size (512 bytes) are stored inline in their
+    inode instead of in separate data blocks (§3, "when the amount of
+    file data ... is small enough"). *)
+
+type entry_kind = Dir | File
+
+type dir_entry = {
+  name : string;
+  slot : int;  (** the child's 2-byte slot in this directory (D2 keys) *)
+  kind : entry_kind;
+  child_key : Key.t;  (** current key of the child's metadata block *)
+  child_hash : string;  (** content hash of the child's metadata block *)
+}
+
+type dir_block = {
+  dir_slots : int list;  (** this directory's own slot path (its key-space home) *)
+  dir_generation : int;  (** bumped on every change; feeds key version hashes *)
+  reserved_slots : int list;
+  (** slots of children renamed away: a renamed object keeps its
+      original keys (§4.2), so its old slot must never be reassigned
+      here or a new child would collide with the live renamed object *)
+  entries : dir_entry list;
+}
+
+type inode_block = {
+  size : int;  (** file size in bytes *)
+  generation : int;  (** bumped on every overwrite; feeds key version hashes *)
+  contents : file_contents;
+}
+
+and file_contents =
+  | Inline of string
+  | Blocks of (Key.t * string) list  (** (data block key, content hash) per block *)
+
+type root_block = {
+  volume : string;  (** volume name *)
+  root_dir_key : Key.t;
+  root_dir_hash : string;
+  root_version : int;
+  signature : string;  (** hash chain standing in for the publisher signature *)
+}
+
+type block =
+  | Root of root_block
+  | Directory of dir_block
+  | Inode of inode_block
+  | Data of string
+
+val encode : block -> string
+(** @raise Invalid_argument if a metadata block exceeds
+    {!max_block_bytes}. *)
+
+val decode : string -> block
+(** @raise Invalid_argument on malformed input. *)
+
+val content_hash : string -> string
+(** 16-byte digest used for integrity pointers. *)
+
+val sign_root : volume:string -> root_dir_key:Key.t -> root_dir_hash:string -> version:int -> string
+(** The root "signature" (hash chain over the signed fields). *)
+
+val verify_root : root_block -> bool

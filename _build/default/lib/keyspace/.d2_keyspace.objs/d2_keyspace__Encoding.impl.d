@@ -1,0 +1,1 @@
+lib/keyspace/encoding.ml: Array Bytes Char Hashing Int32 Int64 Key List String

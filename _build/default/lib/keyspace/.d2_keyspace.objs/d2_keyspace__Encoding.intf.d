@@ -1,0 +1,1 @@
+lib/keyspace/encoding.mli: Key

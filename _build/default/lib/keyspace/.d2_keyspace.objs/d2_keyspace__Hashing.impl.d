@@ -1,0 +1,1 @@
+lib/keyspace/hashing.ml: Buffer Char Digest Int32 Int64 Key String

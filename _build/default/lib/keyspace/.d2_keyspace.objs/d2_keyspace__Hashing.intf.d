@@ -1,0 +1,1 @@
+lib/keyspace/hashing.mli: Key

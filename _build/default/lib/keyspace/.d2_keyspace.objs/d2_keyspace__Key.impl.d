@@ -1,0 +1,1 @@
+lib/keyspace/key.ml: Buffer Bytes Char D2_util Format Printf String

@@ -1,0 +1,1 @@
+lib/keyspace/key.mli: D2_util Format

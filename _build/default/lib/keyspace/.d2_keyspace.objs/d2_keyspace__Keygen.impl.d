@@ -1,0 +1,1 @@
+lib/keyspace/keygen.ml: Bytes Char Encoding Hashing Int32 Int64 Key Printf

@@ -1,0 +1,1 @@
+lib/keyspace/keygen.mli: Key

@@ -1,0 +1,81 @@
+type t = string
+
+let size = 64
+
+let of_string s =
+  if String.length s <> size then
+    invalid_arg
+      (Printf.sprintf "Key.of_string: expected %d bytes, got %d" size
+         (String.length s));
+  s
+
+let to_string t = t
+let compare = String.compare
+let equal = String.equal
+
+let zero = String.make size '\000'
+let max_key = String.make size '\255'
+
+let succ t =
+  let b = Bytes.of_string t in
+  let rec carry i =
+    if i < 0 then () (* wrapped: all bytes were 0xff, result is all zero *)
+    else begin
+      let v = Char.code (Bytes.get b i) in
+      if v = 0xff then begin
+        Bytes.set b i '\000';
+        carry (i - 1)
+      end
+      else Bytes.set b i (Char.chr (v + 1))
+    end
+  in
+  carry (size - 1);
+  Bytes.unsafe_to_string b
+
+let pred t =
+  let b = Bytes.of_string t in
+  let rec borrow i =
+    if i < 0 then () (* wrapped: all bytes were 0, result is all 0xff *)
+    else begin
+      let v = Char.code (Bytes.get b i) in
+      if v = 0 then begin
+        Bytes.set b i '\255';
+        borrow (i - 1)
+      end
+      else Bytes.set b i (Char.chr (v - 1))
+    end
+  in
+  borrow (size - 1);
+  Bytes.unsafe_to_string b
+
+let in_interval k ~lo ~hi =
+  let c = compare lo hi in
+  if c = 0 then true
+  else if c < 0 then compare lo k < 0 && compare k hi <= 0
+  else compare lo k < 0 || compare k hi <= 0
+
+let random rng =
+  let b = Bytes.create size in
+  D2_util.Rng.bits rng b;
+  Bytes.unsafe_to_string b
+
+let to_hex t =
+  let buf = Buffer.create (2 * size) in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) t;
+  Buffer.contents buf
+
+let of_hex s =
+  if String.length s <> 2 * size then invalid_arg "Key.of_hex: wrong length";
+  let digit c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> invalid_arg "Key.of_hex: bad digit"
+  in
+  String.init size (fun i ->
+      Char.chr ((digit s.[2 * i] * 16) + digit s.[(2 * i) + 1]))
+
+let short_hex t = String.sub (to_hex t) 0 8
+
+let pp fmt t = Format.pp_print_string fmt (short_hex t)

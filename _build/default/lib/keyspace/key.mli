@@ -1,0 +1,50 @@
+(** 64-byte DHT keys.
+
+    D2 keys (paper §4.2, Fig. 4) are 64-byte strings compared
+    lexicographically; the key space is a ring, so interval tests wrap
+    around the maximum key.  Node IDs live in the same space. *)
+
+type t
+
+val size : int
+(** Always 64. *)
+
+val of_string : string -> t
+(** @raise Invalid_argument if the string is not exactly [size] bytes. *)
+
+val to_string : t -> string
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val zero : t
+(** All-zero key: the smallest point of the ring. *)
+
+val max_key : t
+(** All-0xff key: the largest point of the ring. *)
+
+val succ : t -> t
+(** Next key on the ring ([max_key] wraps to [zero]). *)
+
+val pred : t -> t
+(** Previous key on the ring ([zero] wraps to [max_key]). *)
+
+val in_interval : t -> lo:t -> hi:t -> bool
+(** [in_interval k ~lo ~hi] is membership of [k] in the half-open ring
+    interval [(lo, hi]].  When [lo = hi] the interval is the full ring
+    (a single node owns everything).  This is exactly the "successor
+    owns the key" rule of consistent hashing. *)
+
+val random : D2_util.Rng.t -> t
+(** Uniformly random key — models a content-hash key in the
+    traditional configuration. *)
+
+val of_hex : string -> t
+(** @raise Invalid_argument on malformed input. *)
+
+val to_hex : t -> string
+
+val short_hex : t -> string
+(** First 8 hex digits, for logs. *)
+
+val pp : Format.formatter -> t -> unit

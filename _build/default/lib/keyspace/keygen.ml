@@ -1,0 +1,22 @@
+let traditional_block ~volume ~path ~block ~version =
+  Hashing.uniform_key
+    (Printf.sprintf "tb|%s|%s|%Ld|%ld" volume path block version)
+
+let traditional_file ~volume ~path ~block ~version =
+  let prefix = Hashing.bytes 52 (Printf.sprintf "tf|%s|%s" volume path) in
+  let b = Bytes.make Key.size '\000' in
+  Bytes.blit_string prefix 0 b 0 52;
+  for i = 0 to 7 do
+    let shift = 8 * (7 - i) in
+    Bytes.set b (52 + i)
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical block shift) 0xFFL)))
+  done;
+  for i = 0 to 3 do
+    let shift = 8 * (3 - i) in
+    Bytes.set b (60 + i)
+      (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical version shift) 0xFFl)))
+  done;
+  Key.of_string (Bytes.unsafe_to_string b)
+
+let d2 ~volume ~slots ~block ~version =
+  Encoding.of_slot_path ~volume ~slots ~block ~version

@@ -1,0 +1,24 @@
+(** Key construction policies for the three system configurations the
+    paper compares (§7, §8.1).
+
+    - {e traditional}: every block gets an independent (content-hash)
+      key, so consistent hashing scatters the blocks of one file over
+      many nodes.
+    - {e traditional-file}: all blocks of a file share a hashed
+      per-file prefix and differ only in the trailing block number, so
+      the whole file lands on one node, but files are scattered.
+    - {e D2}: the locality-preserving encoding of {!Encoding}. *)
+
+val traditional_block :
+  volume:string -> path:string -> block:int64 -> version:int32 -> Key.t
+(** Independent pseudo-content-hash key per (path, block, version). *)
+
+val traditional_file :
+  volume:string -> path:string -> block:int64 -> version:int32 -> Key.t
+(** 52-byte hashed (volume, path) prefix, 8-byte block number, 4-byte
+    version — every block of the file maps to the same ring point and
+    hence the same successor node. *)
+
+val d2 :
+  volume:string -> slots:int list -> block:int64 -> version:int32 -> Key.t
+(** Locality-preserving key (delegates to {!Encoding.of_slot_path}). *)

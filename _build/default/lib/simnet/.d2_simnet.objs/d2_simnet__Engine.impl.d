@@ -1,0 +1,1 @@
+lib/simnet/engine.ml: D2_util Printf

@@ -1,0 +1,1 @@
+lib/simnet/tcp.ml: Float

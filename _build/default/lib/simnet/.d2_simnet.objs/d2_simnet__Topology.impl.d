@@ -1,0 +1,1 @@
+lib/simnet/topology.ml: Array D2_util

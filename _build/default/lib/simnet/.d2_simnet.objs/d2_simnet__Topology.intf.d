@@ -1,0 +1,1 @@
+lib/simnet/topology.mli: D2_util

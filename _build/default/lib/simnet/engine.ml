@@ -1,0 +1,69 @@
+module Heap = D2_util.Heap
+
+type handle = { mutable cancelled : bool }
+
+type event = { time : float; seq : int; fn : unit -> unit; h : handle }
+
+type t = {
+  queue : event Heap.t;
+  mutable clock : float;
+  mutable next_seq : int;
+}
+
+let compare_events a b =
+  let c = compare a.time b.time in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create () =
+  { queue = Heap.create ~cmp:compare_events; clock = 0.0; next_seq = 0 }
+
+let now t = t.clock
+
+let schedule t ~at fn =
+  if at < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule: time %g is before now (%g)" at t.clock);
+  let h = { cancelled = false } in
+  Heap.push t.queue { time = at; seq = t.next_seq; fn; h };
+  t.next_seq <- t.next_seq + 1;
+  h
+
+let schedule_in t ~delay fn =
+  if delay < 0.0 then invalid_arg "Engine.schedule_in: negative delay";
+  schedule t ~at:(t.clock +. delay) fn
+
+let cancel h = h.cancelled <- true
+
+let pending t = Heap.length t.queue
+
+let run ?until t =
+  let continue = ref true in
+  while !continue do
+    match Heap.peek t.queue with
+    | None ->
+        (match until with Some u when u > t.clock -> t.clock <- u | _ -> ());
+        continue := false
+    | Some ev -> (
+        match until with
+        | Some u when ev.time > u ->
+            t.clock <- u;
+            continue := false
+        | _ ->
+            ignore (Heap.pop t.queue);
+            t.clock <- ev.time;
+            if not ev.h.cancelled then ev.fn ())
+  done
+
+let every t ~period ?until fn =
+  if period <= 0.0 then invalid_arg "Engine.every: period must be positive";
+  let rec tick () =
+    let next = now t +. period in
+    match until with
+    | Some u when next > u -> ()
+    | _ ->
+        ignore
+          (schedule t ~at:next (fun () ->
+               fn ();
+               tick ()))
+  in
+  tick ()

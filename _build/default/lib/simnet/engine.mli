@@ -1,0 +1,40 @@
+(** Deterministic discrete-event engine over virtual time.
+
+    This replaces the paper's libasync event loop and drives the
+    availability and load-balancing simulations: failures, repairs,
+    balancer probes, pointer stabilization and block migrations are all
+    events.  Time is in virtual seconds; events at equal times fire in
+    scheduling order, so runs are fully deterministic. *)
+
+type t
+
+type handle
+(** A scheduled event, usable for cancellation. *)
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time, in seconds. Starts at 0. *)
+
+val schedule : t -> at:float -> (unit -> unit) -> handle
+(** Fire a callback at an absolute time.
+    @raise Invalid_argument if [at] is in the past. *)
+
+val schedule_in : t -> delay:float -> (unit -> unit) -> handle
+(** Fire a callback [delay] seconds from now ([delay] ≥ 0). *)
+
+val cancel : handle -> unit
+(** Cancelled events are skipped when their time comes. Idempotent. *)
+
+val pending : t -> int
+(** Number of events still queued (including cancelled ones not yet
+    reaped). *)
+
+val run : ?until:float -> t -> unit
+(** Process events in time order.  With [until], stops once the clock
+    would pass it (the clock is then advanced exactly to [until]);
+    without, runs until the queue drains. *)
+
+val every : t -> period:float -> ?until:float -> (unit -> unit) -> unit
+(** Convenience: run a callback periodically starting one period from
+    now, stopping after [until] when given. *)

@@ -1,0 +1,56 @@
+module Rng = D2_util.Rng
+
+type t = {
+  n : int;
+  xs : float array;
+  ys : float array;
+  intra_rtt : float;
+  jitter : float array;  (** per-node last-mile latency component *)
+}
+
+let create ?(clusters = 8) ?(intra_rtt = 0.02) ?(spread = 0.28) ~rng ~n () =
+  if n <= 0 then invalid_arg "Topology.create: n must be positive";
+  if clusters <= 0 then invalid_arg "Topology.create: clusters must be positive";
+  let cx = Array.init clusters (fun _ -> Rng.float rng spread) in
+  let cy = Array.init clusters (fun _ -> Rng.float rng spread) in
+  let xs = Array.make n 0.0 and ys = Array.make n 0.0 in
+  let jitter = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let c = Rng.int rng clusters in
+    (* Nodes scatter around their site within ~intra_rtt of it. *)
+    xs.(i) <- cx.(c) +. Rng.normal rng ~mean:0.0 ~stddev:(intra_rtt /. 2.0);
+    ys.(i) <- cy.(c) +. Rng.normal rng ~mean:0.0 ~stddev:(intra_rtt /. 2.0);
+    jitter.(i) <- Rng.float rng (intra_rtt /. 2.0)
+  done;
+  { n; xs; ys; intra_rtt; jitter }
+
+let size t = t.n
+
+let rtt t i j =
+  if i < 0 || i >= t.n || j < 0 || j >= t.n then
+    invalid_arg "Topology.rtt: node index out of range";
+  if i = j then 0.0005
+  else begin
+    let dx = t.xs.(i) -. t.xs.(j) and dy = t.ys.(i) -. t.ys.(j) in
+    let dist = sqrt ((dx *. dx) +. (dy *. dy)) in
+    t.intra_rtt +. dist +. t.jitter.(i) +. t.jitter.(j)
+  end
+
+let mean_rtt t =
+  if t.n < 2 then 0.0
+  else begin
+    (* Sample a deterministic subset of pairs; exact mean for small n. *)
+    let acc = ref 0.0 and count = ref 0 in
+    let step = max 1 (t.n * (t.n - 1) / 2 / 20_000) in
+    let k = ref 0 in
+    for i = 0 to t.n - 1 do
+      for j = i + 1 to t.n - 1 do
+        if !k mod step = 0 then begin
+          acc := !acc +. rtt t i j;
+          incr count
+        end;
+        incr k
+      done
+    done;
+    !acc /. float_of_int !count
+  end

@@ -1,0 +1,33 @@
+(** Synthetic wide-area latency topology.
+
+    Stands in for the paper's Emulab topology derived from measured
+    latencies between thousands of DNS servers (§9.1): nodes are
+    embedded near a handful of geographic cluster centres on a 2-D
+    plane; RTT is the Euclidean centre distance plus intra-cluster
+    spread and jitter.  Parameters default to the paper's environment
+    (mean RTT ≈ 90 ms, §9.3). *)
+
+type t
+
+val create :
+  ?clusters:int ->
+  ?intra_rtt:float ->
+  ?spread:float ->
+  rng:D2_util.Rng.t ->
+  n:int ->
+  unit ->
+  t
+(** [create ~rng ~n ()] embeds [n] nodes.  [clusters] (default 8)
+    geographic sites; [intra_rtt] (default 0.02 s) typical same-site
+    RTT; [spread] (default 0.28 s) scales inter-site distance into
+    RTT. *)
+
+val size : t -> int
+
+val rtt : t -> int -> int -> float
+(** Round-trip time in seconds between two node indices; symmetric;
+    [rtt t i i] is a small loopback constant.
+    @raise Invalid_argument on out-of-range indices. *)
+
+val mean_rtt : t -> float
+(** Mean over sampled distinct pairs. *)

@@ -1,0 +1,1 @@
+lib/store/cluster.ml: Array D2_dht D2_keyspace D2_simnet Float Hashtbl List Logs Printf

@@ -1,0 +1,1 @@
+lib/store/cluster.mli: D2_dht D2_keyspace D2_simnet

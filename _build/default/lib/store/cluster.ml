@@ -1,0 +1,498 @@
+module Key = D2_keyspace.Key
+module Ring = D2_dht.Ring
+module Engine = D2_simnet.Engine
+
+let src = Logs.Src.create "d2.store" ~doc:"D2-Store block placement events"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type redundancy = Replication | Erasure of int
+
+type config = {
+  replicas : int;
+  redundancy : redundancy;
+  use_pointers : bool;
+  pointer_stabilization : float;
+  migration_bandwidth : float;
+  remove_delay : float;
+  hybrid_replicas : bool;
+}
+
+let default_config =
+  {
+    replicas = 3;
+    redundancy = Replication;
+    use_pointers = true;
+    pointer_stabilization = 3600.0;
+    migration_bandwidth = 750_000.0;
+    remove_delay = 30.0;
+    hybrid_replicas = false;
+  }
+
+(* How many live stored units a read needs, and how big one unit is.
+   Under replication every copy is the whole block; under [Erasure m]
+   each of the [replicas] units is a size/m fragment and any m of
+   them reconstruct the block (§3). *)
+let units_needed cfg = match cfg.redundancy with Replication -> 1 | Erasure m -> m
+
+let unit_size cfg size =
+  match cfg.redundancy with
+  | Replication -> size
+  | Erasure m -> (size + m - 1) / m
+
+type why = Migration | Regen
+
+type holder = { hnode : int; mutable physical : bool }
+
+type block = {
+  key : Key.t;
+  size : int;
+  mutable data : string option;
+  mutable holders : holder list;
+  mutable owner : int;  (* current primary, for load accounting *)
+  mutable expires : float;  (* infinity when stored without a TTL *)
+  mutable dead : bool;
+}
+
+type node = {
+  mutable up : bool;
+  held : (Key.t, block) Hashtbl.t;
+  mutable physical_bytes : int;
+  mutable primary_bytes : int;
+  mutable pointer_count : int;
+  mutable busy_until : float;  (* migration/regeneration link pacing *)
+}
+
+type node_stats = {
+  up : bool;
+  physical_bytes : int;
+  primary_bytes : int;
+  pointer_count : int;
+}
+
+type t = {
+  cfg : config;
+  engine : Engine.t;
+  ring : Ring.t;
+  nodes : node array;
+  index : (Key.t, block) Hashtbl.t;
+  mutable written : float;
+  mutable removed : float;
+  mutable migrated : float;
+  mutable regenerated : float;
+}
+
+let create ~engine ~config ~ids =
+  let n = Array.length ids in
+  if n = 0 then invalid_arg "Cluster.create: need at least one node";
+  let ring = Ring.create () in
+  Array.iteri (fun i id -> Ring.add ring ~id ~node:i) ids;
+  {
+    cfg = config;
+    engine;
+    ring;
+    nodes =
+      Array.init n (fun _ ->
+          {
+            up = true;
+            held = Hashtbl.create 64;
+            physical_bytes = 0;
+            primary_bytes = 0;
+            pointer_count = 0;
+            busy_until = 0.0;
+          });
+    index = Hashtbl.create 4096;
+    written = 0.0;
+    removed = 0.0;
+    migrated = 0.0;
+    regenerated = 0.0;
+  }
+
+let ring t = t.ring
+let engine t = t.engine
+let config t = t.cfg
+let node_count t = Array.length t.nodes
+
+let node_stats t i =
+  let n = t.nodes.(i) in
+  {
+    up = n.up;
+    physical_bytes = n.physical_bytes;
+    primary_bytes = n.primary_bytes;
+    pointer_count = n.pointer_count;
+  }
+
+let block_count t = Hashtbl.length t.index
+let is_up t ~node = t.nodes.(node).up
+let written_bytes t = t.written
+let removed_bytes t = t.removed
+let migration_bytes t = t.migrated
+let regeneration_bytes t = t.regenerated
+
+(* The first [want] *up* nodes clockwise of a key (down nodes are
+   skipped — that skip is what triggers regeneration onto farther
+   successors, and its reversal on recovery is what trims them). *)
+let up_successors t key want ~excluding =
+  let candidates =
+    Ring.successors t.ring key (min (Ring.size t.ring) ((want + 2) * 8))
+  in
+  let rec take acc count = function
+    | [] -> List.rev acc
+    | _ when count = want -> List.rev acc
+    | n :: rest ->
+        if t.nodes.(n).up && not (List.mem n excluding) then
+          take (n :: acc) (count + 1) rest
+        else take acc count rest
+  in
+  take [] 0 candidates
+
+(* The desired replica set of a key.  Normally the first [replicas] up
+   successors.  With [hybrid_replicas] (the paper's §11 future-work
+   direction), one replica is instead placed at the key's *hashed*
+   ring position: a consistent-hashing safety copy that survives
+   targeted takeover of a key-space region and spreads large-file read
+   load. *)
+let desired t key =
+  let r = t.cfg.replicas in
+  let chosen =
+    if t.cfg.hybrid_replicas && r > 1 then begin
+      let local = up_successors t key (r - 1) ~excluding:[] in
+      let hash_point = D2_keyspace.Hashing.uniform_key ("hybrid|" ^ Key.to_string key) in
+      match up_successors t hash_point 1 ~excluding:local with
+      | [ h ] -> local @ [ h ]
+      | _ ->
+          (* Hashed point collides with the locality set or no distinct
+             up node exists: fall back to one more locality successor. *)
+          up_successors t key r ~excluding:[]
+    end
+    else up_successors t key r ~excluding:[]
+  in
+  (* Pathological case: fewer than r nodes up — replicate on what we have. *)
+  if chosen = [] then
+    (match Ring.successors t.ring key 1 with [] -> [] | n :: _ -> [ n ])
+  else chosen
+
+let find_holder block n = List.find_opt (fun h -> h.hnode = n) block.holders
+
+let set_owner t block =
+  match desired t block.key with
+  | [] -> ()
+  | o :: _ ->
+      if o <> block.owner then begin
+        let u = unit_size t.cfg block.size in
+        t.nodes.(block.owner).primary_bytes <- t.nodes.(block.owner).primary_bytes - u;
+        t.nodes.(o).primary_bytes <- t.nodes.(o).primary_bytes + u;
+        block.owner <- o
+      end
+
+let drop_holder t block (h : holder) =
+  block.holders <- List.filter (fun x -> x != h) block.holders;
+  let node = t.nodes.(h.hnode) in
+  Hashtbl.remove node.held block.key;
+  if h.physical then node.physical_bytes <- node.physical_bytes - unit_size t.cfg block.size
+  else node.pointer_count <- node.pointer_count - 1
+
+(* Drop holders that are up and no longer desired, once every desired
+   holder physically has the bytes. *)
+let try_trim t block =
+  if not block.dead then begin
+    let des = desired t block.key in
+    let have_all =
+      List.for_all
+        (fun d -> match find_holder block d with Some h -> h.physical | None -> false)
+        des
+    in
+    if have_all then begin
+      let extras =
+        List.filter
+          (fun h -> t.nodes.(h.hnode).up && not (List.mem h.hnode des))
+          block.holders
+      in
+      List.iter (drop_holder t block) extras
+    end
+  end
+
+let account t why size =
+  match why with
+  | Migration -> t.migrated <- t.migrated +. float_of_int size
+  | Regen -> t.regenerated <- t.regenerated +. float_of_int size
+
+(* Second phase of a fetch: the bytes arrive after bandwidth pacing. *)
+let rec arrive t block n why =
+  match find_holder block n with
+  | None -> ()
+  | Some h when h.physical -> ()
+  | Some h ->
+      if block.dead then drop_holder t block h
+      else begin
+        let node = t.nodes.(n) in
+        h.physical <- true;
+        node.pointer_count <- node.pointer_count - 1;
+        node.physical_bytes <- node.physical_bytes + unit_size t.cfg block.size;
+        account t why (unit_size t.cfg block.size);
+        try_trim t block
+      end
+
+(* First phase: the pointer has stabilized; decide whether the fetch
+   is still needed, then pace it through the node's migration link. *)
+and fetch t block n why =
+  match find_holder block n with
+  | None -> ()
+  | Some h when h.physical -> ()
+  | Some h ->
+      if block.dead then drop_holder t block h
+      else if not (List.mem n (desired t block.key)) then
+        (* Desired set moved on while we waited: drop the pointer
+           without moving any data — the §6 double-move saving. *)
+        drop_holder t block h
+      else begin
+        let has_source =
+          List.length
+            (List.filter (fun x -> x.physical && t.nodes.(x.hnode).up) block.holders)
+          >= units_needed t.cfg
+        in
+        if not has_source then
+          (* No live copy to fetch from; retry after a delay. *)
+          ignore
+            (Engine.schedule_in t.engine ~delay:60.0 (fun () -> fetch t block n why))
+        else begin
+          let node = t.nodes.(n) in
+          let now = Engine.now t.engine in
+          let start = Float.max now node.busy_until in
+          let xfer =
+            float_of_int (unit_size t.cfg block.size * 8) /. t.cfg.migration_bandwidth
+          in
+          node.busy_until <- start +. xfer;
+          ignore
+            (Engine.schedule t.engine ~at:node.busy_until (fun () ->
+                 arrive t block n why))
+        end
+      end
+
+let ensure_holder t block n why =
+  if find_holder block n = None then begin
+    let h = { hnode = n; physical = false } in
+    block.holders <- h :: block.holders;
+    let node = t.nodes.(n) in
+    Hashtbl.replace node.held block.key block;
+    node.pointer_count <- node.pointer_count + 1;
+    let delay =
+      match why with
+      | Regen -> 0.0
+      | Migration -> if t.cfg.use_pointers then t.cfg.pointer_stabilization else 0.0
+    in
+    ignore (Engine.schedule_in t.engine ~delay (fun () -> fetch t block n why))
+  end
+
+let reconcile t block why =
+  if not block.dead then begin
+    set_owner t block;
+    let des = desired t block.key in
+    List.iter (fun n -> ensure_holder t block n why) des;
+    try_trim t block
+  end
+
+(* {1 Client operations} *)
+
+let delete_block t block =
+  if not block.dead then begin
+    block.dead <- true;
+    List.iter
+      (fun (h : holder) ->
+        let node = t.nodes.(h.hnode) in
+        Hashtbl.remove node.held block.key;
+        if h.physical then
+          node.physical_bytes <- node.physical_bytes - unit_size t.cfg block.size
+        else node.pointer_count <- node.pointer_count - 1)
+      block.holders;
+    block.holders <- [];
+    t.nodes.(block.owner).primary_bytes <-
+      t.nodes.(block.owner).primary_bytes - unit_size t.cfg block.size;
+    Hashtbl.remove t.index block.key;
+    t.removed <- t.removed +. float_of_int block.size
+  end
+
+(* Lazy TTL sweep: fires at the recorded expiry; if a refresh pushed
+   it out, re-arms instead of removing. *)
+let rec arm_expiry t block =
+  if block.expires < infinity then
+    ignore
+      (Engine.schedule t.engine ~at:(Float.max (Engine.now t.engine) block.expires)
+         (fun () ->
+           if not block.dead then begin
+             if Engine.now t.engine >= block.expires then delete_block t block
+             else arm_expiry t block
+           end))
+
+let put t ~key ~size ?data ?ttl () =
+  if size < 0 then invalid_arg "Cluster.put: negative size";
+  (match ttl with
+  | Some v when v <= 0.0 -> invalid_arg "Cluster.put: ttl must be positive"
+  | _ -> ());
+  (match Hashtbl.find_opt t.index key with
+  | Some old -> delete_block t old
+  | None -> ());
+  let des = desired t key in
+  let owner = match des with o :: _ -> o | [] -> invalid_arg "Cluster.put: empty ring" in
+  let expires =
+    match ttl with Some v -> Engine.now t.engine +. v | None -> infinity
+  in
+  let block = { key; size; data; holders = []; owner; expires; dead = false } in
+  List.iter
+    (fun n ->
+      block.holders <- { hnode = n; physical = true } :: block.holders;
+      let node = t.nodes.(n) in
+      Hashtbl.replace node.held key block;
+      node.physical_bytes <- node.physical_bytes + unit_size t.cfg size)
+    des;
+  t.nodes.(owner).primary_bytes <- t.nodes.(owner).primary_bytes + unit_size t.cfg size;
+  Hashtbl.replace t.index key block;
+  arm_expiry t block;
+  t.written <- t.written +. float_of_int size
+
+let refresh t ~key ~ttl =
+  if ttl <= 0.0 then invalid_arg "Cluster.refresh: ttl must be positive";
+  match Hashtbl.find_opt t.index key with
+  | Some b when (not b.dead) && b.expires < infinity ->
+      b.expires <- Engine.now t.engine +. ttl
+  | Some _ | None -> ()
+
+let get t ~key =
+  match Hashtbl.find_opt t.index key with
+  | Some b when not b.dead -> Some b.data
+  | Some _ | None -> None
+
+let mem t ~key =
+  match Hashtbl.find_opt t.index key with
+  | Some b -> not b.dead
+  | None -> false
+
+let remove t ~key ?delay () =
+  let delay = match delay with Some d -> d | None -> t.cfg.remove_delay in
+  match Hashtbl.find_opt t.index key with
+  | None -> ()
+  | Some block ->
+      ignore (Engine.schedule_in t.engine ~delay (fun () -> delete_block t block))
+
+let available t ~key =
+  match Hashtbl.find_opt t.index key with
+  | None -> false
+  | Some b ->
+      let live =
+        List.length (List.filter (fun h -> h.physical && t.nodes.(h.hnode).up) b.holders)
+      in
+      (not b.dead) && live >= units_needed t.cfg
+
+let owner_of t ~key =
+  match Hashtbl.find_opt t.index key with
+  | Some b when not b.dead -> Some b.owner
+  | Some _ | None -> None
+
+let physical_holders t ~key =
+  match Hashtbl.find_opt t.index key with
+  | None -> []
+  | Some b ->
+      List.filter_map (fun h -> if h.physical then Some h.hnode else None) b.holders
+
+(* {1 Membership events} *)
+
+let blocks_held t n =
+  Hashtbl.fold (fun _ b acc -> b :: acc) t.nodes.(n).held []
+
+let neighborhood_blocks t ~node =
+  (* Blocks whose replica window an ID change of [node] can affect:
+     those held by the node itself and by the r nodes clockwise of it. *)
+  let r = t.cfg.replicas in
+  let tbl = Hashtbl.create 256 in
+  let add_node_blocks i =
+    Hashtbl.iter (fun k b -> Hashtbl.replace tbl k b) t.nodes.(i).held
+  in
+  add_node_blocks node;
+  for k = 1 to min r (Ring.size t.ring - 1) do
+    add_node_blocks (Ring.nth_successor_of_node t.ring ~node k)
+  done;
+  tbl
+
+let change_id t ~node ~id =
+  let before = neighborhood_blocks t ~node in
+  Ring.change_id t.ring ~node ~id;
+  let after = neighborhood_blocks t ~node in
+  Hashtbl.iter (fun k b -> Hashtbl.replace before k b) after;
+  Hashtbl.iter (fun _ b -> reconcile t b Migration) before
+
+let fail t ~node =
+  let n = t.nodes.(node) in
+  if n.up then begin
+    n.up <- false;
+    Log.debug (fun m ->
+        m "t=%.0f node %d failed (%d bytes held); regenerating" (Engine.now t.engine)
+          node n.physical_bytes);
+    (* Regenerate under-replicated blocks onto farther successors. *)
+    List.iter (fun b -> reconcile t b Regen) (blocks_held t node)
+  end
+
+let recover t ~node =
+  let n = t.nodes.(node) in
+  if not n.up then begin
+    n.up <- true;
+    Log.debug (fun m -> m "t=%.0f node %d recovered" (Engine.now t.engine) node);
+    (* The node returns with its disk intact: re-desire its blocks and
+       trim the regenerated surplus. *)
+    List.iter (fun b -> reconcile t b Migration) (blocks_held t node)
+  end
+
+let median_primary_key t ~node =
+  let keys =
+    Hashtbl.fold
+      (fun _ b acc -> if b.owner = node && not b.dead then (b.key, b.size) :: acc else acc)
+      t.nodes.(node).held []
+  in
+  match keys with
+  | [] -> None
+  | _ ->
+      let sorted = List.sort (fun (a, _) (b, _) -> Key.compare a b) keys in
+      let total = List.fold_left (fun acc (_, s) -> acc + s) 0 sorted in
+      let rec walk acc = function
+        | [] -> None
+        | [ (k, _) ] -> Some k
+        | (k, s) :: rest ->
+            let acc = acc + s in
+            if 2 * acc >= total then Some k else walk acc rest
+      in
+      walk 0 sorted
+
+let check_invariants t =
+  Ring.check_invariants t.ring;
+  let phys = Array.make (Array.length t.nodes) 0 in
+  let prim = Array.make (Array.length t.nodes) 0 in
+  let ptrs = Array.make (Array.length t.nodes) 0 in
+  Hashtbl.iter
+    (fun key b ->
+      if b.dead then invalid_arg "Cluster.check_invariants: dead block in index";
+      if not (Key.equal key b.key) then
+        invalid_arg "Cluster.check_invariants: index key mismatch";
+      prim.(b.owner) <- prim.(b.owner) + unit_size t.cfg b.size;
+      List.iter
+        (fun (h : holder) ->
+          (match Hashtbl.find_opt t.nodes.(h.hnode).held key with
+          | Some b' when b' == b -> ()
+          | _ -> invalid_arg "Cluster.check_invariants: holder missing held entry");
+          if h.physical then phys.(h.hnode) <- phys.(h.hnode) + unit_size t.cfg b.size
+          else ptrs.(h.hnode) <- ptrs.(h.hnode) + 1)
+        b.holders)
+    t.index;
+  Array.iteri
+    (fun i (n : node) ->
+      if n.physical_bytes <> phys.(i) then
+        invalid_arg
+          (Printf.sprintf "Cluster.check_invariants: node %d physical bytes %d <> %d"
+             i n.physical_bytes phys.(i));
+      if n.primary_bytes <> prim.(i) then
+        invalid_arg
+          (Printf.sprintf "Cluster.check_invariants: node %d primary bytes %d <> %d"
+             i n.primary_bytes prim.(i));
+      if n.pointer_count <> ptrs.(i) then
+        invalid_arg
+          (Printf.sprintf "Cluster.check_invariants: node %d pointer count %d <> %d"
+             i n.pointer_count ptrs.(i)))
+    t.nodes

@@ -1,0 +1,151 @@
+(** D2-Store: the replicated block store over the DHT ring (paper §3,
+    §6).
+
+    Every block is replicated on the [replicas] immediate successors
+    of its key (the first is the primary).  When the load balancer
+    moves a node's ID, or a node fails or recovers, the desired
+    replica set of affected blocks changes; {e reconciliation} brings
+    physical placement back in line:
+
+    - a newly-desired holder first records a {e block pointer} and
+      fetches the bytes only after [pointer_stabilization] (1 h in the
+      paper) — if the desired set changes again before then, the
+      pointer is dropped without any data moving, which is exactly how
+      D2 avoids moving a block twice during cascaded load-balance
+      splits (§6, Fig. 6).  With [use_pointers = false] the fetch is
+      scheduled immediately (the ablation baseline);
+    - an old holder keeps its copy until every desired holder has the
+      bytes, then drops it;
+    - migration and regeneration fetches are paced by the per-node
+      [migration_bandwidth] (750 kbit/s in the paper's simulator).
+
+    Node failures mark copies unavailable; once a failed node's blocks
+    have fewer live copies than [replicas], regeneration fetches new
+    copies onto the following successors.  Recovery restores the
+    node's disk contents and trims the surplus.
+
+    All behaviour is driven by a {!D2_simnet.Engine} virtual clock, so
+    a whole simulated week runs in seconds, deterministically. *)
+
+module Key = D2_keyspace.Key
+
+type redundancy =
+  | Replication
+      (** whole-block copies: any single live copy serves a read (the
+          paper's evaluated design, §3) *)
+  | Erasure of int
+      (** [Erasure m]: the block is split into [replicas] coded
+          fragments of [size/m] bytes, any [m] of which reconstruct it
+          — the §3 alternative D2 deliberately did not evaluate;
+          storage per block is [replicas/m × size] instead of
+          [replicas × size] *)
+
+type config = {
+  replicas : int;
+  (** stored units per block: copies under {!Replication}, fragments
+      under {!Erasure}; paper uses 3 (availability) and 4 (perf) *)
+  redundancy : redundancy;
+  use_pointers : bool;
+  pointer_stabilization : float;  (** seconds; paper: 3600 *)
+  migration_bandwidth : float;  (** bits/s per node; paper: 750_000 *)
+  remove_delay : float;  (** seconds a remove is delayed; paper: 30 *)
+  hybrid_replicas : bool;
+  (** place one of the r replicas at the key's {e hashed} ring
+      position instead of the r-th successor — the paper's §11
+      future-work hybrid that defends the locality region against
+      targeted node placement and spreads large-file read load.
+      Default false (the paper's evaluated design). *)
+}
+
+val default_config : config
+
+type t
+
+type node_stats = {
+  up : bool;
+  physical_bytes : int;  (** bytes of data actually stored *)
+  primary_bytes : int;  (** bytes this node is primary owner of *)
+  pointer_count : int;  (** pointers not yet resolved to data *)
+}
+
+val create :
+  engine:D2_simnet.Engine.t -> config:config -> ids:Key.t array -> t
+(** One storage node per entry of [ids], all initially up. *)
+
+val ring : t -> D2_dht.Ring.t
+val engine : t -> D2_simnet.Engine.t
+val config : t -> config
+val node_count : t -> int
+val node_stats : t -> int -> node_stats
+val block_count : t -> int
+
+(** {1 Client operations} *)
+
+val put : t -> key:Key.t -> size:int -> ?data:string -> ?ttl:float -> unit -> unit
+(** Insert (or overwrite, same key) a block; it is written directly to
+    all current replica holders.  With [ttl], the block is
+    automatically removed [ttl] seconds after its last {!refresh}
+    (§3: removal can fail when nodes are partitioned, so blocks also
+    expire unless refreshed). *)
+
+val refresh : t -> key:Key.t -> ttl:float -> unit
+(** Extend a block's expiry to [ttl] seconds from now.  No effect on
+    blocks stored without a TTL or already removed. *)
+
+val get : t -> key:Key.t -> string option option
+(** [None] if no such live block; [Some data_opt] if present
+    (data_opt is [None] for metadata-free simulation blocks). *)
+
+val mem : t -> key:Key.t -> bool
+
+val remove : t -> key:Key.t -> ?delay:float -> unit -> unit
+(** Delete a block after [delay] (default [config.remove_delay]). *)
+
+val available : t -> key:Key.t -> bool
+(** True iff at least one up node physically holds the block — the
+    availability predicate of the §8 simulator. *)
+
+val owner_of : t -> key:Key.t -> int option
+(** Current primary owner of a live block (the node a reader contacts
+    first), or [None] if the block does not exist. *)
+
+val physical_holders : t -> key:Key.t -> int list
+(** Up-or-down nodes currently holding the bytes (for tests and for
+    the performance simulator's placement queries). *)
+
+(** {1 Membership events} *)
+
+val change_id : t -> node:int -> id:Key.t -> unit
+(** Load-balancer ID reassignment (leave + rejoin, §6). Affected
+    blocks are reconciled with pointers. *)
+
+val fail : t -> node:int -> unit
+(** Node crashes: its copies stop counting; regeneration of
+    under-replicated blocks starts immediately, paced by bandwidth. *)
+
+val recover : t -> node:int -> unit
+(** Node returns with its disk intact; surplus replicas are trimmed. *)
+
+val is_up : t -> node:int -> bool
+
+(** {1 Traffic accounting} *)
+
+val written_bytes : t -> float
+(** Cumulative user-written bytes (puts). *)
+
+val removed_bytes : t -> float
+(** Cumulative bytes of removed blocks. *)
+
+val migration_bytes : t -> float
+(** Cumulative bytes moved for load balancing (ID changes). *)
+
+val regeneration_bytes : t -> float
+(** Cumulative bytes moved to restore replication after failures. *)
+
+val median_primary_key : t -> node:int -> Key.t option
+(** Median key (by byte volume) among the blocks the node is primary
+    for — the split point a load-balancing joiner uses to take half of
+    the node's load (§6, Fig. 5). [None] when the node owns nothing. *)
+
+val check_invariants : t -> unit
+(** Verify holder/byte bookkeeping consistency (tests; O(blocks)). *)

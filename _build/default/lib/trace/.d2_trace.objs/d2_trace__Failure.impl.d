@@ -1,0 +1,1 @@
+lib/trace/failure.ml: Array D2_util Float

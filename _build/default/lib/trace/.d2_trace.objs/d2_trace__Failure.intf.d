@@ -1,0 +1,1 @@
+lib/trace/failure.mli: D2_util

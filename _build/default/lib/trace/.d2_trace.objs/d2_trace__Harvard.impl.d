@@ -1,0 +1,1 @@
+lib/trace/harvard.ml: Array D2_util Float List Namespace Op Printf

@@ -1,0 +1,1 @@
+lib/trace/harvard.mli: D2_util Op

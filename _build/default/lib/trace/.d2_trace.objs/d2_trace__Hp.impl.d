@@ -1,0 +1,1 @@
+lib/trace/hp.ml: Array D2_util Float Op Printf

@@ -1,0 +1,1 @@
+lib/trace/hp.mli: D2_util Op

@@ -1,0 +1,1 @@
+lib/trace/namespace.ml: Array D2_util List Op Printf

@@ -1,0 +1,1 @@
+lib/trace/namespace.mli: D2_util Op

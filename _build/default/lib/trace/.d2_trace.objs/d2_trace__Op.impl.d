@@ -1,0 +1,1 @@
+lib/trace/op.ml: Array Format Printf

@@ -1,0 +1,1 @@
+lib/trace/serialize.ml: Array Fun List Op Printf String

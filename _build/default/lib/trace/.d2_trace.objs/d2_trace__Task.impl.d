@@ -1,0 +1,1 @@
+lib/trace/task.ml: Array D2_util Hashtbl Op

@@ -1,0 +1,1 @@
+lib/trace/web.ml: Array D2_util Float List Op Printf String

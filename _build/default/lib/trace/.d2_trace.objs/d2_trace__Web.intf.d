@@ -1,0 +1,1 @@
+lib/trace/web.mli: D2_util Op

@@ -1,0 +1,1 @@
+lib/trace/webcache.ml: Array D2_util Hashtbl Op

@@ -1,0 +1,1 @@
+lib/trace/webcache.mli: Op

@@ -1,0 +1,96 @@
+module Rng = D2_util.Rng
+module Vec = D2_util.Vec
+
+type event = { time : float; node : int; up : bool }
+
+type t = { n : int; duration : float; events : event array }
+
+type params = {
+  mttf : float;
+  mttr : float;
+  correlated_events : int;
+  correlated_fraction : float;
+  correlated_outage : float;
+}
+
+let default_params =
+  {
+    mttf = 3.5 *. 86400.0;
+    mttr = 2.0 *. 3600.0;
+    correlated_events = 5;
+    correlated_fraction = 0.3;
+    correlated_outage = 2.5 *. 3600.0;
+  }
+
+let generate ~rng ~n ~duration ?(params = default_params) () =
+  if n <= 0 then invalid_arg "Failure.generate: n must be positive";
+  if duration <= 0.0 then invalid_arg "Failure.generate: duration must be positive";
+  let events = Vec.create () in
+  (* Independent per-node up/down renewal process. *)
+  for node = 0 to n - 1 do
+    let nrng = Rng.split rng in
+    let t = ref (Rng.exponential nrng ~mean:params.mttf) in
+    let up = ref false in
+    (* [up = false] means the next event is a failure (node currently up). *)
+    while !t < duration do
+      Vec.push events { time = !t; node; up = !up };
+      let dwell =
+        if !up then Rng.exponential nrng ~mean:params.mttf
+        else Rng.exponential nrng ~mean:params.mttr
+      in
+      up := not !up;
+      t := !t +. dwell
+    done
+  done;
+  (* Correlated mass-failure events.  Placed during working hours so
+     that the failure process overlaps the (diurnal) workload the way
+     the paper's high-failure PlanetLab week overlapped its trace. *)
+  let crng = Rng.split rng in
+  for _ = 1 to params.correlated_events do
+    let day = 86400.0 *. float_of_int (Rng.int crng (max 1 (int_of_float (duration /. 86400.0)))) in
+    let t = Float.min (duration *. 0.95) (day +. (8.0 *. 3600.0) +. Rng.float crng (10.0 *. 3600.0)) in
+    let count =
+      max 1 (int_of_float (params.correlated_fraction *. float_of_int n))
+    in
+    let victims = Array.init n (fun i -> i) in
+    Rng.shuffle crng victims;
+    for i = 0 to count - 1 do
+      let node = victims.(i) in
+      let outage = Rng.exponential crng ~mean:params.correlated_outage in
+      let recover = min (t +. max 300.0 outage) duration in
+      Vec.push events { time = t; node; up = false };
+      if recover < duration then Vec.push events { time = recover; node; up = true }
+    done
+  done;
+  Vec.sort events ~cmp:(fun a b -> compare a.time b.time);
+  (* Normalize: drop events that do not change the node's state (the
+     independent process and correlated events can overlap). *)
+  let state = Array.make n true in
+  let cleaned = Vec.create () in
+  Vec.iter
+    (fun e ->
+      if state.(e.node) <> e.up then begin
+        state.(e.node) <- e.up;
+        Vec.push cleaned e
+      end)
+    events;
+  { n; duration; events = Vec.to_array cleaned }
+
+let up_fraction_at t time =
+  let state = Array.make t.n true in
+  Array.iter (fun e -> if e.time <= time then state.(e.node) <- e.up) t.events;
+  let up = Array.fold_left (fun acc s -> if s then acc + 1 else acc) 0 state in
+  float_of_int up /. float_of_int t.n
+
+let validate t =
+  let state = Array.make t.n true in
+  let prev = ref neg_infinity in
+  Array.iter
+    (fun e ->
+      if e.time < !prev then invalid_arg "Failure.validate: events out of order";
+      prev := e.time;
+      if e.node < 0 || e.node >= t.n then invalid_arg "Failure.validate: bad node";
+      if state.(e.node) = e.up then
+        invalid_arg "Failure.validate: event does not change state";
+      state.(e.node) <- e.up)
+    t.events

@@ -1,0 +1,40 @@
+(** Node failure trace generator (PlanetLab-like, §8.1).
+
+    The paper replays the observed failures of 247 PlanetLab nodes
+    during a week with a particularly large number of (correlated)
+    failures.  We synthesize an equivalent schedule: each node has an
+    independent exponential up/down process, and a few {e correlated
+    events} take down a sizable random subset simultaneously (the
+    unpredictable mass failures that dominate unavailability in
+    practice).  Default parameters are calibrated so that the chance a
+    group of 3 consecutive ring nodes is ever fully down during the
+    week is around 0.02 without regeneration — the number the paper
+    reports for its trace. *)
+
+type event = { time : float; node : int; up : bool }
+
+type t = {
+  n : int;
+  duration : float;
+  events : event array;  (** time-sorted; all nodes start up *)
+}
+
+type params = {
+  mttf : float;  (** mean time to failure, s; default 3.5 days *)
+  mttr : float;  (** mean time to repair, s; default 2 h *)
+  correlated_events : int;  (** default 5; placed in working hours *)
+  correlated_fraction : float;  (** nodes taken down per event; default 0.3 *)
+  correlated_outage : float;  (** mean outage length, s; default 2.5 h *)
+}
+
+val default_params : params
+
+val generate :
+  rng:D2_util.Rng.t -> n:int -> duration:float -> ?params:params -> unit -> t
+
+val up_fraction_at : t -> float -> float
+(** Fraction of nodes up at a given time (for reporting). *)
+
+val validate : t -> unit
+(** Checks ordering and up/down alternation per node.
+    @raise Invalid_argument on violation. *)

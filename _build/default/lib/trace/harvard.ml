@@ -1,0 +1,348 @@
+module Rng = D2_util.Rng
+module Vec = D2_util.Vec
+module Zipf = D2_util.Zipf
+
+type params = {
+  users : int;
+  days : float;
+  target_bytes : int;
+  reads_per_user_day : float;
+  daily_churn : float;
+}
+
+let default_params =
+  {
+    users = 83;
+    days = 7.0;
+    target_bytes = 256 * 1024 * 1024;
+    reads_per_user_day = 700.0;
+    daily_churn = 0.15;
+  }
+
+type dyn_file = {
+  id : int;
+  dir : int;
+  path : string;
+  created_at : float;  (** trace time the file first exists (0 for initial) *)
+  mutable cur_bytes : int;
+  mutable alive : bool;
+}
+
+type state = {
+  rng : Rng.t;
+  ns : Namespace.t;
+  files : dyn_file Vec.t;
+  dir_live : int Vec.t array;  (** live file indices per dir (may go stale) *)
+  owned_dirs : int array array;  (** per user, the directories they own *)
+  ops : Op.op Vec.t;
+  mutable next_file_id : int;
+  mutable temp_counter : int;
+}
+
+let hour = 3600.0
+let day = 24.0 *. hour
+
+let emit st ~time ~user ~(f : dyn_file) ~block ~kind ~bytes =
+  Vec.push st.ops
+    { Op.time; user; path = f.path; file = f.id; block; kind; bytes }
+
+let block_bytes total_bytes block =
+  let nblocks = Op.blocks_of_bytes total_bytes in
+  if block = nblocks - 1 then
+    let rem = total_bytes - (block * Op.block_size) in
+    if rem = 0 then Op.block_size else rem
+  else Op.block_size
+
+(* Pick a file that exists at trace time [now] in a directory.  The
+   per-user generation passes run one user's whole week at a time, so
+   the directory tables may already contain files another user only
+   creates later in trace time — [created_at] keeps every emitted read
+   consistent with replay order. *)
+let pick_live_file st ~now dir =
+  let vec = st.dir_live.(dir) in
+  let n = Vec.length vec in
+  if n = 0 then None
+  else begin
+    let rec try_pick attempts =
+      if attempts = 0 then None
+      else begin
+        let i = Rng.int st.rng n in
+        let fi = Vec.get vec i in
+        let f = Vec.get st.files fi in
+        if f.alive && f.created_at <= now then Some f else try_pick (attempts - 1)
+      end
+    in
+    try_pick 8
+  end
+
+let create_file st ~now ~dir ~bytes ~temp =
+  let dir_path = st.ns.Namespace.dirs.(dir) in
+  let name =
+    if temp then begin
+      st.temp_counter <- st.temp_counter + 1;
+      Printf.sprintf "tmp%06d.t" st.temp_counter
+    end
+    else begin
+      st.temp_counter <- st.temp_counter + 1;
+      Printf.sprintf "n%06d.dat" st.temp_counter
+    end
+  in
+  let f =
+    {
+      id = st.next_file_id;
+      dir;
+      path = dir_path ^ "/" ^ name;
+      created_at = now;
+      cur_bytes = bytes;
+      alive = true;
+    }
+  in
+  st.next_file_id <- st.next_file_id + 1;
+  Vec.push st.files f;
+  Vec.push st.dir_live.(dir) (Vec.length st.files - 1);
+  f
+
+(* Read some or all blocks of a file; returns the time after the last op. *)
+let read_file st ~time ~user (f : dyn_file) =
+  let nblocks = Op.blocks_of_bytes f.cur_bytes in
+  let full = Rng.float st.rng 1.0 < 0.7 in
+  let first, last =
+    if full || nblocks <= 2 then (0, nblocks - 1)
+    else begin
+      let a = Rng.int st.rng nblocks in
+      let len = 1 + Rng.int st.rng (nblocks - a) in
+      (a, a + len - 1)
+    end
+  in
+  let t = ref time in
+  for b = first to last do
+    emit st ~time:!t ~user ~f ~block:b ~kind:Op.Read
+      ~bytes:(block_bytes f.cur_bytes b);
+    t := !t +. 0.02 +. Rng.float st.rng 0.15
+  done;
+  !t
+
+(* Write every block of a file (overwrite or create). Returns end time
+   and bytes written. *)
+let write_file st ~time ~user (f : dyn_file) ~kind =
+  let nblocks = Op.blocks_of_bytes f.cur_bytes in
+  let t = ref time in
+  let written = ref 0 in
+  for b = 0 to nblocks - 1 do
+    let bytes = block_bytes f.cur_bytes b in
+    emit st ~time:!t ~user ~f ~block:b ~kind ~bytes;
+    written := !written + bytes;
+    t := !t +. 0.01 +. Rng.float st.rng 0.05
+  done;
+  (!t, !written)
+
+let delete_file st ~time ~user (f : dyn_file) =
+  f.alive <- false;
+  emit st ~time ~user ~f ~block:0 ~kind:Op.Delete ~bytes:f.cur_bytes
+
+(* One burst: a handful of related files from the working directory,
+   read with sub-second gaps.  Returns the end time. *)
+let burst st ~time ~user ~dir =
+  let nfiles = 6 + Rng.int st.rng 18 in
+  let t = ref time in
+  for _ = 1 to nfiles do
+    let target_dir =
+      (* Occasionally stray to a random directory the user can see. *)
+      if Rng.float st.rng 1.0 < 0.1 then
+        let ds = Namespace.dirs_for_user st.ns ~user in
+        ds.(Rng.int st.rng (Array.length ds))
+      else dir
+    in
+    (match pick_live_file st ~now:!t target_dir with
+    | Some f -> t := read_file st ~time:!t ~user f
+    | None -> ());
+    (* Gap between files within the burst: mostly < 1 s, with
+       occasional multi-second stalls so finer [inter] thresholds
+       split tasks differently (paper Table 2). *)
+    t := !t +. Rng.exponential st.rng ~mean:0.22;
+    if Rng.float st.rng 1.0 < 0.08 then t := !t +. 1.0 +. Rng.float st.rng 3.0
+  done;
+  !t
+
+(* A write episode sized to keep the day's churn on schedule.  Writes
+   and deletions stay inside the user's own directories: per-user
+   generation passes emit each user's week in one go, so mutating
+   shared directories here would reorder against other users' reads
+   in trace time. *)
+let write_episode st ~time ~user ~dir =
+  let dir =
+    if st.ns.Namespace.dir_owner.(dir) = user then dir
+    else begin
+      (* Redirect to a random directory the user owns. *)
+      let own = st.owned_dirs.(user) in
+      own.(Rng.int st.rng (Array.length own))
+    end
+  in
+  let t = ref time in
+  let written = ref 0 in
+  let removed = ref 0 in
+  let choice = Rng.float st.rng 1.0 in
+  if choice < 0.35 then begin
+    (* Overwrite an existing file in place.  Bulk data files are not
+       rewritten whole — that would blow the daily write budget in one
+       op; users overwrite documents and code, not archives. *)
+    match pick_live_file st ~now:!t dir with
+    | Some f when f.cur_bytes <= 2 * 1024 * 1024 ->
+        let t', w = write_file st ~time:!t ~user f ~kind:Op.Write in
+        t := t';
+        written := w
+    | Some _ | None -> ()
+  end
+  else if choice < 0.75 then begin
+    (* Temporary file: create now, delete within the same episode
+       (exercises D2-Store's delayed removal and keeps locality). *)
+    let bytes = 1024 + Rng.int st.rng (128 * 1024) in
+    let f = create_file st ~now:!t ~dir ~bytes ~temp:true in
+    let t', w = write_file st ~time:!t ~user f ~kind:Op.Create in
+    written := w;
+    let t' = t' +. 2.0 +. Rng.float st.rng 30.0 in
+    delete_file st ~time:t' ~user f;
+    removed := bytes;
+    t := t' +. 0.1
+  end
+  else begin
+    (* Persistent new file, balanced by deleting old files of roughly
+       the same total size so the data set stays in steady state. *)
+    let bytes = 4096 + Rng.int st.rng (512 * 1024) in
+    let f = create_file st ~now:!t ~dir ~bytes ~temp:false in
+    let t', w = write_file st ~time:!t ~user f ~kind:Op.Create in
+    t := t' +. 0.2;
+    written := w;
+    let attempts = ref 0 in
+    while !removed < w && !attempts < 6 do
+      incr attempts;
+      match pick_live_file st ~now:!t dir with
+      | Some victim when victim.id <> f.id ->
+          delete_file st ~time:!t ~user victim;
+          removed := !removed + victim.cur_bytes;
+          t := !t +. 0.1
+      | Some _ | None -> attempts := 6
+    done
+  end;
+  (!t, !written, !removed)
+
+let think_time rng =
+  let u = Rng.float rng 1.0 in
+  if u < 0.45 then 5.0 +. Rng.float rng 20.0
+  else if u < 0.80 then 25.0 +. Rng.float rng 85.0
+  else 120.0 +. Rng.float rng 360.0
+
+let generate ~rng ?(params = default_params) () =
+  if params.users <= 0 then invalid_arg "Harvard.generate: users must be positive";
+  if params.days <= 0.0 then invalid_arg "Harvard.generate: days must be positive";
+  let ns_rng = Rng.split rng in
+  let ns =
+    Namespace.generate ~rng:ns_rng ~users:params.users
+      ~target_bytes:params.target_bytes ()
+  in
+  let ndirs = Array.length ns.Namespace.dirs in
+  let owned_dirs =
+    Array.init params.users (fun user ->
+        let acc = ref [] in
+        Array.iteri
+          (fun d owner -> if owner = user then acc := d :: !acc)
+          ns.Namespace.dir_owner;
+        Array.of_list (List.rev !acc))
+  in
+  Array.iter
+    (fun own -> if Array.length own = 0 then invalid_arg "Harvard.generate: a user owns no directories")
+    owned_dirs;
+  let st =
+    {
+      rng;
+      ns;
+      files = Vec.create ();
+      dir_live = Array.init ndirs (fun _ -> Vec.create ());
+      owned_dirs;
+      ops = Vec.create ();
+      next_file_id = Array.length ns.Namespace.files;
+      temp_counter = 0;
+    }
+  in
+  Array.iteri
+    (fun i (info : Op.file_info) ->
+      let dir = ns.Namespace.file_dir.(i) in
+      Vec.push st.files
+        {
+          id = info.Op.file_id;
+          dir;
+          path = info.Op.file_path;
+          created_at = 0.0;
+          cur_bytes = info.Op.file_bytes;
+          alive = true;
+        };
+      Vec.push st.dir_live.(dir) i)
+    ns.Namespace.files;
+  let ndays = int_of_float (ceil params.days) in
+  let daily_write_budget_per_user =
+    params.daily_churn *. float_of_int params.target_bytes
+    /. float_of_int params.users
+  in
+  (* Per-user favourite-directory ordering: shuffle then zipf ranks. *)
+  for user = 0 to params.users - 1 do
+    let user_rng = Rng.split rng in
+    let dirs = Namespace.dirs_for_user st.ns ~user in
+    Rng.shuffle user_rng dirs;
+    let dir_zipf = Zipf.create ~n:(Array.length dirs) ~s:1.1 in
+    for d = 0 to ndays - 1 do
+      let day_start = float_of_int d *. day in
+      if day_start < params.days *. day then begin
+        let weekend = d mod 7 = 5 || d mod 7 = 6 in
+        let density = params.reads_per_user_day /. default_params.reads_per_user_day in
+        let activity = density *. if weekend then 0.25 else 1.0 in
+        let nsessions =
+          max 1 (int_of_float (activity *. float_of_int (1 + Rng.int user_rng 3)))
+        in
+        let write_budget = daily_write_budget_per_user *. activity in
+        for _ = 1 to nsessions do
+          let start = day_start +. (9.0 *. hour) +. Rng.float user_rng (9.0 *. hour) in
+          let session_len = (8.0 +. Rng.float user_rng 30.0) *. 60.0 in
+          let session_end = min (start +. session_len) (params.days *. day -. 1.0) in
+          let session_budget = write_budget /. float_of_int nsessions in
+          let written_session = ref 0 in
+          let t = ref start in
+          let bursts = ref 0 in
+          let current_dir = ref dirs.(Zipf.sample dir_zipf user_rng) in
+          while !t < session_end && !bursts < 14 do
+            incr bursts;
+            if Rng.float user_rng 1.0 < 0.3 then
+              current_dir := dirs.(Zipf.sample dir_zipf user_rng);
+            t := burst st ~time:!t ~user ~dir:!current_dir;
+            if float_of_int !written_session < session_budget
+               && Rng.float user_rng 1.0 < 0.6
+            then begin
+              let t', w, _r = write_episode st ~time:!t ~user ~dir:!current_dir in
+              t := t';
+              written_session := !written_session + w
+            end;
+            t := !t +. think_time user_rng
+          done
+        done
+      end
+    done
+  done;
+  Vec.sort st.ops ~cmp:(fun a b -> compare a.Op.time b.Op.time);
+  let ops = Vec.to_array st.ops in
+  (* A burst that started near the end of the last session may run a
+     little past the nominal horizon; extend the duration to cover it. *)
+  let duration =
+    let nominal = params.days *. day in
+    if Array.length ops = 0 then nominal
+    else Float.max nominal (ops.(Array.length ops - 1).Op.time +. 1.0)
+  in
+  let trace =
+    {
+      Op.name = "harvard";
+      duration;
+      users = params.users;
+      ops;
+      initial_files = ns.Namespace.files;
+    }
+  in
+  Op.validate trace;
+  trace

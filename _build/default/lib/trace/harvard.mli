@@ -1,0 +1,34 @@
+(** Harvard-like NFS workload generator.
+
+    Synthesizes a week of research + email NFS activity shaped like
+    the trace the paper evaluates on (Table 1, Harvard/EECS):
+
+    - ~83 users, each working in their own home tree plus shared
+      project trees;
+    - diurnal sessions (denser 9AM–6PM on weekdays), each a sequence
+      of {e bursts} — a user reads a handful of related files from one
+      working directory with sub-second gaps — separated by think
+      times of seconds to minutes (this is what makes the paper's task
+      segmentation at inter ∈ 1s..1min meaningful, §8.1);
+    - reads dominate; each day writes and removes roughly 10–20% of
+      the stored bytes (paper Table 3), as a mix of overwrites,
+      new files, short-lived temporary files, and deletions.
+      (File renames — 0.05% of ops in the paper, §4.2 — are exercised
+      at the D2-FS layer rather than in the block trace.)
+
+    Everything is deterministic in the seed.  [target_bytes] scales
+    the data set; the access density per user per day is fixed, so
+    total op counts scale with [users] and [days]. *)
+
+type params = {
+  users : int;  (** default 83 *)
+  days : float;  (** default 7.0 *)
+  target_bytes : int;  (** initial data set size; default 256 MB *)
+  reads_per_user_day : float;  (** mean block reads; default 700 *)
+  daily_churn : float;  (** fraction of stored bytes written per day; default 0.15 *)
+}
+
+val default_params : params
+
+val generate : rng:D2_util.Rng.t -> ?params:params -> unit -> Op.t
+(** Build the trace. The result passes {!Op.validate}. *)

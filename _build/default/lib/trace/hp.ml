@@ -1,0 +1,95 @@
+module Rng = D2_util.Rng
+module Vec = D2_util.Vec
+module Zipf = D2_util.Zipf
+
+type params = {
+  apps : int;
+  days : float;
+  disk_blocks : int;
+  runs_per_app_day : float;
+  write_fraction : float;
+}
+
+let default_params =
+  {
+    apps = 40;
+    days = 7.0;
+    disk_blocks = 131072;
+    runs_per_app_day = 120.0;
+    write_fraction = 0.3;
+  }
+
+let block_name b = Printf.sprintf "%012d" b
+
+let day = 86400.0
+
+let generate ~rng ?(params = default_params) () =
+  if params.apps <= 0 then invalid_arg "Hp.generate: apps must be positive";
+  if params.disk_blocks <= 0 then invalid_arg "Hp.generate: disk_blocks must be positive";
+  (* Carve the disk into allocation regions of a few MB each; an
+     application's working set is a handful of regions. *)
+  let region_blocks = 512 in
+  let nregions = max 1 (params.disk_blocks / region_blocks) in
+  let ops = Vec.create () in
+  for app = 0 to params.apps - 1 do
+    let app_rng = Rng.split rng in
+    (* Working set: 2–8 regions, zipf-weighted. *)
+    let nwork = 2 + Rng.int app_rng 7 in
+    let work = Array.init nwork (fun _ -> Rng.int app_rng nregions) in
+    let wz = Zipf.create ~n:nwork ~s:1.0 in
+    let total_runs =
+      int_of_float (params.runs_per_app_day *. params.days)
+    in
+    let t = ref (Rng.float app_rng 600.0) in
+    for _ = 1 to total_runs do
+      let region = work.(Zipf.sample wz app_rng) in
+      let base = region * region_blocks in
+      let run_len =
+        min region_blocks
+          (max 1 (int_of_float (Rng.pareto app_rng ~shape:1.4 ~scale:8.0)))
+      in
+      let start = base + Rng.int app_rng (max 1 (region_blocks - run_len)) in
+      let writing = Rng.float app_rng 1.0 < params.write_fraction in
+      for i = 0 to run_len - 1 do
+        let b = start + i in
+        Vec.push ops
+          {
+            Op.time = !t;
+            user = app;
+            path = block_name b;
+            file = region;
+            block = 0;
+            kind = (if writing then Op.Write else Op.Read);
+            bytes = Op.block_size;
+          };
+        t := !t +. 0.005 +. Rng.float app_rng 0.05
+      done;
+      (* Inter-run think time spreads runs across the day. *)
+      t := !t +. Rng.exponential app_rng ~mean:(params.days *. day /. float_of_int total_runs)
+    done
+  done;
+  Vec.sort ops ~cmp:(fun a b -> compare a.Op.time b.Op.time);
+  let arr = Vec.to_array ops in
+  let duration =
+    if Array.length arr = 0 then params.days *. day
+    else Float.max (params.days *. day) (arr.(Array.length arr - 1).Op.time +. 1.0)
+  in
+  let initial_files =
+    Array.init nregions (fun r ->
+        {
+          Op.file_id = r;
+          file_path = block_name (r * region_blocks);
+          file_bytes = region_blocks * Op.block_size;
+        })
+  in
+  let trace =
+    {
+      Op.name = "hp";
+      duration;
+      users = params.apps;
+      ops = arr;
+      initial_files;
+    }
+  in
+  Op.validate trace;
+  trace

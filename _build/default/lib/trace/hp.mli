@@ -1,0 +1,29 @@
+(** HP-like block-level disk trace generator.
+
+    The paper's HP trace (Table 1) records timestamped accesses to raw
+    disk block numbers from a multi-disk research server; file
+    boundaries are unknown, but blocks allocated together are adjacent
+    on disk, so block-number order is the "name" order (§4.1).  We
+    synthesize the same structure: applications (identified by pid)
+    work over a few contiguous allocation regions and access them in
+    sequential runs with heavy-tailed lengths.
+
+    In the resulting {!Op.t}, a block's [path] is its zero-padded disk
+    block number (so lexicographic order = disk order), and
+    [initial_files] describe the allocation regions so analyzers know
+    the stored-block universe. *)
+
+type params = {
+  apps : int;  (** concurrent applications (pids); default 40 *)
+  days : float;  (** default 7.0 *)
+  disk_blocks : int;  (** disk size in 8 KB blocks; default 131072 (1 GB) *)
+  runs_per_app_day : float;  (** mean sequential runs per app-day; default 120 *)
+  write_fraction : float;  (** fraction of runs that write; default 0.3 *)
+}
+
+val default_params : params
+
+val generate : rng:D2_util.Rng.t -> ?params:params -> unit -> Op.t
+
+val block_name : int -> string
+(** Zero-padded disk block number used as the block's [path]. *)

@@ -1,0 +1,173 @@
+module Rng = D2_util.Rng
+
+type t = {
+  dirs : string array;
+  dir_owner : int array;
+  dir_files : int list array;
+  dir_depth : int array;
+  files : Op.file_info array;
+  file_dir : int array;
+}
+
+type builder = {
+  rng : Rng.t;
+  mutable bdirs : (string * int * int) list;  (* path, owner, depth; reversed *)
+  mutable ndirs : int;
+  mutable bfiles : (Op.file_info * int) list;  (* info, dir index; reversed *)
+  mutable nfiles : int;
+  mutable bytes : int;
+  mean_file_bytes : int;
+}
+
+let max_file_bytes = 16 * 1024 * 1024
+
+let add_dir b path owner depth =
+  b.bdirs <- (path, owner, depth) :: b.bdirs;
+  let idx = b.ndirs in
+  b.ndirs <- b.ndirs + 1;
+  idx
+
+let sample_file_bytes b =
+  (* Pareto body with a floor of ~200 bytes; heavy tail capped at 64 MB
+     gives the >4-decades mean-to-max spread of the Harvard trace. *)
+  let shape = 1.25 in
+  let scale = float_of_int b.mean_file_bytes *. (shape -. 1.0) /. shape in
+  let v = Rng.pareto b.rng ~shape ~scale in
+  max 200 (min max_file_bytes (int_of_float v))
+
+let add_file b dir_idx dir_path name =
+  let bytes = sample_file_bytes b in
+  let info =
+    {
+      Op.file_id = b.nfiles;
+      file_path = dir_path ^ "/" ^ name;
+      file_bytes = bytes;
+    }
+  in
+  b.bfiles <- (info, dir_idx) :: b.bfiles;
+  b.nfiles <- b.nfiles + 1;
+  b.bytes <- b.bytes + bytes
+
+(* Grow a subtree under [path] until [budget] bytes of files exist in it. *)
+let rec grow_tree b ~path ~owner ~depth ~budget =
+  let dir_idx = add_dir b path owner depth in
+  let nfiles = 5 + Rng.int b.rng 20 in
+  let spent = ref 0 in
+  for i = 0 to nfiles - 1 do
+    if !spent < budget then begin
+      let before = b.bytes in
+      add_file b dir_idx path (Printf.sprintf "f%03d.dat" i);
+      spent := !spent + (b.bytes - before)
+    end
+  done;
+  let remaining = budget - !spent in
+  if remaining > 0 && depth < 7 then begin
+    let nsub = 1 + Rng.int b.rng 4 in
+    let per_sub = remaining / nsub in
+    for i = 0 to nsub - 1 do
+      if per_sub > b.mean_file_bytes then
+        grow_tree b
+          ~path:(Printf.sprintf "%s/d%02d" path i)
+          ~owner ~depth:(depth + 1) ~budget:per_sub
+    done
+  end
+
+(* A pathological >12-level chain exercising remainder hashing. *)
+let grow_deep_chain b ~path ~owner ~budget =
+  let depth = 13 + Rng.int b.rng 4 in
+  let rec descend path level =
+    if level = depth then path
+    else begin
+      let sub = Printf.sprintf "%s/deep%02d" path level in
+      ignore (add_dir b sub owner level);
+      descend sub (level + 1)
+    end
+  in
+  let leaf = descend path 1 in
+  let leaf_idx = b.ndirs - 1 in
+  let spent = ref 0 in
+  let i = ref 0 in
+  while !spent < budget do
+    let before = b.bytes in
+    add_file b leaf_idx leaf (Printf.sprintf "g%03d.dat" !i);
+    spent := !spent + (b.bytes - before);
+    incr i
+  done
+
+let generate ~rng ~users ~target_bytes ?(shared_fraction = 0.25)
+    ?(mean_file_bytes = 48 * 1024) ?(deep_path_fraction = 0.005) () =
+  if users <= 0 then invalid_arg "Namespace.generate: users must be positive";
+  if target_bytes <= 0 then invalid_arg "Namespace.generate: target_bytes must be positive";
+  let b =
+    {
+      rng;
+      bdirs = [];
+      ndirs = 0;
+      bfiles = [];
+      nfiles = 0;
+      bytes = 0;
+      mean_file_bytes;
+    }
+  in
+  let shared_budget =
+    int_of_float (shared_fraction *. float_of_int target_bytes)
+  in
+  let deep_budget =
+    int_of_float (deep_path_fraction *. float_of_int target_bytes)
+  in
+  let user_budget = (target_bytes - shared_budget - deep_budget) / users in
+  for u = 0 to users - 1 do
+    grow_tree b
+      ~path:(Printf.sprintf "/home/u%03d" u)
+      ~owner:u ~depth:1 ~budget:user_budget
+  done;
+  let nproj = max 2 (users / 10) in
+  for p = 0 to nproj - 1 do
+    grow_tree b
+      ~path:(Printf.sprintf "/proj/p%02d" p)
+      ~owner:(-1) ~depth:1
+      ~budget:(shared_budget / nproj)
+  done;
+  if deep_budget > 0 then
+    grow_deep_chain b ~path:"/proj/deep" ~owner:(-1) ~budget:deep_budget;
+  let dirs_rev = Array.of_list b.bdirs in
+  let ndirs = Array.length dirs_rev in
+  let dirs = Array.make ndirs ""
+  and dir_owner = Array.make ndirs 0
+  and dir_depth = Array.make ndirs 0
+  and dir_files = Array.make ndirs [] in
+  Array.iteri
+    (fun i (path, owner, depth) ->
+      let j = ndirs - 1 - i in
+      dirs.(j) <- path;
+      dir_owner.(j) <- owner;
+      dir_depth.(j) <- depth)
+    dirs_rev;
+  let files_rev = Array.of_list b.bfiles in
+  let nfiles = Array.length files_rev in
+  let files =
+    Array.make nfiles { Op.file_id = 0; file_path = ""; file_bytes = 0 }
+  and file_dir = Array.make nfiles 0 in
+  Array.iteri
+    (fun i (info, dir_idx) ->
+      let j = nfiles - 1 - i in
+      files.(j) <- info;
+      file_dir.(j) <- dir_idx)
+    files_rev;
+  Array.iter
+    (fun idx -> dir_files.(idx) <- [])
+    (Array.init ndirs (fun i -> i));
+  Array.iteri (fun f d -> dir_files.(d) <- f :: dir_files.(d)) file_dir;
+  { dirs; dir_owner; dir_files; dir_depth; files; file_dir }
+
+let dirs_for_user t ~user =
+  let acc = ref [] in
+  Array.iteri
+    (fun i owner -> if owner = user || owner = -1 then acc := i :: !acc)
+    t.dir_owner;
+  Array.of_list (List.rev !acc)
+
+let total_bytes t =
+  Array.fold_left (fun acc f -> acc + f.Op.file_bytes) 0 t.files
+
+let file_count t = Array.length t.files

@@ -1,0 +1,40 @@
+(** Synthetic file-system namespace for the Harvard-like workload.
+
+    Models the structure the paper's traces exhibit: per-user home
+    trees (research + email), plus shared project/binary trees, with
+    heavy-tailed file sizes (the Harvard trace's mean-to-max spread is
+    over 4 orders of magnitude, §10).  Directories and files are laid
+    out once; the workload generator then evolves the tree (creates
+    and deletions) on top of this initial state. *)
+
+type t = {
+  dirs : string array;  (** every directory path, root-first *)
+  dir_owner : int array;  (** owning user per directory, -1 = shared *)
+  dir_files : int list array;  (** file indices under each directory *)
+  dir_depth : int array;
+  files : Op.file_info array;  (** the initial files *)
+  file_dir : int array;  (** directory index of each file *)
+}
+
+val generate :
+  rng:D2_util.Rng.t ->
+  users:int ->
+  target_bytes:int ->
+  ?shared_fraction:float ->
+  ?mean_file_bytes:int ->
+  ?deep_path_fraction:float ->
+  unit ->
+  t
+(** Build an initial namespace of roughly [target_bytes] of file data.
+    [shared_fraction] (default 0.25) of the data lives in shared
+    project trees, the rest under per-user homes.  A small
+    [deep_path_fraction] (default 0.005, the paper's "< 1%") of files
+    are placed under chains deeper than 12 directories to exercise the
+    key encoding's remainder hashing. *)
+
+val dirs_for_user : t -> user:int -> int array
+(** Directories a user works in: their own plus the shared ones. *)
+
+val total_bytes : t -> int
+
+val file_count : t -> int

@@ -1,0 +1,110 @@
+let kind_to_string = function
+  | Op.Read -> "R"
+  | Op.Write -> "W"
+  | Op.Create -> "C"
+  | Op.Delete -> "D"
+
+let kind_of_string line = function
+  | "R" -> Op.Read
+  | "W" -> Op.Write
+  | "C" -> Op.Create
+  | "D" -> Op.Delete
+  | other -> invalid_arg (Printf.sprintf "Serialize.load: line %d: bad kind %S" line other)
+
+let check_path line path =
+  if String.contains path '\t' || String.contains path '\n' then
+    invalid_arg (Printf.sprintf "Serialize: line %d: path contains separator" line);
+  path
+
+let save (t : Op.t) oc =
+  Printf.fprintf oc "# d2-trace v1\n";
+  Printf.fprintf oc "name\t%s\n" (check_path 0 t.Op.name);
+  Printf.fprintf oc "duration\t%h\n" t.Op.duration;
+  Printf.fprintf oc "users\t%d\n" t.Op.users;
+  Printf.fprintf oc "files\t%d\n" (Array.length t.Op.initial_files);
+  Array.iter
+    (fun (f : Op.file_info) ->
+      Printf.fprintf oc "%d\t%d\t%s\n" f.Op.file_id f.Op.file_bytes
+        (check_path 0 f.Op.file_path))
+    t.Op.initial_files;
+  Printf.fprintf oc "ops\t%d\n" (Array.length t.Op.ops);
+  Array.iter
+    (fun (o : Op.op) ->
+      Printf.fprintf oc "%h\t%d\t%s\t%d\t%d\t%d\t%s\n" o.Op.time o.Op.user
+        (kind_to_string o.Op.kind) o.Op.file o.Op.block o.Op.bytes
+        (check_path 0 o.Op.path))
+    t.Op.ops
+
+let save_file t path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> save t oc)
+
+type reader = { ic : in_channel; mutable line : int }
+
+let next r =
+  r.line <- r.line + 1;
+  try input_line r.ic
+  with End_of_file ->
+    invalid_arg (Printf.sprintf "Serialize.load: unexpected end of file at line %d" r.line)
+
+let fail r fmt = Printf.ksprintf (fun s ->
+    invalid_arg (Printf.sprintf "Serialize.load: line %d: %s" r.line s)) fmt
+
+let fields r expected line =
+  let fs = String.split_on_char '\t' line in
+  if List.length fs <> expected then fail r "expected %d fields, got %d" expected (List.length fs);
+  fs
+
+let tagged r tag =
+  match fields r 2 (next r) with
+  | [ t; v ] when t = tag -> v
+  | [ t; _ ] -> fail r "expected %S, got %S" tag t
+  | _ -> assert false
+
+let int_of r s = match int_of_string_opt s with
+  | Some v -> v
+  | None -> fail r "bad integer %S" s
+
+let float_of r s = match float_of_string_opt s with
+  | Some v -> v
+  | None -> fail r "bad float %S" s
+
+let load ic =
+  let r = { ic; line = 0 } in
+  (match next r with
+  | "# d2-trace v1" -> ()
+  | other -> fail r "bad header %S" other);
+  let name = tagged r "name" in
+  let duration = float_of r (tagged r "duration") in
+  let users = int_of r (tagged r "users") in
+  let nfiles = int_of r (tagged r "files") in
+  let initial_files =
+    Array.init nfiles (fun _ ->
+        match fields r 3 (next r) with
+        | [ id; bytes; path ] ->
+            { Op.file_id = int_of r id; file_bytes = int_of r bytes; file_path = path }
+        | _ -> assert false)
+  in
+  let nops = int_of r (tagged r "ops") in
+  let ops =
+    Array.init nops (fun _ ->
+        match fields r 7 (next r) with
+        | [ time; user; kind; file; block; bytes; path ] ->
+            {
+              Op.time = float_of r time;
+              user = int_of r user;
+              kind = kind_of_string r.line kind;
+              file = int_of r file;
+              block = int_of r block;
+              bytes = int_of r bytes;
+              path;
+            }
+        | _ -> assert false)
+  in
+  let t = { Op.name; duration; users; ops; initial_files } in
+  Op.validate t;
+  t
+
+let load_file path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> load ic)

@@ -1,0 +1,88 @@
+module Vec = D2_util.Vec
+
+type t = { user : int; start : float; stop : float; ops : Op.op array }
+
+(* One pass over the trace, accumulating per-user runs.  Also labels
+   every op with the (eventual) index of its task in the start-sorted
+   result, so callers can map replay outcomes back onto tasks. *)
+let cut (trace : Op.t) ~inter ~max_duration =
+  let out = Vec.create () in
+  let labels = Array.make (Array.length trace.Op.ops) (-1) in
+  let current : (Op.op * int) Vec.t array =
+    Array.init trace.Op.users (fun _ -> Vec.create ())
+  in
+  let start_time = Array.make trace.Op.users 0.0 in
+  let last_time = Array.make trace.Op.users neg_infinity in
+  let flush user =
+    let v = current.(user) in
+    if Vec.length v > 0 then begin
+      let pairs = Vec.to_array v in
+      Vec.push out
+        ( {
+            user;
+            start = start_time.(user);
+            stop = last_time.(user);
+            ops = Array.map fst pairs;
+          },
+          Array.map snd pairs );
+      Vec.clear v
+    end
+  in
+  Array.iteri
+    (fun i (o : Op.op) ->
+      let u = o.Op.user in
+      let gap_too_big = o.Op.time -. last_time.(u) >= inter in
+      let too_long =
+        match max_duration with
+        | Some d -> Vec.length current.(u) > 0 && o.Op.time -. start_time.(u) > d
+        | None -> false
+      in
+      if gap_too_big || too_long then begin
+        flush u;
+        start_time.(u) <- o.Op.time
+      end;
+      Vec.push current.(u) (o, i);
+      last_time.(u) <- o.Op.time)
+    trace.Op.ops;
+  for u = 0 to trace.Op.users - 1 do
+    flush u
+  done;
+  Vec.sort out ~cmp:(fun (a, _) (b, _) -> compare a.start b.start);
+  let tasks = Array.map fst (Vec.to_array out) in
+  Array.iteri
+    (fun task_idx (_, op_indices) ->
+      Array.iter (fun i -> labels.(i) <- task_idx) op_indices)
+    (Vec.to_array out);
+  (tasks, labels)
+
+let segment_labeled trace ~inter ?(max_duration = 300.0) () =
+  if inter <= 0.0 then invalid_arg "Task.segment_labeled: inter must be positive";
+  cut trace ~inter ~max_duration:(Some max_duration)
+
+let segment trace ~inter ?(max_duration = 300.0) () =
+  if inter <= 0.0 then invalid_arg "Task.segment: inter must be positive";
+  fst (cut trace ~inter ~max_duration:(Some max_duration))
+
+let access_groups ?(think = 1.0) trace = fst (cut trace ~inter:think ~max_duration:None)
+
+let access_groups_labeled ?(think = 1.0) trace = cut trace ~inter:think ~max_duration:None
+
+let distinct_blocks t =
+  let tbl = Hashtbl.create 64 in
+  Array.iter
+    (fun (o : Op.op) -> Hashtbl.replace tbl (o.Op.file, o.Op.block) ())
+    t.ops;
+  Hashtbl.length tbl
+
+let distinct_files t =
+  let tbl = Hashtbl.create 16 in
+  Array.iter (fun (o : Op.op) -> Hashtbl.replace tbl o.Op.file ()) t.ops;
+  Hashtbl.length tbl
+
+let mean_over tasks f =
+  let n = Array.length tasks in
+  if n = 0 then 0.0
+  else begin
+    let acc = Array.fold_left (fun a t -> a + f t) 0 tasks in
+    float_of_int acc /. float_of_int n
+  end

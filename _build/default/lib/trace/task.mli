@@ -1,0 +1,47 @@
+(** Task and access-group segmentation (paper §8.1 and §9.1).
+
+    A {e task} approximates a unit of user work: a maximal run of
+    accesses by one user in which consecutive accesses are separated
+    by less than [inter], capped at [max_duration] (5 minutes in the
+    paper).  Task availability — not per-object availability — is the
+    paper's headline metric.
+
+    An {e access group} is the same construction with a 1-second
+    threshold and no cap: the accesses between two think times, i.e.
+    the work whose completion latency a user actually perceives
+    (§9.1). *)
+
+type t = {
+  user : int;
+  start : float;
+  stop : float;  (** time of the last op in the segment *)
+  ops : Op.op array;  (** in time order *)
+}
+
+val segment : Op.t -> inter:float -> ?max_duration:float -> unit -> t array
+(** Cut a trace into per-user tasks. [max_duration] defaults to 300 s.
+    Tasks of different users interleave in the result, ordered by
+    start time. *)
+
+val segment_labeled :
+  Op.t -> inter:float -> ?max_duration:float -> unit -> t array * int array
+(** Like {!segment}, but also returns, for every op index of the
+    trace, the index of the task it belongs to — this lets a single
+    replay pass of the trace be post-processed into per-task outcomes
+    for several [inter] values (the §8 simulator's trick). *)
+
+val access_groups : ?think:float -> Op.t -> t array
+(** Think-time segmentation with no duration cap; [think] defaults
+    to 1 s. *)
+
+val access_groups_labeled : ?think:float -> Op.t -> t array * int array
+(** {!access_groups} plus the per-op group index (see
+    {!segment_labeled}). *)
+
+val distinct_blocks : t -> int
+(** Number of distinct (file, block) pairs the task touches. *)
+
+val distinct_files : t -> int
+
+val mean_over : t array -> (t -> int) -> float
+(** Mean of an integer task statistic. 0 for an empty array. *)

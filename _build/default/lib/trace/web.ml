@@ -1,0 +1,139 @@
+module Rng = D2_util.Rng
+module Vec = D2_util.Vec
+module Zipf = D2_util.Zipf
+
+type params = {
+  clients : int;
+  days : float;
+  domains : int;
+  pages_per_domain_mean : int;
+  sessions_per_client_day : float;
+  mean_object_bytes : int;
+}
+
+let default_params =
+  {
+    clients = 120;
+    days = 7.0;
+    domains = 1500;
+    pages_per_domain_mean = 30;
+    sessions_per_client_day = 12.0;
+    mean_object_bytes = 12 * 1024;
+  }
+
+let reversed_name ~domain ~page =
+  let parts = String.split_on_char '.' domain in
+  String.concat "." (List.rev parts) ^ "/" ^ page
+
+let day = 86400.0
+
+type site = { first_file : int; npages : int; zipf : Zipf.t }
+
+let generate ~rng ?(params = default_params) () =
+  if params.clients <= 0 then invalid_arg "Web.generate: clients must be positive";
+  if params.domains <= 0 then invalid_arg "Web.generate: domains must be positive";
+  (* Build the object universe: per-domain page trees. *)
+  let files = Vec.create () in
+  let sites =
+    Array.init params.domains (fun d ->
+        let domain = Printf.sprintf "www.site%05d.com" d in
+        let npages =
+          max 1
+            (int_of_float
+               (Rng.pareto rng ~shape:1.3
+                  ~scale:(float_of_int params.pages_per_domain_mean *. 0.3)))
+        in
+        let npages = min npages 2000 in
+        let first_file = Vec.length files in
+        for p = 0 to npages - 1 do
+          let page =
+            if p = 0 then "index.html"
+            else Printf.sprintf "pages/p%04d.html" p
+          in
+          let bytes =
+            max 256
+              (min (8 * 1024 * 1024)
+                 (int_of_float
+                    (Rng.pareto rng ~shape:1.3
+                       ~scale:(float_of_int params.mean_object_bytes *. 0.25))))
+          in
+          Vec.push files
+            {
+              Op.file_id = Vec.length files;
+              file_path = reversed_name ~domain ~page;
+              file_bytes = bytes;
+            }
+        done;
+        { first_file; npages; zipf = Zipf.create ~n:npages ~s:0.9 })
+  in
+  let initial_files = Vec.to_array files in
+  let domain_zipf = Zipf.create ~n:params.domains ~s:0.85 in
+  let ops = Vec.create () in
+  let emit_object_read ~t ~client (info : Op.file_info) =
+    let nblocks = Op.blocks_of_bytes info.Op.file_bytes in
+    let tm = ref t in
+    for b = 0 to nblocks - 1 do
+      let bytes =
+        if b = nblocks - 1 then
+          let rem = info.Op.file_bytes - (b * Op.block_size) in
+          if rem = 0 then Op.block_size else rem
+        else Op.block_size
+      in
+      Vec.push ops
+        {
+          Op.time = !tm;
+          user = client;
+          path = info.Op.file_path;
+          file = info.Op.file_id;
+          block = b;
+          kind = Op.Read;
+          bytes;
+        };
+      tm := !tm +. 0.01 +. Rng.float rng 0.05
+    done;
+    !tm
+  in
+  for client = 0 to params.clients - 1 do
+    let crng = Rng.split rng in
+    let nsessions =
+      int_of_float (params.sessions_per_client_day *. params.days)
+    in
+    for _ = 1 to nsessions do
+      let start = Rng.float crng (params.days *. day *. 0.999) in
+      let site_idx = Zipf.sample domain_zipf crng in
+      let site = sites.(site_idx) in
+      let npages_visited = 1 + Rng.int crng 12 in
+      let t = ref start in
+      for _ = 1 to npages_visited do
+        (* 15% of fetches stray to a random other site (links out). *)
+        let s, si =
+          if Rng.float crng 1.0 < 0.15 then
+            let j = Zipf.sample domain_zipf crng in
+            (sites.(j), j)
+          else (site, site_idx)
+        in
+        ignore si;
+        let page = Zipf.sample s.zipf crng in
+        let info = initial_files.(s.first_file + page) in
+        t := emit_object_read ~t:!t ~client info;
+        t := !t +. 1.0 +. Rng.exponential crng ~mean:8.0
+      done
+    done
+  done;
+  Vec.sort ops ~cmp:(fun a b -> compare a.Op.time b.Op.time);
+  let arr = Vec.to_array ops in
+  let duration =
+    if Array.length arr = 0 then params.days *. day
+    else Float.max (params.days *. day) (arr.(Array.length arr - 1).Op.time +. 1.0)
+  in
+  let trace =
+    {
+      Op.name = "web";
+      duration;
+      users = params.clients;
+      ops = arr;
+      initial_files;
+    }
+  in
+  Op.validate trace;
+  trace

@@ -1,0 +1,30 @@
+(** Web-access trace generator (NLANR-cache-like, Table 1 "Web").
+
+    Synthesizes client accesses to web objects.  Object names are URLs
+    with the domain tuples reversed ([com.yahoo.www/index.html]), so
+    lexicographic name order groups a site's objects together — the
+    paper's "ordered" scenario for the Web workload (§4.1).  Clients
+    browse with site locality: a session stays mostly within one
+    domain, fetching several pages with seconds-scale gaps.  Domain
+    popularity and within-site page popularity are zipfian, and a long
+    tail of one-hit objects gives the Webcache workload its extreme
+    churn (paper Table 3). *)
+
+type params = {
+  clients : int;  (** default 120 *)
+  days : float;  (** default 7.0 *)
+  domains : int;  (** default 1500 *)
+  pages_per_domain_mean : int;  (** default 30 *)
+  sessions_per_client_day : float;  (** default 12.0 *)
+  mean_object_bytes : int;  (** default 12 KB *)
+}
+
+val default_params : params
+
+val generate : rng:D2_util.Rng.t -> ?params:params -> unit -> Op.t
+(** All ops are reads (a pure access log); [initial_files] lists every
+    object in the universe with its size. *)
+
+val reversed_name : domain:string -> page:string -> string
+(** [reversed_name ~domain:"www.foo.com" ~page:"a/b.html"] is
+    ["com.foo.www/a/b.html"]. *)

@@ -1,0 +1,104 @@
+module Vec = D2_util.Vec
+module Heap = D2_util.Heap
+
+type entry = {
+  mutable resident : bool;
+  mutable last_refresh : float;
+  mutable generation : int;
+  mutable cur_id : int;
+  inserted_blocks : (int, unit) Hashtbl.t;
+  (** blocks written for the current generation: the first access of
+      each block after a miss is the insert, later ones are hits *)
+  mutable bytes : int;
+  mutable last_user : int;
+}
+
+let of_web_trace ?(evict_ttl = 86400.0) (web : Op.t) =
+  let nfiles = Array.length web.Op.initial_files in
+  let entries =
+    Array.init nfiles (fun i ->
+        {
+          resident = false;
+          last_refresh = neg_infinity;
+          generation = 0;
+          cur_id = i;
+          inserted_blocks = Hashtbl.create 4;
+          bytes = web.Op.initial_files.(i).Op.file_bytes;
+          last_user = 0;
+        })
+  in
+  let next_id = ref nfiles in
+  let ops = Vec.create () in
+  (* (expiry time, original file index, generation) *)
+  let expiries = Heap.create ~cmp:(fun (a, _, _) (b, _, _) -> compare a b) in
+  let flush_expiries now =
+    let rec go () =
+      match Heap.peek expiries with
+      | Some (t, fi, gen) when t <= now ->
+          ignore (Heap.pop expiries);
+          let e = entries.(fi) in
+          if e.resident && e.generation = gen then begin
+            if e.last_refresh +. evict_ttl <= t then begin
+              e.resident <- false;
+              Vec.push ops
+                {
+                  Op.time = t;
+                  user = e.last_user;
+                  path = web.Op.initial_files.(fi).Op.file_path;
+                  file = e.cur_id;
+                  block = 0;
+                  kind = Op.Delete;
+                  bytes = e.bytes;
+                }
+            end
+            else
+              (* Refreshed since this expiry was scheduled; rearm. *)
+              Heap.push expiries (e.last_refresh +. evict_ttl, fi, gen)
+          end;
+          go ()
+      | Some _ | None -> ()
+    in
+    go ()
+  in
+  Array.iter
+    (fun (o : Op.op) ->
+      flush_expiries o.Op.time;
+      let fi = o.Op.file in
+      let e = entries.(fi) in
+      e.last_user <- o.Op.user;
+      if e.resident then begin
+        e.last_refresh <- o.Op.time;
+        let kind =
+          if Hashtbl.mem e.inserted_blocks o.Op.block then Op.Read
+          else begin
+            Hashtbl.replace e.inserted_blocks o.Op.block ();
+            Op.Create
+          end
+        in
+        Vec.push ops { o with Op.file = e.cur_id; kind }
+      end
+      else begin
+        (* Miss: this fetch inserts the object into the cache. *)
+        e.resident <- true;
+        e.generation <- e.generation + 1;
+        e.cur_id <- !next_id;
+        incr next_id;
+        e.last_refresh <- o.Op.time;
+        Hashtbl.reset e.inserted_blocks;
+        Hashtbl.replace e.inserted_blocks o.Op.block ();
+        Heap.push expiries (o.Op.time +. evict_ttl, fi, e.generation);
+        Vec.push ops { o with Op.file = e.cur_id; kind = Op.Create }
+      end)
+    web.Op.ops;
+  flush_expiries web.Op.duration;
+  let trace =
+    {
+      Op.name = "webcache";
+      duration = web.Op.duration;
+      users = web.Op.users;
+      ops = Vec.to_array ops;
+      initial_files = [||];
+    }
+  in
+  Op.validate trace;
+  trace

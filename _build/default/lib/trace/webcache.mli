@@ -1,0 +1,16 @@
+(** Webcache workload (§10): using the DHT as a cooperative web cache
+    à la Squirrel.
+
+    Replays a {!Web} access trace against a simulated cache: a miss
+    downloads the object from the origin and inserts it into the DHT
+    ([Create] ops); a hit reads it; an object not refreshed within the
+    eviction TTL (1 day, per the paper) is removed ([Delete] op at
+    expiry).  The resulting trace starts empty and has extreme data
+    churn — the Table 3 "Webcache" rows where daily writes can exceed
+    the resident data by an order of magnitude. *)
+
+val of_web_trace : ?evict_ttl:float -> Op.t -> Op.t
+(** Transform a web access trace (all reads) into the cache workload.
+    [evict_ttl] defaults to 86400 s. File ids are re-issued per cache
+    generation: re-inserting an evicted URL yields a fresh id (a new
+    version of the object). *)

@@ -1,0 +1,75 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let next_seed t =
+  t.state <- Int64.add t.state golden_gamma;
+  t.state
+
+(* SplitMix64 output mix. *)
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let int64 t = mix64 (next_seed t)
+
+let split t = { state = int64 t }
+let copy t = { state = t.state }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection-free modulo is fine here: bounds are tiny relative to 2^62. *)
+  let v = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+  v mod bound
+
+let float t bound =
+  (* 53 random bits into [0,1). *)
+  let v = Int64.to_float (Int64.shift_right_logical (int64 t) 11) in
+  bound *. (v /. 9007199254740992.0)
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let bits t buf =
+  let n = Bytes.length buf in
+  let i = ref 0 in
+  while !i < n do
+    let v = ref (int64 t) in
+    let stop = min n (!i + 8) in
+    while !i < stop do
+      Bytes.set buf !i (Char.chr (Int64.to_int (Int64.logand !v 0xFFL)));
+      v := Int64.shift_right_logical !v 8;
+      incr i
+    done
+  done
+
+let exponential t ~mean =
+  let u = float t 1.0 in
+  (* Guard against log 0. *)
+  let u = if u <= 0.0 then 1e-12 else u in
+  -.mean *. log u
+
+let pareto t ~shape ~scale =
+  let u = float t 1.0 in
+  let u = if u <= 0.0 then 1e-12 else u in
+  scale /. (u ** (1.0 /. shape))
+
+let normal t ~mean ~stddev =
+  let u1 = float t 1.0 and u2 = float t 1.0 in
+  let u1 = if u1 <= 0.0 then 1e-12 else u1 in
+  let r = sqrt (-2.0 *. log u1) in
+  mean +. (stddev *. r *. cos (2.0 *. Float.pi *. u2))
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

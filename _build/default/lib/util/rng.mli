@@ -1,0 +1,51 @@
+(** Deterministic pseudo-random number generation.
+
+    Every stochastic component of the simulator draws from an explicit
+    [Rng.t] so that experiments are reproducible from a single integer
+    seed.  The generator is SplitMix64 (Steele, Lea & Flood, OOPSLA'14):
+    a tiny, fast, well-distributed 64-bit generator whose [split]
+    operation lets us derive statistically independent child generators
+    for sub-components without sharing mutable state. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a fresh generator. Equal seeds give equal
+    streams. *)
+
+val split : t -> t
+(** [split t] derives an independent child generator and advances [t].
+    Use one child per subsystem so that adding draws to one subsystem
+    does not perturb another. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state (same future stream). *)
+
+val int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val bits : t -> bytes -> unit
+(** Fill a byte buffer with pseudo-random bytes. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed sample with the given mean. *)
+
+val pareto : t -> shape:float -> scale:float -> float
+(** Pareto sample: heavy-tailed sizes (file sizes, transfer sizes). *)
+
+val normal : t -> mean:float -> stddev:float -> float
+(** Gaussian sample (Box–Muller). *)
+
+val pick : t -> 'a array -> 'a
+(** Uniformly random array element. Array must be non-empty. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

@@ -1,0 +1,44 @@
+(** Summary statistics used by the experiment reporters.
+
+    [Online] accumulates mean/variance in one pass (Welford); the free
+    functions work over float arrays (sorted copies are made where
+    needed). *)
+
+module Online : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  (** 0 when empty. *)
+
+  val variance : t -> float
+  (** Population variance; 0 when fewer than 2 samples. *)
+
+  val stddev : t -> float
+  val min : t -> float
+  (** +inf when empty. *)
+
+  val max : t -> float
+  (** -inf when empty. *)
+
+  val sum : t -> float
+end
+
+val mean : float array -> float
+val stddev : float array -> float
+
+val normalized_stddev : float array -> float
+(** stddev / mean — the paper's load-imbalance metric (Figs. 16–17).
+    0 when the mean is 0. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [0,100], linear interpolation.
+    @raise Invalid_argument on an empty array. *)
+
+val median : float array -> float
+
+val geometric_mean : float array -> float
+(** The paper averages speedups (ratios) with a geometric mean (§9.3).
+    All values must be positive. *)

@@ -1,0 +1,50 @@
+type 'a t = { mutable data : 'a array; mutable size : int }
+
+let create () = { data = [||]; size = 0 }
+
+let length t = t.size
+
+let push t x =
+  let cap = Array.length t.data in
+  if t.size = cap then begin
+    let ndata = Array.make (max 16 (2 * cap)) x in
+    Array.blit t.data 0 ndata 0 t.size;
+    t.data <- ndata
+  end;
+  t.data.(t.size) <- x;
+  t.size <- t.size + 1
+
+let check t i name =
+  if i < 0 || i >= t.size then invalid_arg ("Vec." ^ name ^ ": index out of range")
+
+let get t i =
+  check t i "get";
+  t.data.(i)
+
+let set t i x =
+  check t i "set";
+  t.data.(i) <- x
+
+let to_array t = Array.sub t.data 0 t.size
+
+let iter f t =
+  for i = 0 to t.size - 1 do
+    f t.data.(i)
+  done
+
+let fold_left f init t =
+  let acc = ref init in
+  for i = 0 to t.size - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let clear t =
+  t.data <- [||];
+  t.size <- 0
+
+let sort ~cmp t =
+  let arr = to_array t in
+  Array.sort cmp arr;
+  t.data <- arr;
+  t.size <- Array.length arr

@@ -1,0 +1,23 @@
+(** Growable array (amortized O(1) push), used by the trace generators
+    and simulators to accumulate large op/event sequences without list
+    overhead. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val push : 'a t -> 'a -> unit
+
+val get : 'a t -> int -> 'a
+(** @raise Invalid_argument on out-of-range index. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** @raise Invalid_argument on out-of-range index. *)
+
+val to_array : 'a t -> 'a array
+(** Fresh array of the current contents. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+val fold_left : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+val clear : 'a t -> unit
+val sort : cmp:('a -> 'a -> int) -> 'a t -> unit

@@ -1,0 +1,32 @@
+type t = { n : int; cdf : float array }
+
+let create ~n ~s =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if s < 0.0 then invalid_arg "Zipf.create: s must be non-negative";
+  let cdf = Array.make n 0.0 in
+  let total = ref 0.0 in
+  for i = 0 to n - 1 do
+    total := !total +. (1.0 /. (float_of_int (i + 1) ** s));
+    cdf.(i) <- !total
+  done;
+  let z = !total in
+  for i = 0 to n - 1 do
+    cdf.(i) <- cdf.(i) /. z
+  done;
+  { n; cdf }
+
+let n t = t.n
+
+let sample t rng =
+  let u = Rng.float rng 1.0 in
+  (* Smallest index whose cdf >= u. *)
+  let lo = ref 0 and hi = ref (t.n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let prob t i =
+  if i < 0 || i >= t.n then invalid_arg "Zipf.prob: rank out of range";
+  if i = 0 then t.cdf.(0) else t.cdf.(i) -. t.cdf.(i - 1)

@@ -1,0 +1,1 @@
+test/test_balance.ml: Alcotest Array Char D2_balance D2_core D2_keyspace D2_simnet D2_store D2_util Float Printf String

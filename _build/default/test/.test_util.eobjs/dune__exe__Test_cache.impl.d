@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Char D2_cache D2_keyspace D2_util List QCheck QCheck_alcotest String

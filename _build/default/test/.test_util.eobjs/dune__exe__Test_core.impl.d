@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array D2_core D2_keyspace D2_simnet D2_store D2_trace D2_util Lazy List Printf

@@ -1,0 +1,1 @@
+test/test_dht.ml: Alcotest Char D2_dht D2_keyspace D2_util Gen Hashtbl List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest D2_experiments D2_trace D2_util List String

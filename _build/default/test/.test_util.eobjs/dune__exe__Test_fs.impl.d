@@ -1,0 +1,1 @@
+test/test_fs.ml: Alcotest Array Bytes Char D2_fs D2_keyspace D2_simnet D2_store D2_util Hashtbl List Printf QCheck QCheck_alcotest String

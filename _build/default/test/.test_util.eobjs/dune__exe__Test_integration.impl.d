@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Char D2_balance D2_core D2_fs D2_keyspace D2_simnet D2_store D2_trace D2_util Hashtbl List Printf String

@@ -1,0 +1,1 @@
+test/test_keyspace.ml: Alcotest Array Char D2_keyspace D2_util Gen Hashtbl Int32 Int64 List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_simnet.ml: Alcotest D2_simnet D2_util List Printf

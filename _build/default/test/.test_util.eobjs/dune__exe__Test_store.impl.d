@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Array Char D2_dht D2_keyspace D2_simnet D2_store D2_util List Printf String

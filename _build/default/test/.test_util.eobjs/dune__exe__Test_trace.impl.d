@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array D2_trace D2_util Filename Fun Gen Hashtbl Lazy List Printf QCheck QCheck_alcotest String Sys

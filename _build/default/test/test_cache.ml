@@ -1,0 +1,211 @@
+(* Tests for the range-based lookup cache (§5) and the 30 s block
+   cache (§3). *)
+
+module Lookup_cache = D2_cache.Lookup_cache
+module Block_cache = D2_cache.Block_cache
+module Key = D2_keyspace.Key
+module Rng = D2_util.Rng
+
+let k_of_byte b = Key.of_string (String.make 1 (Char.chr b) ^ String.make 63 '\000')
+
+(* {1 Lookup cache} *)
+
+let test_hit_and_miss () =
+  let c = Lookup_cache.create () in
+  Alcotest.(check (option int)) "cold miss" None (Lookup_cache.lookup c ~now:0.0 (k_of_byte 15));
+  Lookup_cache.insert c ~now:0.0 ~lo:(k_of_byte 10) ~hi:(k_of_byte 20) ~node:7;
+  Alcotest.(check (option int)) "hit inside" (Some 7)
+    (Lookup_cache.lookup c ~now:1.0 (k_of_byte 15));
+  Alcotest.(check (option int)) "hi inclusive" (Some 7)
+    (Lookup_cache.lookup c ~now:1.0 (k_of_byte 20));
+  Alcotest.(check (option int)) "lo exclusive" None
+    (Lookup_cache.lookup c ~now:1.0 (k_of_byte 10));
+  Alcotest.(check (option int)) "outside" None
+    (Lookup_cache.lookup c ~now:1.0 (k_of_byte 25));
+  Alcotest.(check int) "hits" 2 (Lookup_cache.hits c);
+  Alcotest.(check int) "misses" 3 (Lookup_cache.misses c)
+
+let test_ttl_expiry () =
+  let c = Lookup_cache.create ~ttl:100.0 () in
+  Lookup_cache.insert c ~now:0.0 ~lo:(k_of_byte 10) ~hi:(k_of_byte 20) ~node:7;
+  Alcotest.(check (option int)) "fresh" (Some 7)
+    (Lookup_cache.lookup c ~now:99.0 (k_of_byte 15));
+  Alcotest.(check (option int)) "expired" None
+    (Lookup_cache.lookup c ~now:101.0 (k_of_byte 15));
+  Alcotest.(check int) "expired entry evicted" 0 (Lookup_cache.entry_count c)
+
+let test_wrap_range () =
+  let c = Lookup_cache.create () in
+  (* Range (200, 10] wraps around the top of the ring. *)
+  Lookup_cache.insert c ~now:0.0 ~lo:(k_of_byte 200) ~hi:(k_of_byte 10) ~node:3;
+  Alcotest.(check (option int)) "above lo" (Some 3)
+    (Lookup_cache.lookup c ~now:1.0 (k_of_byte 250));
+  Alcotest.(check (option int)) "below hi" (Some 3)
+    (Lookup_cache.lookup c ~now:1.0 (k_of_byte 5));
+  Alcotest.(check (option int)) "middle misses" None
+    (Lookup_cache.lookup c ~now:1.0 (k_of_byte 100))
+
+let test_full_ring_entry () =
+  let c = Lookup_cache.create () in
+  (* lo = hi: a single node owns everything. *)
+  Lookup_cache.insert c ~now:0.0 ~lo:(k_of_byte 50) ~hi:(k_of_byte 50) ~node:0;
+  Alcotest.(check (option int)) "any key" (Some 0)
+    (Lookup_cache.lookup c ~now:1.0 (k_of_byte 200))
+
+let test_multiple_ranges () =
+  let c = Lookup_cache.create () in
+  Lookup_cache.insert c ~now:0.0 ~lo:(k_of_byte 10) ~hi:(k_of_byte 20) ~node:1;
+  Lookup_cache.insert c ~now:0.0 ~lo:(k_of_byte 20) ~hi:(k_of_byte 30) ~node:2;
+  Lookup_cache.insert c ~now:0.0 ~lo:(k_of_byte 40) ~hi:(k_of_byte 50) ~node:4;
+  Alcotest.(check (option int)) "range 1" (Some 1) (Lookup_cache.lookup c ~now:1.0 (k_of_byte 12));
+  Alcotest.(check (option int)) "range 2" (Some 2) (Lookup_cache.lookup c ~now:1.0 (k_of_byte 25));
+  Alcotest.(check (option int)) "gap" None (Lookup_cache.lookup c ~now:1.0 (k_of_byte 35));
+  Alcotest.(check (option int)) "range 3" (Some 4) (Lookup_cache.lookup c ~now:1.0 (k_of_byte 45))
+
+let test_miss_rate_and_reset () =
+  let c = Lookup_cache.create () in
+  Alcotest.(check (float 1e-9)) "unused" 0.0 (Lookup_cache.miss_rate c);
+  ignore (Lookup_cache.lookup c ~now:0.0 (k_of_byte 1));
+  Lookup_cache.insert c ~now:0.0 ~lo:(k_of_byte 0) ~hi:(k_of_byte 10) ~node:1;
+  ignore (Lookup_cache.lookup c ~now:0.0 (k_of_byte 5));
+  Alcotest.(check (float 1e-9)) "50%" 0.5 (Lookup_cache.miss_rate c);
+  Lookup_cache.reset_stats c;
+  Alcotest.(check int) "stats reset" 0 (Lookup_cache.hits c);
+  Alcotest.(check bool) "entries kept" true (Lookup_cache.entry_count c > 0);
+  Lookup_cache.clear c;
+  Alcotest.(check int) "cleared" 0 (Lookup_cache.entry_count c)
+
+let prop_cached_lookup_agrees_with_interval =
+  QCheck.Test.make ~name:"cache agrees with ring-interval membership" ~count:300
+    QCheck.(triple (int_bound 255) (int_bound 255) (int_bound 255))
+    (fun (lo, hi, probe) ->
+      QCheck.assume (lo <> hi);
+      let c = Lookup_cache.create () in
+      let klo = k_of_byte lo and khi = k_of_byte hi and kp = k_of_byte probe in
+      Lookup_cache.insert c ~now:0.0 ~lo:klo ~hi:khi ~node:1;
+      let hit = Lookup_cache.lookup c ~now:1.0 kp = Some 1 in
+      hit = Key.in_interval kp ~lo:klo ~hi:khi)
+
+(* {1 Block cache} *)
+
+let test_block_warmth () =
+  let c = Block_cache.create ~window:30.0 () in
+  let k = k_of_byte 1 in
+  Alcotest.(check bool) "cold" false (Block_cache.touch c ~now:0.0 k);
+  Alcotest.(check bool) "warm" true (Block_cache.touch c ~now:10.0 k);
+  Alcotest.(check bool) "warm extends" true (Block_cache.touch c ~now:35.0 k);
+  Alcotest.(check bool) "expires" false (Block_cache.touch c ~now:100.0 k)
+
+let test_block_is_warm_nonmutating () =
+  let c = Block_cache.create () in
+  let k = k_of_byte 1 in
+  Alcotest.(check bool) "cold check" false (Block_cache.is_warm c ~now:0.0 k);
+  Alcotest.(check bool) "still cold (no touch)" false (Block_cache.is_warm c ~now:0.0 k)
+
+let test_block_writeback_flush () =
+  let c = Block_cache.create ~window:30.0 () in
+  Block_cache.write c ~now:0.0 (k_of_byte 1) ~size:100;
+  Block_cache.write c ~now:5.0 (k_of_byte 2) ~size:200;
+  Alcotest.(check int) "dirty" 2 (Block_cache.dirty_count c);
+  Alcotest.(check int) "nothing due yet" 0 (List.length (Block_cache.flush_due c ~now:20.0));
+  let due = Block_cache.flush_due c ~now:31.0 in
+  Alcotest.(check int) "first due" 1 (List.length due);
+  Alcotest.(check int) "size carried" 100 (snd (List.hd due));
+  Alcotest.(check int) "one left" 1 (Block_cache.dirty_count c);
+  let due2 = Block_cache.flush_due c ~now:36.0 in
+  Alcotest.(check int) "second due" 1 (List.length due2);
+  Alcotest.(check int) "drained" 0 (Block_cache.dirty_count c)
+
+let test_block_write_absorbed () =
+  (* Overwriting a buffered block keeps one dirty entry with the new
+     size and a pushed-back deadline — temp-file writes never flush. *)
+  let c = Block_cache.create ~window:30.0 () in
+  let k = k_of_byte 1 in
+  Block_cache.write c ~now:0.0 k ~size:100;
+  Block_cache.write c ~now:10.0 k ~size:999;
+  Alcotest.(check int) "single entry" 1 (Block_cache.dirty_count c);
+  Alcotest.(check int) "not due at 31" 0 (List.length (Block_cache.flush_due c ~now:31.0));
+  let due = Block_cache.flush_due c ~now:41.0 in
+  Alcotest.(check int) "latest size" 999 (snd (List.hd due))
+
+let test_block_cancel () =
+  let c = Block_cache.create () in
+  let k = k_of_byte 1 in
+  Block_cache.write c ~now:0.0 k ~size:100;
+  Block_cache.cancel c k;
+  Alcotest.(check int) "cancelled" 0 (Block_cache.dirty_count c);
+  Alcotest.(check int) "nothing flushes" 0 (List.length (Block_cache.flush_due c ~now:60.0))
+
+(* {1 Retrieval cache (LRU)} *)
+
+module Retrieval_cache = D2_cache.Retrieval_cache
+
+let test_lru_basics () =
+  let c = Retrieval_cache.create ~capacity:100 in
+  Retrieval_cache.insert c (k_of_byte 1) ~size:40;
+  Retrieval_cache.insert c (k_of_byte 2) ~size:40;
+  Alcotest.(check bool) "present" true (Retrieval_cache.mem c (k_of_byte 1));
+  Alcotest.(check int) "bytes" 80 (Retrieval_cache.bytes_used c);
+  Alcotest.(check int) "count" 2 (Retrieval_cache.entry_count c)
+
+let test_lru_eviction_order () =
+  let c = Retrieval_cache.create ~capacity:100 in
+  Retrieval_cache.insert c (k_of_byte 1) ~size:40;
+  Retrieval_cache.insert c (k_of_byte 2) ~size:40;
+  (* Touch 1 so 2 becomes the LRU, then overflow. *)
+  ignore (Retrieval_cache.mem c (k_of_byte 1));
+  Retrieval_cache.insert c (k_of_byte 3) ~size:40;
+  Alcotest.(check bool) "lru evicted" false (Retrieval_cache.mem c (k_of_byte 2));
+  Alcotest.(check bool) "recent kept" true (Retrieval_cache.mem c (k_of_byte 1));
+  Alcotest.(check int) "one eviction" 1 (Retrieval_cache.evictions c)
+
+let test_lru_reinsert_updates_size () =
+  let c = Retrieval_cache.create ~capacity:100 in
+  Retrieval_cache.insert c (k_of_byte 1) ~size:40;
+  Retrieval_cache.insert c (k_of_byte 1) ~size:60;
+  Alcotest.(check int) "size replaced" 60 (Retrieval_cache.bytes_used c);
+  Alcotest.(check int) "single entry" 1 (Retrieval_cache.entry_count c)
+
+let test_lru_oversized_ignored () =
+  let c = Retrieval_cache.create ~capacity:100 in
+  Retrieval_cache.insert c (k_of_byte 1) ~size:500;
+  Alcotest.(check int) "ignored" 0 (Retrieval_cache.entry_count c)
+
+let test_lru_capacity_never_exceeded () =
+  let c = Retrieval_cache.create ~capacity:1000 in
+  let rng = Rng.create 3 in
+  for _ = 1 to 500 do
+    Retrieval_cache.insert c (k_of_byte (Rng.int rng 256)) ~size:(1 + Rng.int rng 300);
+    if Retrieval_cache.bytes_used c > 1000 then Alcotest.fail "capacity exceeded"
+  done
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "d2_cache"
+    [
+      ( "lookup_cache",
+        Alcotest.test_case "hit/miss" `Quick test_hit_and_miss
+        :: Alcotest.test_case "ttl expiry" `Quick test_ttl_expiry
+        :: Alcotest.test_case "wrap range" `Quick test_wrap_range
+        :: Alcotest.test_case "full ring" `Quick test_full_ring_entry
+        :: Alcotest.test_case "multiple ranges" `Quick test_multiple_ranges
+        :: Alcotest.test_case "miss rate + reset" `Quick test_miss_rate_and_reset
+        :: qcheck [ prop_cached_lookup_agrees_with_interval ] );
+      ( "retrieval_cache",
+        [
+          Alcotest.test_case "basics" `Quick test_lru_basics;
+          Alcotest.test_case "eviction order" `Quick test_lru_eviction_order;
+          Alcotest.test_case "reinsert size" `Quick test_lru_reinsert_updates_size;
+          Alcotest.test_case "oversized ignored" `Quick test_lru_oversized_ignored;
+          Alcotest.test_case "capacity bound" `Quick test_lru_capacity_never_exceeded;
+        ] );
+      ( "block_cache",
+        [
+          Alcotest.test_case "warmth" `Quick test_block_warmth;
+          Alcotest.test_case "is_warm nonmutating" `Quick test_block_is_warm_nonmutating;
+          Alcotest.test_case "write-back flush" `Quick test_block_writeback_flush;
+          Alcotest.test_case "overwrite absorbed" `Quick test_block_write_absorbed;
+          Alcotest.test_case "cancel" `Quick test_block_cancel;
+        ] );
+    ]

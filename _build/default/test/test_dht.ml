@@ -1,0 +1,275 @@
+(* Tests for the ring: membership, successor assignment, replica
+   sets, ID changes, and the rank-finger routing model. *)
+
+module Ring = D2_dht.Ring
+module Key = D2_keyspace.Key
+module Rng = D2_util.Rng
+
+let k_of_byte b = Key.of_string (String.make 1 (Char.chr b) ^ String.make 63 '\000')
+
+let ring_of_bytes bytes =
+  let r = Ring.create () in
+  List.iteri (fun node b -> Ring.add r ~id:(k_of_byte b) ~node) bytes;
+  r
+
+(* ids 10,20,30 for nodes 0,1,2 *)
+let small () = ring_of_bytes [ 10; 20; 30 ]
+
+let test_add_remove () =
+  let r = small () in
+  Alcotest.(check int) "size" 3 (Ring.size r);
+  Alcotest.(check bool) "mem" true (Ring.mem r ~node:1);
+  Ring.remove r ~node:1;
+  Alcotest.(check int) "size after remove" 2 (Ring.size r);
+  Alcotest.(check bool) "not mem" false (Ring.mem r ~node:1);
+  Ring.check_invariants r
+
+let test_add_duplicates_rejected () =
+  let r = small () in
+  Alcotest.check_raises "node taken" (Invalid_argument "Ring.add: node already a member")
+    (fun () -> Ring.add r ~id:(k_of_byte 99) ~node:0);
+  Alcotest.check_raises "id taken" (Invalid_argument "Ring.add: id already taken")
+    (fun () -> Ring.add r ~id:(k_of_byte 10) ~node:9);
+  Alcotest.check_raises "remove missing" (Invalid_argument "Ring.id_of: node is not a member")
+    (fun () -> Ring.remove r ~node:9)
+
+let test_successor_rule () =
+  let r = small () in
+  (* key <= id goes to that id's node; key above the top wraps to the
+     smallest id. *)
+  Alcotest.(check int) "exact id" 0 (Ring.successor r (k_of_byte 10));
+  Alcotest.(check int) "between" 1 (Ring.successor r (k_of_byte 11));
+  Alcotest.(check int) "wrap" 0 (Ring.successor r (k_of_byte 200));
+  Alcotest.(check int) "below all" 0 (Ring.successor r (k_of_byte 5))
+
+let test_successors_replicas () =
+  let r = small () in
+  Alcotest.(check (list int)) "r=2 from key 15" [ 1; 2 ] (Ring.successors r (k_of_byte 15) 2);
+  Alcotest.(check (list int)) "wraps" [ 2; 0 ] (Ring.successors r (k_of_byte 25) 2);
+  Alcotest.(check (list int)) "capped at ring size" [ 1; 2; 0 ]
+    (Ring.successors r (k_of_byte 15) 7)
+
+let test_predecessor_range () =
+  let r = small () in
+  Alcotest.(check bool) "pred of node1 is id of node0" true
+    (Key.equal (Ring.predecessor_id r ~node:1) (k_of_byte 10));
+  Alcotest.(check bool) "pred of first wraps to last" true
+    (Key.equal (Ring.predecessor_id r ~node:0) (k_of_byte 30))
+
+let test_single_node_owns_all () =
+  let r = ring_of_bytes [ 42 ] in
+  Alcotest.(check int) "any key" 0 (Ring.successor r (k_of_byte 1));
+  Alcotest.(check bool) "own pred is self" true
+    (Key.equal (Ring.predecessor_id r ~node:0) (k_of_byte 42))
+
+let test_change_id () =
+  let r = small () in
+  Ring.change_id r ~node:2 ~id:(k_of_byte 15);
+  Alcotest.(check int) "now owns 12..15" 2 (Ring.successor r (k_of_byte 12));
+  Alcotest.(check int) "old range fell to wrap owner" 0 (Ring.successor r (k_of_byte 29));
+  Ring.check_invariants r
+
+let test_rank_node_roundtrip () =
+  let r = small () in
+  for rank = 0 to 2 do
+    let node = Ring.node_at r rank in
+    Alcotest.(check int) "roundtrip" rank (Ring.rank_of r ~node)
+  done;
+  Alcotest.(check int) "mod wrap" (Ring.node_at r 0) (Ring.node_at r 3);
+  Alcotest.(check int) "nth successor" 2 (Ring.nth_successor_of_node r ~node:0 2);
+  Alcotest.(check int) "nth wraps" 0 (Ring.nth_successor_of_node r ~node:1 2)
+
+let test_id_taken () =
+  let r = small () in
+  Alcotest.(check bool) "taken" true (Ring.id_taken r (k_of_byte 20));
+  Alcotest.(check bool) "free" false (Ring.id_taken r (k_of_byte 21))
+
+let test_route_hops () =
+  let r = small () in
+  Alcotest.(check int) "own key 0 hops" 0 (Ring.route_hops r ~src:0 ~key:(k_of_byte 9));
+  Alcotest.(check int) "next node 1 hop" 1 (Ring.route_hops r ~src:0 ~key:(k_of_byte 15));
+  (* distance 2 = one finger *)
+  Alcotest.(check int) "distance 2" 1 (Ring.route_hops r ~src:0 ~key:(k_of_byte 25))
+
+let test_route_hops_log_bound () =
+  let rng = Rng.create 21 in
+  let r = Ring.create () in
+  let n = 1024 in
+  for i = 0 to n - 1 do
+    Ring.add r ~id:(Key.random rng) ~node:i
+  done;
+  let max_hops = ref 0 and sum = ref 0 in
+  let trials = 2000 in
+  for _ = 1 to trials do
+    let h = Ring.route_hops r ~src:(Rng.int rng n) ~key:(Key.random rng) in
+    if h > !max_hops then max_hops := h;
+    sum := !sum + h
+  done;
+  Alcotest.(check bool) "max <= log2 n" true (!max_hops <= 10);
+  let mean = float_of_int !sum /. float_of_int trials in
+  Alcotest.(check bool) "mean near log2(n)/2" true (mean > 3.0 && mean < 7.0)
+
+let prop_successor_matches_bruteforce =
+  QCheck.Test.make ~name:"successor matches brute force" ~count:200
+    QCheck.(pair (list_of_size Gen.(int_range 1 20) (int_range 0 255)) (int_bound 255))
+    (fun (bytes, kb) ->
+      let bytes = List.sort_uniq compare bytes in
+      let r = ring_of_bytes bytes in
+      let key = k_of_byte kb in
+      let expect =
+        (* Smallest id >= key, else smallest id. *)
+        match List.filter (fun b -> b >= kb) bytes with
+        | b :: _ -> b
+        | [] -> List.hd bytes
+      in
+      let node = Ring.successor r key in
+      Key.equal (Ring.id_of r ~node) (k_of_byte expect))
+
+let prop_successors_distinct =
+  QCheck.Test.make ~name:"replica sets have no duplicates" ~count:200
+    QCheck.(pair (list_of_size Gen.(int_range 1 20) (int_range 0 255)) small_nat)
+    (fun (bytes, r_count) ->
+      let bytes = List.sort_uniq compare bytes in
+      let r = ring_of_bytes bytes in
+      let succ = Ring.successors r (k_of_byte 100) (1 + r_count) in
+      List.length succ = List.length (List.sort_uniq compare succ))
+
+let test_random_membership_stress () =
+  (* Random adds/removes/changes keep the invariants. *)
+  let rng = Rng.create 33 in
+  let r = Ring.create () in
+  let present = Hashtbl.create 64 in
+  for step = 0 to 2000 do
+    let node = Rng.int rng 50 in
+    (match (Hashtbl.mem present node, Rng.int rng 3) with
+    | false, _ ->
+        let id = Key.random rng in
+        if not (Ring.id_taken r id) then begin
+          Ring.add r ~id ~node;
+          Hashtbl.replace present node ()
+        end
+    | true, 0 ->
+        Ring.remove r ~node;
+        Hashtbl.remove present node
+    | true, _ ->
+        let id = Key.random rng in
+        if not (Ring.id_taken r id) then Ring.change_id r ~node ~id);
+    if step mod 100 = 0 then Ring.check_invariants r
+  done;
+  Ring.check_invariants r
+
+(* {1 Router: explicit link tables} *)
+
+module Router = D2_dht.Router
+
+let mk_random_ring n seed =
+  let rng = Rng.create seed in
+  let r = Ring.create () in
+  for i = 0 to n - 1 do
+    Ring.add r ~id:(Key.random rng) ~node:i
+  done;
+  (r, rng)
+
+let test_router_reaches_owner () =
+  let ring, rng = mk_random_ring 64 41 in
+  List.iter
+    (fun policy ->
+      let router = Router.create ~ring ~policy ~rng:(Rng.copy rng) in
+      for _ = 1 to 200 do
+        let src = Rng.int rng 64 in
+        let key = Key.random rng in
+        let path = Router.route router ~src ~key in
+        let final = match List.rev path with [] -> src | last :: _ -> last in
+        Alcotest.(check int)
+          (Router.policy_name policy ^ " terminates at owner")
+          (Ring.successor ring key) final
+      done)
+    [ Router.Fingers; Router.Harmonic 6; Router.Successor_only ]
+
+let test_router_own_key_zero_hops () =
+  let ring, rng = mk_random_ring 16 42 in
+  let router = Router.create ~ring ~policy:Router.Fingers ~rng in
+  let node = 3 in
+  let key = Ring.id_of ring ~node in
+  Alcotest.(check int) "own key" 0 (Router.hops router ~src:node ~key)
+
+let test_router_fingers_match_analytic_model () =
+  let ring, rng = mk_random_ring 128 43 in
+  let router = Router.create ~ring ~policy:Router.Fingers ~rng:(Rng.copy rng) in
+  for _ = 1 to 300 do
+    let src = Rng.int rng 128 in
+    let key = Key.random rng in
+    Alcotest.(check int) "table routing = popcount model"
+      (Ring.route_hops ring ~src ~key)
+      (Router.hops router ~src ~key)
+  done
+
+let test_router_policy_ordering () =
+  let ring, rng = mk_random_ring 256 44 in
+  let fingers = Router.create ~ring ~policy:Router.Fingers ~rng:(Rng.copy rng) in
+  let harmonic = Router.create ~ring ~policy:(Router.Harmonic 8) ~rng:(Rng.copy rng) in
+  let walk = Router.create ~ring ~policy:Router.Successor_only ~rng:(Rng.copy rng) in
+  let mean router =
+    let total = ref 0 in
+    for _ = 1 to 300 do
+      total := !total + Router.hops router ~src:(Rng.int rng 256) ~key:(Key.random rng)
+    done;
+    float_of_int !total /. 300.0
+  in
+  let mf = mean fingers and mh = mean harmonic and mw = mean walk in
+  Alcotest.(check bool) (Printf.sprintf "fingers %.1f < walk %.1f" mf mw) true (mf < mw /. 4.0);
+  Alcotest.(check bool) (Printf.sprintf "harmonic %.1f < walk %.1f" mh mw) true (mh < mw /. 4.0)
+
+let test_router_rebuild_after_change () =
+  let ring, rng = mk_random_ring 32 45 in
+  let router = Router.create ~ring ~policy:Router.Fingers ~rng:(Rng.copy rng) in
+  Ring.remove ring ~node:5;
+  Alcotest.check_raises "stale table detected"
+    (Invalid_argument "Router.route: ring changed since build; call rebuild") (fun () ->
+      ignore (Router.route router ~src:0 ~key:(Key.random rng)));
+  Router.rebuild router;
+  let key = Key.random rng in
+  let path = Router.route router ~src:0 ~key in
+  let final = match List.rev path with [] -> 0 | last :: _ -> last in
+  Alcotest.(check int) "works after rebuild" (Ring.successor ring key) final
+
+let test_router_links_successor_first () =
+  let ring, rng = mk_random_ring 16 46 in
+  let router = Router.create ~ring ~policy:Router.Fingers ~rng in
+  let links = Router.links_of router ~node:(Ring.node_at ring 0) in
+  Alcotest.(check bool) "has links" true (List.length links >= 4);
+  Alcotest.(check int) "successor first" (Ring.node_at ring 1) (List.hd links)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "d2_dht"
+    [
+      ( "ring",
+        Alcotest.test_case "add/remove" `Quick test_add_remove
+        :: Alcotest.test_case "duplicates rejected" `Quick test_add_duplicates_rejected
+        :: Alcotest.test_case "successor rule" `Quick test_successor_rule
+        :: Alcotest.test_case "replica sets" `Quick test_successors_replicas
+        :: Alcotest.test_case "predecessor range" `Quick test_predecessor_range
+        :: Alcotest.test_case "single node" `Quick test_single_node_owns_all
+        :: Alcotest.test_case "change id" `Quick test_change_id
+        :: Alcotest.test_case "rank roundtrip" `Quick test_rank_node_roundtrip
+        :: Alcotest.test_case "id taken" `Quick test_id_taken
+        :: Alcotest.test_case "membership stress" `Quick test_random_membership_stress
+        :: qcheck [ prop_successor_matches_bruteforce; prop_successors_distinct ] );
+      ( "routing",
+        [
+          Alcotest.test_case "hop basics" `Quick test_route_hops;
+          Alcotest.test_case "log bound" `Quick test_route_hops_log_bound;
+        ] );
+      ( "router",
+        [
+          Alcotest.test_case "reaches owner" `Quick test_router_reaches_owner;
+          Alcotest.test_case "own key 0 hops" `Quick test_router_own_key_zero_hops;
+          Alcotest.test_case "fingers = analytic model" `Quick
+            test_router_fingers_match_analytic_model;
+          Alcotest.test_case "policy ordering" `Quick test_router_policy_ordering;
+          Alcotest.test_case "rebuild after change" `Quick test_router_rebuild_after_change;
+          Alcotest.test_case "links shape" `Quick test_router_links_successor_first;
+        ] );
+    ]

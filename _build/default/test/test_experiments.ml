@@ -1,0 +1,87 @@
+(* Tests for the experiment registry and the cheap experiments at
+   quick scale (the heavy simulations are covered by the bench run and
+   by the simulator tests in test_core). *)
+
+module Config = D2_experiments.Config
+module Registry = D2_experiments.Registry
+module Data = D2_experiments.Data
+module Report = D2_util.Report
+
+let expected_ids =
+  [
+    "table1"; "fig3"; "table2"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11";
+    "fig12"; "fig13"; "fig14"; "fig15"; "fig16"; "fig17"; "table3"; "table4";
+    "ablation_pointers"; "ablation_routing"; "ablation_cache_ttl"; "ablation_replicas";
+    "ablation_hybrid"; "ablation_erasure"; "ablation_stp"; "ablation_hotspot";
+  ]
+
+let test_registry_complete () =
+  let ids = List.map (fun (e : Registry.entry) -> e.Registry.id) Registry.all in
+  Alcotest.(check (list string)) "every table and figure present" expected_ids ids;
+  Alcotest.(check bool) "ids unique" true
+    (List.length ids = List.length (List.sort_uniq compare ids))
+
+let test_registry_find () =
+  (match Registry.find "fig9" with
+  | Some e -> Alcotest.(check string) "found" "fig9" e.Registry.id
+  | None -> Alcotest.fail "fig9 missing");
+  Alcotest.(check bool) "unknown" true (Registry.find "fig99" = None)
+
+let test_config_env () =
+  Alcotest.(check string) "quick" "quick" (Config.scale_name Config.Quick);
+  Alcotest.(check string) "paper" "paper" (Config.scale_name Config.Paper)
+
+let test_data_memoized () =
+  let a = Data.harvard Config.Quick in
+  let b = Data.harvard Config.Quick in
+  Alcotest.(check bool) "same instance" true (a == b)
+
+let test_failure_trials_differ () =
+  let a = Data.failures Config.Quick ~trial:0 in
+  let b = Data.failures Config.Quick ~trial:1 in
+  Alcotest.(check bool) "different failure schedules" true
+    (a.D2_trace.Failure.events <> b.D2_trace.Failure.events)
+
+let has_rows report =
+  (* Rendered output has a title line plus at least one data row. *)
+  let s = Report.render report in
+  List.length (String.split_on_char '\n' s) > 5
+
+let run_cheap id =
+  match Registry.find id with
+  | None -> Alcotest.fail ("missing " ^ id)
+  | Some e ->
+      let reports = e.Registry.run Config.Quick in
+      Alcotest.(check bool) (id ^ " produced tables") true (reports <> []);
+      List.iter
+        (fun r -> Alcotest.(check bool) (id ^ " has rows") true (has_rows r))
+        reports
+
+let test_cheap_experiments () =
+  List.iter run_cheap [ "table1"; "fig3"; "ablation_routing"; "ablation_hotspot" ]
+
+(* The balance pipeline end to end at quick scale (a few seconds):
+   fig16/17 and tables 3/4 share memoized Balance_sim runs. *)
+let test_balance_pipeline () =
+  List.iter run_cheap [ "fig16"; "fig17"; "table3"; "table4"; "ablation_pointers" ]
+
+let () =
+  Alcotest.run "d2_experiments"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "complete" `Quick test_registry_complete;
+          Alcotest.test_case "find" `Quick test_registry_find;
+          Alcotest.test_case "config" `Quick test_config_env;
+        ] );
+      ( "data",
+        [
+          Alcotest.test_case "memoized" `Quick test_data_memoized;
+          Alcotest.test_case "trials differ" `Quick test_failure_trials_differ;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "cheap experiments run" `Quick test_cheap_experiments;
+          Alcotest.test_case "balance pipeline" `Slow test_balance_pipeline;
+        ] );
+    ]

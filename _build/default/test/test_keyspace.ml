@@ -1,0 +1,295 @@
+(* Tests for the 64-byte key space: ring arithmetic, the Fig. 4
+   encoding, hashing, and the three key-generation policies. *)
+
+module Key = D2_keyspace.Key
+module Encoding = D2_keyspace.Encoding
+module Hashing = D2_keyspace.Hashing
+module Keygen = D2_keyspace.Keygen
+module Rng = D2_util.Rng
+
+let key = Alcotest.testable Key.pp Key.equal
+
+let k_of_byte b = Key.of_string (String.make 1 (Char.chr b) ^ String.make 63 '\000')
+
+(* {1 Key basics} *)
+
+let test_of_string_size () =
+  Alcotest.check_raises "too short" (Invalid_argument "Key.of_string: expected 64 bytes, got 3")
+    (fun () -> ignore (Key.of_string "abc"));
+  let s = String.make 64 'x' in
+  Alcotest.(check string) "roundtrip" s (Key.to_string (Key.of_string s))
+
+let test_compare_order () =
+  Alcotest.(check bool) "zero < max" true (Key.compare Key.zero Key.max_key < 0);
+  Alcotest.(check bool) "equal" true (Key.equal Key.zero Key.zero);
+  Alcotest.(check bool) "byte order" true (Key.compare (k_of_byte 1) (k_of_byte 2) < 0)
+
+let test_succ_pred () =
+  Alcotest.check key "succ zero" (Key.of_string (String.make 63 '\000' ^ "\001"))
+    (Key.succ Key.zero);
+  Alcotest.check key "succ max wraps" Key.zero (Key.succ Key.max_key);
+  Alcotest.check key "pred zero wraps" Key.max_key (Key.pred Key.zero);
+  let rng = Rng.create 5 in
+  for _ = 1 to 100 do
+    let k = Key.random rng in
+    Alcotest.check key "pred . succ = id" k (Key.pred (Key.succ k));
+    Alcotest.check key "succ . pred = id" k (Key.succ (Key.pred k))
+  done
+
+let test_succ_carry () =
+  (* ...00ff -> ...0100 *)
+  let k = Key.of_string (String.make 63 '\000' ^ "\255") in
+  let expect = Key.of_string (String.make 62 '\000' ^ "\001\000") in
+  Alcotest.check key "carry propagates" expect (Key.succ k)
+
+let test_in_interval_plain () =
+  let a = k_of_byte 10 and b = k_of_byte 20 in
+  Alcotest.(check bool) "inside" true (Key.in_interval (k_of_byte 15) ~lo:a ~hi:b);
+  Alcotest.(check bool) "hi inclusive" true (Key.in_interval b ~lo:a ~hi:b);
+  Alcotest.(check bool) "lo exclusive" false (Key.in_interval a ~lo:a ~hi:b);
+  Alcotest.(check bool) "outside" false (Key.in_interval (k_of_byte 25) ~lo:a ~hi:b)
+
+let test_in_interval_wrap () =
+  let lo = k_of_byte 200 and hi = k_of_byte 10 in
+  Alcotest.(check bool) "above lo" true (Key.in_interval (k_of_byte 250) ~lo ~hi);
+  Alcotest.(check bool) "below hi" true (Key.in_interval (k_of_byte 5) ~lo ~hi);
+  Alcotest.(check bool) "hi inclusive" true (Key.in_interval hi ~lo ~hi);
+  Alcotest.(check bool) "middle out" false (Key.in_interval (k_of_byte 100) ~lo ~hi);
+  Alcotest.(check bool) "lo = hi is full ring" true
+    (Key.in_interval (k_of_byte 77) ~lo ~hi:lo)
+
+let test_hex_roundtrip () =
+  let rng = Rng.create 6 in
+  for _ = 1 to 50 do
+    let k = Key.random rng in
+    Alcotest.check key "hex roundtrip" k (Key.of_hex (Key.to_hex k))
+  done;
+  Alcotest.check_raises "bad length" (Invalid_argument "Key.of_hex: wrong length")
+    (fun () -> ignore (Key.of_hex "abcd"))
+
+let test_random_spread () =
+  (* Top byte of random keys should hit many distinct values. *)
+  let rng = Rng.create 7 in
+  let seen = Hashtbl.create 64 in
+  for _ = 1 to 1000 do
+    Hashtbl.replace seen (Key.to_string (Key.random rng)).[0] ()
+  done;
+  Alcotest.(check bool) "top byte spread" true (Hashtbl.length seen > 200)
+
+let prop_interval_partition =
+  (* Any key is in exactly one of (a,b] and (b,a] for distinct a,b. *)
+  QCheck.Test.make ~name:"ring intervals partition the key space" ~count:500
+    QCheck.(triple (int_bound 255) (int_bound 255) (int_bound 255))
+    (fun (a, b, k) ->
+      QCheck.assume (a <> b);
+      let a = k_of_byte a and b = k_of_byte b and k = k_of_byte k in
+      let in1 = Key.in_interval k ~lo:a ~hi:b and in2 = Key.in_interval k ~lo:b ~hi:a in
+      (* k = a belongs to (b,a] only; k = b to (a,b] only; others to exactly one. *)
+      in1 <> in2)
+
+(* {1 Fig. 4 encoding} *)
+
+let vol = Encoding.volume_id "testvol"
+
+let test_volume_id () =
+  Alcotest.(check int) "20 bytes" 20 (String.length vol);
+  Alcotest.(check string) "deterministic" vol (Encoding.volume_id "testvol");
+  Alcotest.(check bool) "differs by name" true (vol <> Encoding.volume_id "other")
+
+let test_encode_decode_roundtrip () =
+  let f =
+    {
+      Encoding.volume = vol;
+      slots = [| 1; 42; 65535 |];
+      remainder_hash = 0x1122334455667788L;
+      block = 99L;
+      version = 7l;
+    }
+  in
+  let k = Encoding.encode f in
+  let f' = Encoding.decode k in
+  Alcotest.(check string) "volume" f.Encoding.volume f'.Encoding.volume;
+  Alcotest.(check (array int)) "slots" f.Encoding.slots f'.Encoding.slots;
+  Alcotest.(check int64) "remainder" f.Encoding.remainder_hash f'.Encoding.remainder_hash;
+  Alcotest.(check int64) "block" f.Encoding.block f'.Encoding.block;
+  Alcotest.(check int32) "version" f.Encoding.version f'.Encoding.version
+
+let test_encode_validation () =
+  let base =
+    { Encoding.volume = vol; slots = [||]; remainder_hash = 0L; block = 0L; version = 0l }
+  in
+  Alcotest.check_raises "bad volume"
+    (Invalid_argument "Encoding.encode: volume id must be 20 bytes") (fun () ->
+      ignore (Encoding.encode { base with Encoding.volume = "short" }));
+  Alcotest.check_raises "slot 0 reserved"
+    (Invalid_argument "Encoding.encode: slot out of range 1..65535") (fun () ->
+      ignore (Encoding.encode { base with Encoding.slots = [| 0 |] }));
+  Alcotest.check_raises "too deep"
+    (Invalid_argument "Encoding.encode: too many slot levels") (fun () ->
+      ignore (Encoding.encode { base with Encoding.slots = Array.make 13 1 }))
+
+let test_sibling_order () =
+  (* Sibling files: keys ordered by slot; blocks of one file contiguous
+     between siblings. *)
+  let k_file slot block =
+    Encoding.of_slot_path ~volume:vol ~slots:[ 1; slot ] ~block ~version:0l
+  in
+  Alcotest.(check bool) "slot order" true (Key.compare (k_file 2 0L) (k_file 3 0L) < 0);
+  Alcotest.(check bool) "block order" true (Key.compare (k_file 2 0L) (k_file 2 1L) < 0);
+  Alcotest.(check bool) "blocks within file before next sibling" true
+    (Key.compare (k_file 2 1000L) (k_file 3 0L) < 0)
+
+let test_deep_path_remainder () =
+  let slots = List.init 15 (fun i -> i + 1) in
+  let k = Encoding.of_slot_path ~volume:vol ~slots ~block:0L ~version:0l in
+  let f = Encoding.decode k in
+  Alcotest.(check int) "12 positional slots" 12 (Array.length f.Encoding.slots);
+  Alcotest.(check bool) "remainder hashed" true (f.Encoding.remainder_hash <> 0L);
+  (* Same deep prefix, different remainder => different keys. *)
+  let k2 =
+    Encoding.of_slot_path ~volume:vol
+      ~slots:(List.init 15 (fun i -> if i = 14 then 99 else i + 1))
+      ~block:0L ~version:0l
+  in
+  Alcotest.(check bool) "distinct" false (Key.equal k k2)
+
+let test_prefix_bounds () =
+  let slots = [ 3; 7 ] in
+  let lo = Encoding.slot_prefix_key ~volume:vol ~slots in
+  let hi = Encoding.slot_prefix_upper_bound ~volume:vol ~slots in
+  Alcotest.(check bool) "lo < hi" true (Key.compare lo hi < 0);
+  (* Any file under the prefix is within the bounds. *)
+  let inner =
+    Encoding.of_slot_path ~volume:vol ~slots:[ 3; 7; 200 ] ~block:55L ~version:9l
+  in
+  Alcotest.(check bool) "inner >= lo" true (Key.compare lo inner <= 0);
+  Alcotest.(check bool) "inner <= hi" true (Key.compare inner hi <= 0);
+  (* A sibling subtree is outside. *)
+  let outside = Encoding.of_slot_path ~volume:vol ~slots:[ 3; 8 ] ~block:0L ~version:0l in
+  Alcotest.(check bool) "sibling outside" true (Key.compare hi outside < 0)
+
+let prop_preorder_key_order =
+  (* The locality invariant behind all of §4: if slot path A precedes
+     slot path B in a preorder traversal (lexicographic slot order),
+     then every key under A precedes every key under B. *)
+  QCheck.Test.make ~name:"preorder traversal order = key order" ~count:300
+    QCheck.(
+      pair
+        (pair (list_of_size Gen.(int_range 1 6) (int_range 1 1000)) (int_bound 100))
+        (pair (list_of_size Gen.(int_range 1 6) (int_range 1 1000)) (int_bound 100)))
+    (fun ((slots_a, block_a), (slots_b, block_b)) ->
+      (* Exclude the prefix case: keys *under* a directory interleave
+         with the directory's own blocks by design. *)
+      let rec is_prefix a b =
+        match (a, b) with
+        | [], _ -> true
+        | _, [] -> true
+        | x :: a', y :: b' -> x = y && is_prefix a' b'
+      in
+      QCheck.assume (not (is_prefix slots_a slots_b));
+      let ka =
+        Encoding.of_slot_path ~volume:vol ~slots:slots_a
+          ~block:(Int64.of_int block_a) ~version:0l
+      in
+      let kb =
+        Encoding.of_slot_path ~volume:vol ~slots:slots_b
+          ~block:(Int64.of_int block_b) ~version:0l
+      in
+      let order_slots = compare slots_a slots_b in
+      let order_keys = Key.compare ka kb in
+      (order_slots < 0) = (order_keys < 0))
+
+let prop_encode_roundtrip =
+  QCheck.Test.make ~name:"fig4 encode/decode roundtrip" ~count:300
+    QCheck.(
+      quad
+        (list_of_size Gen.(int_range 0 12) (int_range 1 65535))
+        (int_bound 1_000_000) (int_bound 1000) (int_bound 10000))
+    (fun (slots, rem, block, version) ->
+      let f =
+        {
+          Encoding.volume = vol;
+          slots = Array.of_list slots;
+          remainder_hash = Int64.of_int rem;
+          block = Int64.of_int block;
+          version = Int32.of_int version;
+        }
+      in
+      let f' = Encoding.decode (Encoding.encode f) in
+      f' = f)
+
+(* {1 Hashing} *)
+
+let test_hashing_lengths () =
+  Alcotest.(check int) "20 bytes" 20 (String.length (Hashing.bytes 20 "x"));
+  Alcotest.(check int) "64 bytes" 64 (String.length (Hashing.bytes 64 "x"));
+  Alcotest.(check int) "0 bytes" 0 (String.length (Hashing.bytes 0 "x"));
+  Alcotest.check_raises "too long" (Invalid_argument "Hashing.bytes: n out of range")
+    (fun () -> ignore (Hashing.bytes 65 "x"))
+
+let test_hashing_deterministic () =
+  Alcotest.(check string) "same input" (Hashing.bytes 32 "abc") (Hashing.bytes 32 "abc");
+  Alcotest.(check bool) "different input" true
+    (Hashing.bytes 32 "abc" <> Hashing.bytes 32 "abd");
+  Alcotest.(check bool) "int64 differs" true
+    (Hashing.int64_of "a" <> Hashing.int64_of "b")
+
+(* {1 Keygen policies} *)
+
+let test_traditional_block_spread () =
+  (* Consecutive blocks of a file map to unrelated ring points. *)
+  let k b = Keygen.traditional_block ~volume:"v" ~path:"/a/f" ~block:b ~version:0l in
+  let top b = (Key.to_string (k b)).[0] in
+  let distinct = Hashtbl.create 16 in
+  for b = 0 to 19 do
+    Hashtbl.replace distinct (top (Int64.of_int b)) ()
+  done;
+  Alcotest.(check bool) "spread" true (Hashtbl.length distinct > 10)
+
+let test_traditional_file_colocated () =
+  (* All blocks of a file share the 52-byte prefix. *)
+  let k b = Keygen.traditional_file ~volume:"v" ~path:"/a/f" ~block:b ~version:0l in
+  let prefix b = String.sub (Key.to_string (k b)) 0 52 in
+  Alcotest.(check string) "same prefix" (prefix 0L) (prefix 100L);
+  Alcotest.(check bool) "keys still distinct" false (Key.equal (k 0L) (k 1L));
+  (* Different files land elsewhere. *)
+  let other = Keygen.traditional_file ~volume:"v" ~path:"/a/g" ~block:0L ~version:0l in
+  Alcotest.(check bool) "different file different prefix" true
+    (String.sub (Key.to_string other) 0 52 <> prefix 0L)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "d2_keyspace"
+    [
+      ( "key",
+        Alcotest.test_case "of_string size" `Quick test_of_string_size
+        :: Alcotest.test_case "compare order" `Quick test_compare_order
+        :: Alcotest.test_case "succ/pred" `Quick test_succ_pred
+        :: Alcotest.test_case "succ carry" `Quick test_succ_carry
+        :: Alcotest.test_case "interval plain" `Quick test_in_interval_plain
+        :: Alcotest.test_case "interval wrap" `Quick test_in_interval_wrap
+        :: Alcotest.test_case "hex roundtrip" `Quick test_hex_roundtrip
+        :: Alcotest.test_case "random spread" `Quick test_random_spread
+        :: qcheck [ prop_interval_partition ] );
+      ( "encoding",
+        Alcotest.test_case "volume id" `Quick test_volume_id
+        :: Alcotest.test_case "roundtrip" `Quick test_encode_decode_roundtrip
+        :: Alcotest.test_case "validation" `Quick test_encode_validation
+        :: Alcotest.test_case "sibling order" `Quick test_sibling_order
+        :: Alcotest.test_case "deep path remainder" `Quick test_deep_path_remainder
+        :: Alcotest.test_case "prefix bounds" `Quick test_prefix_bounds
+        :: qcheck [ prop_encode_roundtrip; prop_preorder_key_order ] );
+      ( "hashing",
+        [
+          Alcotest.test_case "lengths" `Quick test_hashing_lengths;
+          Alcotest.test_case "deterministic" `Quick test_hashing_deterministic;
+        ] );
+      ( "keygen",
+        [
+          Alcotest.test_case "traditional spreads blocks" `Quick
+            test_traditional_block_spread;
+          Alcotest.test_case "traditional-file colocates" `Quick
+            test_traditional_file_colocated;
+        ] );
+    ]

@@ -1,0 +1,409 @@
+(* Tests for D2-Store: replication, delayed removal, failure and
+   regeneration, ID changes with pointers, and traffic accounting. *)
+
+module Cluster = D2_store.Cluster
+module Ring = D2_dht.Ring
+module Engine = D2_simnet.Engine
+module Key = D2_keyspace.Key
+module Rng = D2_util.Rng
+
+let k_of_byte b = Key.of_string (String.make 1 (Char.chr b) ^ String.make 63 '\000')
+
+(* A deterministic cluster: node i has id (i+1)*10 in the top byte. *)
+let mk ?(n = 8) ?(config = Cluster.default_config) () =
+  let engine = Engine.create () in
+  let ids = Array.init n (fun i -> k_of_byte ((i + 1) * 10)) in
+  let cluster = Cluster.create ~engine ~config ~ids in
+  (engine, cluster)
+
+let test_put_get () =
+  let _, c = mk () in
+  let key = k_of_byte 15 in
+  Cluster.put c ~key ~size:100 ~data:"hello" ();
+  Alcotest.(check bool) "mem" true (Cluster.mem c ~key);
+  (match Cluster.get c ~key with
+  | Some (Some d) -> Alcotest.(check string) "data" "hello" d
+  | _ -> Alcotest.fail "expected data");
+  Alcotest.(check bool) "missing key" false (Cluster.mem c ~key:(k_of_byte 16));
+  Cluster.check_invariants c
+
+let test_replication_on_successors () =
+  let _, c = mk () in
+  let key = k_of_byte 15 in
+  Cluster.put c ~key ~size:100 ();
+  (* Owner of 15 is node 1 (id 20); replicas on nodes 1,2,3. *)
+  let holders = List.sort compare (Cluster.physical_holders c ~key) in
+  Alcotest.(check (list int)) "three successors" [ 1; 2; 3 ] holders;
+  Alcotest.(check (option int)) "owner" (Some 1) (Cluster.owner_of c ~key)
+
+let test_replication_wraps () =
+  let _, c = mk () in
+  let key = k_of_byte 99 in
+  (* Beyond the last id (80): wraps to nodes 0,1,2. *)
+  Cluster.put c ~key ~size:100 ();
+  let holders = List.sort compare (Cluster.physical_holders c ~key) in
+  Alcotest.(check (list int)) "wrap" [ 0; 1; 2 ] holders
+
+let test_byte_accounting () =
+  let _, c = mk () in
+  Cluster.put c ~key:(k_of_byte 15) ~size:100 ();
+  Cluster.put c ~key:(k_of_byte 16) ~size:50 ();
+  let s1 = Cluster.node_stats c 1 in
+  Alcotest.(check int) "physical on primary" 150 s1.Cluster.physical_bytes;
+  Alcotest.(check int) "primary bytes" 150 s1.Cluster.primary_bytes;
+  let s2 = Cluster.node_stats c 2 in
+  Alcotest.(check int) "replica bytes" 150 s2.Cluster.physical_bytes;
+  Alcotest.(check int) "replica not primary" 0 s2.Cluster.primary_bytes;
+  Alcotest.(check (float 0.1)) "written counter" 150.0 (Cluster.written_bytes c)
+
+let test_overwrite_replaces () =
+  let _, c = mk () in
+  let key = k_of_byte 15 in
+  Cluster.put c ~key ~size:100 ();
+  Cluster.put c ~key ~size:60 ();
+  Alcotest.(check int) "size replaced" 60 (Cluster.node_stats c 1).Cluster.physical_bytes;
+  Alcotest.(check (float 0.1)) "writes accumulate" 160.0 (Cluster.written_bytes c);
+  Alcotest.(check (float 0.1)) "old counted removed" 100.0 (Cluster.removed_bytes c);
+  Cluster.check_invariants c
+
+let test_delayed_remove () =
+  let e, c = mk () in
+  let key = k_of_byte 15 in
+  Cluster.put c ~key ~size:100 ();
+  Cluster.remove c ~key ();
+  Alcotest.(check bool) "still there before delay" true (Cluster.mem c ~key);
+  Engine.run e ~until:29.0;
+  Alcotest.(check bool) "still there at 29s" true (Cluster.mem c ~key);
+  Engine.run e ~until:31.0;
+  Alcotest.(check bool) "gone after 30s" false (Cluster.mem c ~key);
+  Alcotest.(check int) "bytes released" 0 (Cluster.node_stats c 1).Cluster.physical_bytes;
+  Cluster.check_invariants c
+
+let test_remove_explicit_delay () =
+  let e, c = mk () in
+  let key = k_of_byte 15 in
+  Cluster.put c ~key ~size:100 ();
+  Cluster.remove c ~key ~delay:5.0 ();
+  Engine.run e ~until:6.0;
+  Alcotest.(check bool) "gone after custom delay" false (Cluster.mem c ~key)
+
+let test_availability_under_failures () =
+  let _, c = mk () in
+  let key = k_of_byte 15 in
+  Cluster.put c ~key ~size:100 ();
+  Alcotest.(check bool) "up" true (Cluster.available c ~key);
+  Cluster.fail c ~node:1;
+  Cluster.fail c ~node:2;
+  Alcotest.(check bool) "one replica left" true (Cluster.available c ~key);
+  Cluster.fail c ~node:3;
+  Alcotest.(check bool) "all replicas down" false (Cluster.available c ~key);
+  Cluster.recover c ~node:2;
+  Alcotest.(check bool) "back" true (Cluster.available c ~key)
+
+let test_regeneration () =
+  let e, c = mk () in
+  let key = k_of_byte 15 in
+  Cluster.put c ~key ~size:100 ();
+  Cluster.fail c ~node:1;
+  (* Regeneration fetches a copy onto node 4 (next up successor). *)
+  Engine.run e ~until:10.0;
+  let holders = List.sort compare (Cluster.physical_holders c ~key) in
+  Alcotest.(check (list int)) "fourth successor regenerated" [ 1; 2; 3; 4 ] holders;
+  Alcotest.(check bool) "regen traffic counted" true (Cluster.regeneration_bytes c > 0.0);
+  (* Recovery trims the regenerated surplus. *)
+  Cluster.recover c ~node:1;
+  Engine.run e ~until:20.0;
+  let holders = List.sort compare (Cluster.physical_holders c ~key) in
+  Alcotest.(check (list int)) "trimmed" [ 1; 2; 3 ] holders;
+  Cluster.check_invariants c
+
+let test_no_copy_lost_when_all_down () =
+  let e, c = mk () in
+  let key = k_of_byte 15 in
+  Cluster.put c ~key ~size:100 ();
+  Cluster.fail c ~node:1;
+  Cluster.fail c ~node:2;
+  Cluster.fail c ~node:3;
+  (* No live source: regeneration cannot proceed; the block stays
+     unavailable but is not lost. *)
+  Engine.run e ~until:600.0;
+  Alcotest.(check bool) "unavailable" false (Cluster.available c ~key);
+  Cluster.recover c ~node:2;
+  Engine.run e ~until:1200.0;
+  Alcotest.(check bool) "recovers" true (Cluster.available c ~key);
+  Cluster.check_invariants c
+
+let test_change_id_migrates_with_pointers () =
+  let e, c = mk () in
+  (* Blocks keyed 11..19 are owned by node 1 (id 20). *)
+  for b = 11 to 19 do
+    Cluster.put c ~key:(k_of_byte b) ~size:100 ()
+  done;
+  Alcotest.(check int) "owner primary" 900 (Cluster.node_stats c 1).Cluster.primary_bytes;
+  (* Node 7 (id 80, empty range mostly) moves to become predecessor of
+     node 1 at id 15: it takes keys 11..15. *)
+  Cluster.change_id c ~node:7 ~id:(k_of_byte 15);
+  Alcotest.(check int) "ownership split" 500 (Cluster.node_stats c 7).Cluster.primary_bytes;
+  (* Pointers defer the physical move: no migration yet. *)
+  Alcotest.(check (float 0.1)) "no bytes moved yet" 0.0 (Cluster.migration_bytes c);
+  Alcotest.(check bool) "pointers pending" true
+    ((Cluster.node_stats c 7).Cluster.pointer_count > 0);
+  (* After the stabilization time the fetches run. *)
+  Engine.run e ~until:(Cluster.default_config.Cluster.pointer_stabilization +. 7200.0);
+  Alcotest.(check bool) "bytes migrated" true (Cluster.migration_bytes c > 0.0);
+  Alcotest.(check int) "no pointers left" 0 (Cluster.node_stats c 7).Cluster.pointer_count;
+  (* Keys 11..15 now physically on node 7. *)
+  let holders = Cluster.physical_holders c ~key:(k_of_byte 12) in
+  Alcotest.(check bool) "node 7 holds the block" true (List.mem 7 holders);
+  Cluster.check_invariants c
+
+let test_pointer_avoids_double_move () =
+  (* The §6 cascade: B splits A, then D splits B before stabilization;
+     the blocks B pointed at go directly from A to D — they move once. *)
+  let e, c = mk () in
+  for b = 11 to 18 do
+    Cluster.put c ~key:(k_of_byte b) ~size:100 ()
+  done;
+  (* B = node 6 takes (.., 15]; its pointer fetches are pending. *)
+  Cluster.change_id c ~node:6 ~id:(k_of_byte 15);
+  (* D = node 7 takes (.., 13] from B's new range, still before
+     stabilization. *)
+  Engine.run e ~until:60.0;
+  Cluster.change_id c ~node:7 ~id:(k_of_byte 13);
+  Engine.run e ~until:(2.0 *. Cluster.default_config.Cluster.pointer_stabilization +. 7200.0);
+  (* Blocks 11..13: desired now 7,6,1(+..): each byte should move at
+     most ~once per final holder; with a naive scheme block 11..13
+     would have moved to 6 and then again to 7. *)
+  let migrated = Cluster.migration_bytes c in
+  (* Final physical layout needs: node7 gets 11..13 (300 bytes),
+     node6 gets 11..15 minus what it already... bound loosely: *)
+  Alcotest.(check bool)
+    (Printf.sprintf "migration %.0f bounded (single-move)" migrated)
+    true
+    (migrated <= 1300.0);
+  Cluster.check_invariants c;
+  (* And placement is correct. *)
+  let h12 = Cluster.physical_holders c ~key:(k_of_byte 12) in
+  Alcotest.(check bool) "12 at node 7" true (List.mem 7 h12)
+
+let test_without_pointers_immediate () =
+  let config = { Cluster.default_config with Cluster.use_pointers = false } in
+  let e, c = mk ~config () in
+  for b = 11 to 18 do
+    Cluster.put c ~key:(k_of_byte b) ~size:100 ()
+  done;
+  Cluster.change_id c ~node:6 ~id:(k_of_byte 15);
+  Engine.run e ~until:3600.0;
+  Alcotest.(check bool) "migrated promptly" true (Cluster.migration_bytes c > 0.0);
+  Alcotest.(check int) "no pointers" 0 (Cluster.node_stats c 6).Cluster.pointer_count;
+  Cluster.check_invariants c
+
+let test_median_primary_key () =
+  let _, c = mk () in
+  for b = 11 to 19 do
+    Cluster.put c ~key:(k_of_byte b) ~size:100 ()
+  done;
+  (match Cluster.median_primary_key c ~node:1 with
+  | None -> Alcotest.fail "expected a median"
+  | Some k ->
+      Alcotest.(check bool) "median splits the range" true
+        (Key.compare (k_of_byte 13) k <= 0 && Key.compare k (k_of_byte 17) <= 0));
+  Alcotest.(check bool) "empty node" true (Cluster.median_primary_key c ~node:5 = None)
+
+let test_put_skips_down_nodes () =
+  let _, c = mk () in
+  Cluster.fail c ~node:1;
+  let key = k_of_byte 15 in
+  Cluster.put c ~key ~size:100 ();
+  let holders = List.sort compare (Cluster.physical_holders c ~key) in
+  Alcotest.(check (list int)) "skips the down node" [ 2; 3; 4 ] holders
+
+let test_ttl_expiry () =
+  let e, c = mk () in
+  let key = k_of_byte 15 in
+  Cluster.put c ~key ~size:100 ~ttl:100.0 ();
+  Engine.run e ~until:99.0;
+  Alcotest.(check bool) "alive before ttl" true (Cluster.mem c ~key);
+  Engine.run e ~until:101.0;
+  Alcotest.(check bool) "expired" false (Cluster.mem c ~key);
+  Cluster.check_invariants c
+
+let test_ttl_refresh_extends () =
+  let e, c = mk () in
+  let key = k_of_byte 15 in
+  Cluster.put c ~key ~size:100 ~ttl:100.0 ();
+  Engine.run e ~until:80.0;
+  Cluster.refresh c ~key ~ttl:100.0;
+  Engine.run e ~until:150.0;
+  Alcotest.(check bool) "survived first deadline" true (Cluster.mem c ~key);
+  Engine.run e ~until:181.0;
+  Alcotest.(check bool) "expired at refreshed deadline" false (Cluster.mem c ~key)
+
+let test_ttl_absent_without_opt () =
+  let e, c = mk () in
+  let key = k_of_byte 15 in
+  Cluster.put c ~key ~size:100 ();
+  Cluster.refresh c ~key ~ttl:5.0;
+  Engine.run e ~until:1000.0;
+  Alcotest.(check bool) "no spontaneous expiry" true (Cluster.mem c ~key)
+
+let test_ttl_overwrite_resets () =
+  let e, c = mk () in
+  let key = k_of_byte 15 in
+  Cluster.put c ~key ~size:100 ~ttl:50.0 ();
+  Engine.run e ~until:30.0;
+  (* Overwrite without a TTL: the block becomes permanent. *)
+  Cluster.put c ~key ~size:60 ();
+  Engine.run e ~until:500.0;
+  Alcotest.(check bool) "permanent after overwrite" true (Cluster.mem c ~key);
+  Cluster.check_invariants c
+
+let test_hybrid_placement () =
+  let config = { Cluster.default_config with Cluster.hybrid_replicas = true } in
+  let _, c = mk ~n:8 ~config () in
+  let rng = Rng.create 3 in
+  (* Over many keys: 2 locality successors + 1 hashed copy that is
+     usually outside the successor pair. *)
+  let hashed_elsewhere = ref 0 and total = ref 0 in
+  for _ = 1 to 50 do
+    let key = Key.random rng in
+    Cluster.put c ~key ~size:100 ();
+    let holders = Cluster.physical_holders c ~key in
+    Alcotest.(check int) "three copies" 3 (List.length holders);
+    let succ2 = D2_dht.Ring.successors (Cluster.ring c) key 2 in
+    incr total;
+    if List.exists (fun h -> not (List.mem h succ2)) holders then incr hashed_elsewhere
+  done;
+  Alcotest.(check bool) "hashed copy usually off the successor run" true
+    (!hashed_elsewhere > !total / 2);
+  Cluster.check_invariants c
+
+let test_hybrid_survives_group_outage () =
+  let config = { Cluster.default_config with Cluster.hybrid_replicas = true } in
+  let _, c = mk ~n:8 ~config () in
+  let key = k_of_byte 15 in
+  Cluster.put c ~key ~size:100 ();
+  (* Kill the whole locality neighbourhood around the key. *)
+  List.iter (fun n -> Cluster.fail c ~node:n) [ 0; 1; 2; 3 ];
+  Alcotest.(check bool) "hashed copy still serves" true
+    (Cluster.available c ~key
+    || (* unless the hashed position also fell in 0..3 for this key *)
+    List.for_all (fun h -> h <= 3) (Cluster.physical_holders c ~key))
+
+let test_erasure_fragment_accounting () =
+  let config =
+    { Cluster.default_config with Cluster.replicas = 4; redundancy = Cluster.Erasure 2 }
+  in
+  let _, c = mk ~config () in
+  let key = k_of_byte 15 in
+  Cluster.put c ~key ~size:8192 ();
+  (* 4 fragments of 4096 bytes each: 2x storage instead of 4x. *)
+  Alcotest.(check int) "four fragment holders" 4
+    (List.length (Cluster.physical_holders c ~key));
+  Alcotest.(check int) "fragment bytes" 4096
+    (Cluster.node_stats c 1).Cluster.physical_bytes;
+  Cluster.check_invariants c
+
+let test_erasure_needs_m_fragments () =
+  let config =
+    { Cluster.default_config with Cluster.replicas = 4; redundancy = Cluster.Erasure 2 }
+  in
+  let _, c = mk ~config () in
+  let key = k_of_byte 15 in
+  Cluster.put c ~key ~size:8192 ();
+  (* Holders are nodes 1..4.  With 2 fragments needed: *)
+  Alcotest.(check bool) "4 up: ok" true (Cluster.available c ~key);
+  Cluster.fail c ~node:1;
+  Cluster.fail c ~node:2;
+  Alcotest.(check bool) "2 up = m: still ok" true (Cluster.available c ~key);
+  Cluster.fail c ~node:3;
+  Alcotest.(check bool) "1 up < m: unavailable" false (Cluster.available c ~key);
+  Cluster.recover c ~node:2;
+  Alcotest.(check bool) "back to m" true (Cluster.available c ~key)
+
+let test_erasure_regeneration () =
+  let config =
+    { Cluster.default_config with Cluster.replicas = 4; redundancy = Cluster.Erasure 2;
+      migration_bandwidth = 1_000_000.0 }
+  in
+  let e, c = mk ~config () in
+  let key = k_of_byte 15 in
+  Cluster.put c ~key ~size:8192 ();
+  Cluster.fail c ~node:1;
+  Engine.run e ~until:60.0;
+  (* A fresh fragment was rebuilt on node 5 (the next up successor). *)
+  let holders = List.sort compare (Cluster.physical_holders c ~key) in
+  Alcotest.(check (list int)) "rebuilt" [ 1; 2; 3; 4; 5 ] holders;
+  Cluster.check_invariants c
+
+let test_random_stress_invariants () =
+  let rng = Rng.create 99 in
+  let e, c = mk ~n:12 () in
+  let keys = Array.init 200 (fun _ -> Key.random rng) in
+  for step = 1 to 3000 do
+    (match Rng.int rng 10 with
+    | 0 | 1 | 2 | 3 ->
+        Cluster.put c ~key:(Rng.pick rng keys) ~size:(1 + Rng.int rng 8192) ()
+    | 4 | 5 -> Cluster.remove c ~key:(Rng.pick rng keys) ()
+    | 6 ->
+        let node = Rng.int rng 12 in
+        if Cluster.is_up c ~node then Cluster.fail c ~node else Cluster.recover c ~node
+    | 7 ->
+        let node = Rng.int rng 12 in
+        let id = Key.random rng in
+        if Cluster.is_up c ~node && not (Ring.id_taken (Cluster.ring c) id) then
+          Cluster.change_id c ~node ~id
+    | _ -> Engine.run e ~until:(Engine.now e +. 120.0));
+    if step mod 500 = 0 then Cluster.check_invariants c
+  done;
+  Engine.run e ~until:(Engine.now e +. 7200.0);
+  Cluster.check_invariants c
+
+let () =
+  Alcotest.run "d2_store"
+    [
+      ( "basic",
+        [
+          Alcotest.test_case "put/get" `Quick test_put_get;
+          Alcotest.test_case "replication" `Quick test_replication_on_successors;
+          Alcotest.test_case "wrap" `Quick test_replication_wraps;
+          Alcotest.test_case "byte accounting" `Quick test_byte_accounting;
+          Alcotest.test_case "overwrite" `Quick test_overwrite_replaces;
+          Alcotest.test_case "delayed remove" `Quick test_delayed_remove;
+          Alcotest.test_case "custom delay" `Quick test_remove_explicit_delay;
+        ] );
+      ( "ttl",
+        [
+          Alcotest.test_case "expiry" `Quick test_ttl_expiry;
+          Alcotest.test_case "refresh extends" `Quick test_ttl_refresh_extends;
+          Alcotest.test_case "absent without opt" `Quick test_ttl_absent_without_opt;
+          Alcotest.test_case "overwrite resets" `Quick test_ttl_overwrite_resets;
+        ] );
+      ( "failures",
+        [
+          Alcotest.test_case "availability" `Quick test_availability_under_failures;
+          Alcotest.test_case "regeneration" `Quick test_regeneration;
+          Alcotest.test_case "no copy lost" `Quick test_no_copy_lost_when_all_down;
+          Alcotest.test_case "put skips down" `Quick test_put_skips_down_nodes;
+        ] );
+      ( "balancing",
+        [
+          Alcotest.test_case "change_id + pointers" `Quick test_change_id_migrates_with_pointers;
+          Alcotest.test_case "no double move" `Quick test_pointer_avoids_double_move;
+          Alcotest.test_case "immediate mode" `Quick test_without_pointers_immediate;
+          Alcotest.test_case "median key" `Quick test_median_primary_key;
+        ] );
+      ( "hybrid",
+        [
+          Alcotest.test_case "placement" `Quick test_hybrid_placement;
+          Alcotest.test_case "survives group outage" `Quick test_hybrid_survives_group_outage;
+        ] );
+      ( "erasure",
+        [
+          Alcotest.test_case "fragment accounting" `Quick test_erasure_fragment_accounting;
+          Alcotest.test_case "m-of-n availability" `Quick test_erasure_needs_m_fragments;
+          Alcotest.test_case "regeneration" `Quick test_erasure_regeneration;
+        ] );
+      ( "stress",
+        [ Alcotest.test_case "random ops keep invariants" `Quick test_random_stress_invariants ] );
+    ]
