@@ -1,0 +1,32 @@
+SHELL := /bin/bash
+
+.PHONY: build test bench bench-quick clean
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# CI smoke test: run a fast experiment subset at quick scale on two
+# worker domains and diff the output (wall times normalized away)
+# against the golden file.  Catches both report regressions and
+# parallel-runner nondeterminism — the report bytes must not depend
+# on the job count or on scheduling.
+bench-quick: build
+	set -o pipefail; \
+	D2_SCALE=quick D2_JOBS=2 dune exec bench/main.exe -- \
+	  table1 fig3 ablation_routing ablation_hotspot \
+	  --no-micro --json /tmp/d2_bench_quick.json \
+	| sed -E 's/^\[([a-z0-9_]+): [0-9.]+s\]$$/[\1: _s]/' \
+	| grep -v '^Total wall time' \
+	| grep -v '^results written to' \
+	> /tmp/d2_bench_quick.out
+	diff -u bench/golden_quick.txt /tmp/d2_bench_quick.out
+	@echo "bench-quick OK"
+
+clean:
+	dune clean

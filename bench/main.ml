@@ -2,9 +2,18 @@
    paper's evaluation (via d2_experiments) and then runs Bechamel
    micro-benchmarks of the core data-structure operations.
 
-   Scale is controlled by D2_SCALE (paper | quick); see
-   lib/experiments/config.mli.  Pass experiment ids as argv to run a
-   subset, e.g. `dune exec bench/main.exe -- fig9 fig13`. *)
+   Scale is controlled by D2_SCALE (paper | quick) and parallelism by
+   D2_JOBS (worker domains; default = recommended_domain_count - 1);
+   see lib/experiments/config.mli and lib/util/pool.mli.  Experiments
+   run concurrently but print deterministically in registry order.
+
+   Usage: dune exec bench/main.exe -- [ids...] [--no-micro] [--json FILE]
+     ids         run a subset, e.g. `fig9 fig13` (default: everything)
+     --no-micro  skip the Bechamel micro-benchmarks
+     --json FILE machine-readable results path (default BENCH_results.json)
+
+   Every run writes a JSON results file (per-experiment wall seconds,
+   micro ns/op, scale, job count) so later PRs can compare perf. *)
 
 module Config = D2_experiments.Config
 module Registry = D2_experiments.Registry
@@ -12,9 +21,10 @@ module Key = D2_keyspace.Key
 module Encoding = D2_keyspace.Encoding
 module Ring = D2_dht.Ring
 module Rng = D2_util.Rng
+module Pool = D2_util.Pool
 module Lookup_cache = D2_cache.Lookup_cache
 
-let run_experiments scale ids =
+let run_experiments scale ids ~jobs =
   let entries =
     match ids with
     | [] -> Registry.all
@@ -28,9 +38,11 @@ let run_experiments scale ids =
                 None)
           ids
   in
-  Printf.printf "== D2 evaluation reproduction (scale: %s) ==\n\n%!"
-    (Config.scale_name scale);
-  List.iter (Registry.run_and_print scale) entries
+  Printf.printf "== D2 evaluation reproduction (scale: %s, jobs: %d) ==\n\n%!"
+    (Config.scale_name scale) jobs;
+  let outcomes = Registry.run_entries ~jobs scale entries in
+  List.iter Registry.print_outcome outcomes;
+  outcomes
 
 (* {1 Bechamel micro-benchmarks} *)
 
@@ -53,6 +65,23 @@ let micro_tests () =
     keys.(!idx)
   in
   let volume = Encoding.volume_id "bench" in
+  (* D2-mode cache probe: one volume's keys share their 20-byte volume
+     prefix, and a task's successive probes land in the range it just
+     cached (the paper's up-to-95%-hit regime, §5). *)
+  let d2_keys =
+    Array.init 1024 (fun i ->
+        Encoding.of_slot_path ~volume
+          ~slots:[ 1; 1 + (i / 64) ]
+          ~block:(Int64.of_int (i land 63))
+          ~version:0l)
+  in
+  let d2_cache = Lookup_cache.create () in
+  for i = 0 to 15 do
+    Lookup_cache.insert d2_cache ~now:0.0 ~lo:d2_keys.(i * 64)
+      ~hi:d2_keys.((i * 64) + 63)
+      ~node:i
+  done;
+  let d2_idx = ref 0 in
   [
     Test.make ~name:"key_compare" (Staged.stage (fun () ->
         ignore (Key.compare (next_key ()) keys.(0))));
@@ -68,6 +97,9 @@ let micro_tests () =
         ignore (Ring.route_hops ring ~src:0 ~key:(next_key ()))));
     Test.make ~name:"lookup_cache_probe" (Staged.stage (fun () ->
         ignore (Lookup_cache.lookup cache ~now:1.0 (next_key ()))));
+    Test.make ~name:"lookup_cache_probe_d2" (Staged.stage (fun () ->
+        ignore (Lookup_cache.lookup d2_cache ~now:1.0 d2_keys.(!d2_idx));
+        d2_idx := (!d2_idx + 1) land 1023));
   ]
 
 let run_micro () =
@@ -77,7 +109,7 @@ let run_micro () =
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
   let tests = micro_tests () in
-  List.iter
+  List.concat_map
     (fun test ->
       let results = Benchmark.all cfg instances test in
       let ols =
@@ -85,18 +117,74 @@ let run_micro () =
           (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
           Instance.monotonic_clock results
       in
-      Hashtbl.iter
-        (fun name result ->
+      Hashtbl.fold
+        (fun name result acc ->
           match Bechamel.Analyze.OLS.estimates result with
-          | Some [ est ] -> Printf.printf "  %-24s %12.1f ns/op\n%!" name est
-          | _ -> Printf.printf "  %-24s (no estimate)\n%!" name)
-        ols)
+          | Some [ est ] ->
+              Printf.printf "  %-24s %12.1f ns/op\n%!" name est;
+              (name, Some est) :: acc
+          | _ ->
+              Printf.printf "  %-24s (no estimate)\n%!" name;
+              (name, None) :: acc)
+        ols [])
     tests
 
+(* {1 Machine-readable results} *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_results path ~scale ~jobs ~total ~outcomes ~micros =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"scale\": \"%s\",\n" (json_escape (Config.scale_name scale));
+  Printf.fprintf oc "  \"jobs\": %d,\n" jobs;
+  Printf.fprintf oc "  \"total_wall_s\": %.3f,\n" total;
+  Printf.fprintf oc "  \"experiments\": [\n";
+  List.iteri
+    (fun i (o : Registry.outcome) ->
+      Printf.fprintf oc "    {\"id\": \"%s\", \"wall_s\": %.3f}%s\n"
+        (json_escape o.Registry.o_entry.Registry.id)
+        o.Registry.wall
+        (if i = List.length outcomes - 1 then "" else ","))
+    outcomes;
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc "  \"micro\": [\n";
+  List.iteri
+    (fun i (name, est) ->
+      Printf.fprintf oc "    {\"name\": \"%s\", \"ns_per_op\": %s}%s\n" (json_escape name)
+        (match est with Some v -> Printf.sprintf "%.1f" v | None -> "null")
+        (if i = List.length micros - 1 then "" else ","))
+    micros;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "results written to %s\n%!" path
+
 let () =
-  let ids = List.tl (Array.to_list Sys.argv) in
+  let rec parse ids json no_micro = function
+    | [] -> (List.rev ids, json, no_micro)
+    | "--no-micro" :: rest -> parse ids json true rest
+    | "--json" :: path :: rest -> parse ids path no_micro rest
+    | id :: rest -> parse (id :: ids) json no_micro rest
+  in
+  let ids, json_path, no_micro =
+    parse [] "BENCH_results.json" false (List.tl (Array.to_list Sys.argv))
+  in
   let scale = Config.of_env () in
+  let jobs = Pool.default_jobs () in
   let t0 = Unix.gettimeofday () in
-  run_experiments scale ids;
-  run_micro ();
-  Printf.printf "\nTotal wall time: %.1fs\n" (Unix.gettimeofday () -. t0)
+  let outcomes = run_experiments scale ids ~jobs in
+  let micros = if no_micro then [] else run_micro () in
+  let total = Unix.gettimeofday () -. t0 in
+  Printf.printf "\nTotal wall time: %.1fs\n" total;
+  write_results json_path ~scale ~jobs ~total ~outcomes ~micros

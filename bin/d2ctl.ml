@@ -30,6 +30,17 @@ let scale_term =
     & info [ "s"; "scale" ] ~docv:"SCALE"
         ~doc:"Experiment scale: $(b,quick) or $(b,paper) (default from D2_SCALE).")
 
+let jobs_term =
+  Arg.(
+    value
+    & opt int (D2_util.Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"JOBS"
+        ~doc:
+          "Worker domains running experiments concurrently (default from \
+           D2_JOBS, else one less than the recommended domain count).  Output \
+           is printed in registry order and is byte-identical across job \
+           counts.")
+
 let setup_log verbose =
   Fmt_tty.setup_std_outputs ();
   Logs.set_reporter (Logs_fmt.reporter ());
@@ -57,7 +68,7 @@ let list_cmd =
 let run_cmd =
   let ids = Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT") in
   let all = Arg.(value & flag & info [ "all" ] ~doc:"Run every experiment.") in
-  let run scale all ids () =
+  let run scale jobs all ids () =
     let entries =
       if all || ids = [] then Registry.all
       else
@@ -70,12 +81,12 @@ let run_cmd =
                 exit 1)
           ids
     in
-    Printf.printf "scale: %s\n\n%!" (Config.scale_name scale);
-    List.iter (Registry.run_and_print scale) entries
+    Printf.printf "scale: %s (jobs: %d)\n\n%!" (Config.scale_name scale) jobs;
+    List.iter Registry.print_outcome (Registry.run_entries ~jobs scale entries)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Regenerate the paper's tables and figures")
-    Term.(const run $ scale_term $ all $ ids $ verbose_term)
+    Term.(const run $ scale_term $ jobs_term $ all $ ids $ verbose_term)
 
 (* {1 workload} *)
 

@@ -1,26 +1,27 @@
 module Key = D2_keyspace.Key
+module KTbl = Key.Table
 module KeyMap = Map.Make (Key)
 
 type dirty = { size : int; due : float }
 
 type t = {
   win : float;
-  warm : (Key.t, float) Hashtbl.t;  (** key -> last access time *)
+  warm : float KTbl.t;  (** key -> last access time *)
   mutable dirty : dirty KeyMap.t;
   mutable accesses_since_purge : int;
 }
 
 let create ?(window = 30.0) () =
   if window <= 0.0 then invalid_arg "Block_cache.create: window must be positive";
-  { win = window; warm = Hashtbl.create 256; dirty = KeyMap.empty; accesses_since_purge = 0 }
+  { win = window; warm = KTbl.create 256; dirty = KeyMap.empty; accesses_since_purge = 0 }
 
 let purge_warm t ~now =
   let stale =
-    Hashtbl.fold
+    KTbl.fold
       (fun k last acc -> if now -. last >= t.win then k :: acc else acc)
       t.warm []
   in
-  List.iter (Hashtbl.remove t.warm) stale
+  List.iter (KTbl.remove t.warm) stale
 
 let maybe_purge t ~now =
   t.accesses_since_purge <- t.accesses_since_purge + 1;
@@ -30,18 +31,18 @@ let maybe_purge t ~now =
   end
 
 let is_warm t ~now key =
-  match Hashtbl.find_opt t.warm key with
+  match KTbl.find_opt t.warm key with
   | Some last -> now -. last < t.win
   | None -> false
 
 let touch t ~now key =
   maybe_purge t ~now;
   let hit = is_warm t ~now key in
-  Hashtbl.replace t.warm key now;
+  KTbl.replace t.warm key now;
   hit
 
 let write t ~now key ~size =
-  Hashtbl.replace t.warm key now;
+  KTbl.replace t.warm key now;
   t.dirty <- KeyMap.add key { size; due = now +. t.win } t.dirty
 
 let cancel t key = t.dirty <- KeyMap.remove key t.dirty

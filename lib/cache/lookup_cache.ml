@@ -1,11 +1,27 @@
 module Key = D2_keyspace.Key
-module KeyMap = Map.Make (Key)
+
+(* The range map is keyed by [(prefix, hi)] where [prefix] is the
+   62-bit head of [hi]: the pair order equals the plain key order, but
+   most comparisons on a search path resolve with one unboxed int
+   comparison instead of a byte-wise [String.compare]. *)
+module HiKey = struct
+  type t = int * Key.t
+
+  let compare (p1, k1) (p2, k2) =
+    if p1 < p2 then -1 else if p1 > p2 then 1 else Key.compare k1 k2
+end
+
+module KeyMap = Map.Make (HiKey)
 
 type entry = { lo : Key.t; node : int; expires : float }
 
 type t = {
   ttl : float;
   mutable entries : entry KeyMap.t;  (** keyed by range upper bound [hi] *)
+  mutable mru : (HiKey.t * entry) option;
+      (** last entry that answered a hit: with locality-preserving keys
+          the next key usually lands in the same range, so this skips
+          the map search entirely.  Cleared on any mutation. *)
   mutable hits : int;
   mutable misses : int;
   mutable last_purge : float;
@@ -13,37 +29,45 @@ type t = {
 
 let create ?(ttl = 4500.0) () =
   if ttl <= 0.0 then invalid_arg "Lookup_cache.create: ttl must be positive";
-  { ttl; entries = KeyMap.empty; hits = 0; misses = 0; last_purge = 0.0 }
+  { ttl; entries = KeyMap.empty; mru = None; hits = 0; misses = 0; last_purge = 0.0 }
 
 let purge t ~now =
   t.entries <- KeyMap.filter (fun _ e -> e.expires > now) t.entries;
+  t.mru <- None;
   t.last_purge <- now
 
 let lookup t ~now key =
   if now -. t.last_purge > 4.0 *. t.ttl then purge t ~now;
-  (* The candidate entry is the one with the smallest hi >= key. *)
-  let candidate =
-    match KeyMap.find_first_opt (fun hi -> Key.compare hi key >= 0) t.entries with
-    | Some (hi, e) -> Some (hi, e)
-    | None -> None
-  in
-  match candidate with
-  | Some (hi, e) when Key.in_interval key ~lo:e.lo ~hi ->
-      if e.expires > now then begin
-        t.hits <- t.hits + 1;
-        Some e.node
-      end
-      else begin
-        t.entries <- KeyMap.remove hi t.entries;
-        t.misses <- t.misses + 1;
-        None
-      end
-  | Some _ | None ->
-      t.misses <- t.misses + 1;
-      None
+  match t.mru with
+  | Some ((_, hi), e) when e.expires > now && Key.in_interval key ~lo:e.lo ~hi ->
+      t.hits <- t.hits + 1;
+      Some e.node
+  | _ -> (
+      (* The candidate entry is the one with the smallest hi >= key. *)
+      let target = (Key.prefix_at key 0, key) in
+      let candidate =
+        KeyMap.find_first_opt (fun hk -> HiKey.compare hk target >= 0) t.entries
+      in
+      match candidate with
+      | Some (((_, hi) as hk), e) when Key.in_interval key ~lo:e.lo ~hi ->
+          if e.expires > now then begin
+            t.hits <- t.hits + 1;
+            t.mru <- Some (hk, e);
+            Some e.node
+          end
+          else begin
+            t.entries <- KeyMap.remove hk t.entries;
+            t.mru <- None;
+            t.misses <- t.misses + 1;
+            None
+          end
+      | Some _ | None ->
+          t.misses <- t.misses + 1;
+          None)
 
 let insert_piece t ~lo ~hi ~node ~expires =
-  t.entries <- KeyMap.add hi { lo; node; expires } t.entries
+  t.entries <- KeyMap.add (Key.prefix_at hi 0, hi) { lo; node; expires } t.entries;
+  t.mru <- None
 
 let insert t ~now ~lo ~hi ~node =
   let expires = now +. t.ttl in
@@ -75,4 +99,5 @@ let reset_stats t =
 
 let clear t =
   t.entries <- KeyMap.empty;
+  t.mru <- None;
   reset_stats t

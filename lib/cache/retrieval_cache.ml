@@ -1,10 +1,11 @@
 module Key = D2_keyspace.Key
+module KTbl = Key.Table
 
 type entry = { size : int; mutable stamp : int }
 
 type t = {
   capacity : int;
-  entries : (Key.t, entry) Hashtbl.t;
+  entries : entry KTbl.t;
   mutable used : int;
   mutable clock : int;  (** recency stamp source *)
   mutable evicted : int;
@@ -12,7 +13,7 @@ type t = {
 
 let create ~capacity =
   if capacity <= 0 then invalid_arg "Retrieval_cache.create: capacity must be positive";
-  { capacity; entries = Hashtbl.create 64; used = 0; clock = 0; evicted = 0 }
+  { capacity; entries = KTbl.create 64; used = 0; clock = 0; evicted = 0 }
 
 let tick t =
   t.clock <- t.clock + 1;
@@ -23,7 +24,7 @@ let tick t =
    blocks, far below where an intrusive LRU list would matter. *)
 let evict_one t =
   let victim = ref None in
-  Hashtbl.iter
+  KTbl.iter
     (fun k (e : entry) ->
       match !victim with
       | Some (_, stamp) when stamp <= e.stamp -> ()
@@ -32,34 +33,34 @@ let evict_one t =
   match !victim with
   | None -> ()
   | Some (k, _) ->
-      (match Hashtbl.find_opt t.entries k with
+      (match KTbl.find_opt t.entries k with
       | Some e -> t.used <- t.used - e.size
       | None -> ());
-      Hashtbl.remove t.entries k;
+      KTbl.remove t.entries k;
       t.evicted <- t.evicted + 1
 
 let insert t key ~size =
   if size < 0 then invalid_arg "Retrieval_cache.insert: negative size";
   if size <= t.capacity then begin
-    (match Hashtbl.find_opt t.entries key with
+    (match KTbl.find_opt t.entries key with
     | Some e ->
         t.used <- t.used - e.size;
-        Hashtbl.remove t.entries key
+        KTbl.remove t.entries key
     | None -> ());
     while t.used + size > t.capacity do
       evict_one t
     done;
-    Hashtbl.replace t.entries key { size; stamp = tick t };
+    KTbl.replace t.entries key { size; stamp = tick t };
     t.used <- t.used + size
   end
 
 let mem t key =
-  match Hashtbl.find_opt t.entries key with
+  match KTbl.find_opt t.entries key with
   | Some e ->
       e.stamp <- tick t;
       true
   | None -> false
 
 let bytes_used t = t.used
-let entry_count t = Hashtbl.length t.entries
+let entry_count t = KTbl.length t.entries
 let evictions t = t.evicted

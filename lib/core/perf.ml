@@ -84,19 +84,22 @@ let in_windows windows time =
   List.exists (fun (a, b) -> time >= a && time < b) windows
 
 (* Para makespan: list scheduling with [slots] concurrent transfers and
-   per-server link serialization; per-(client,server) TCP state. *)
+   per-server link serialization; per-(client,server) TCP state.
+   Slots are interchangeable, so only the multiset of their free times
+   matters: a min-heap replaces the per-fetch linear scan over
+   [max_in_flight] slots. *)
 let para_makespan ~cfg ~conns ~client ~topo ~fetches =
-  let slots = Array.make cfg.max_in_flight 0.0 in
+  let slots = D2_util.Heap.create ~cmp:Float.compare in
+  for _ = 1 to cfg.max_in_flight do
+    D2_util.Heap.push slots 0.0
+  done;
   let server_free : (int, float) Hashtbl.t = Hashtbl.create 16 in
   let finish = ref 0.0 in
   List.iter
     (fun fd ->
       (* Take the earliest-free slot. *)
-      let best = ref 0 in
-      for i = 1 to cfg.max_in_flight - 1 do
-        if slots.(i) < slots.(!best) then best := i
-      done;
-      let ready = Float.max fd.ready slots.(!best) in
+      let slot_free = D2_util.Heap.pop_exn slots in
+      let ready = Float.max fd.ready slot_free in
       let sfree =
         match Hashtbl.find_opt server_free fd.server with Some v -> v | None -> 0.0
       in
@@ -116,7 +119,7 @@ let para_makespan ~cfg ~conns ~client ~topo ~fetches =
           ~bytes:fd.f_bytes
       in
       let stop = start +. dur in
-      slots.(!best) <- stop;
+      D2_util.Heap.push slots stop;
       Hashtbl.replace server_free fd.server stop;
       if stop > !finish then finish := stop)
     (List.rev fetches);

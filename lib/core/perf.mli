@@ -41,6 +41,24 @@ val default_config : nodes:int -> bandwidth:float -> config
 
 type group_perf = { g_user : int; seq : float; para : float; fetched : int }
 
+type fetch_desc = { ready : float; server : int; f_bytes : int }
+(** One pending fetch of an access group: earliest issue time
+    (relative to the group start), serving node, payload bytes. *)
+
+val para_makespan :
+  cfg:config ->
+  conns:(int * int, D2_simnet.Tcp.conn) Hashtbl.t ->
+  client:int ->
+  topo:D2_simnet.Topology.t ->
+  fetches:fetch_desc list ->
+  float
+(** Completion time of the parallel schedule: at most
+    [cfg.max_in_flight] transfers in flight (earliest-free slot
+    first), transfers serialized per server access link, TCP window
+    state kept per [conn_key] in [conns].  [fetches] is in {e reverse}
+    issue order, as accumulated during replay.  Exposed for the
+    scheduling regression tests. *)
+
 type pass = {
   p_mode : Keymap.mode;
   p_config : config;

@@ -2,13 +2,22 @@ module Key = D2_keyspace.Key
 
 type t = {
   mutable ids : Key.t array;  (** sorted ascending *)
+  mutable pfx : int array;  (** [Key.prefix_at ids.(i) off], same index *)
   mutable nodes : int array;  (** node handle at same index *)
   mutable n : int;
+  mutable off : int;  (** common-prefix length of all ids, <= max_prefix_offset *)
   by_node : (int, Key.t) Hashtbl.t;
 }
 
 let create () =
-  { ids = [||]; nodes = [||]; n = 0; by_node = Hashtbl.create 64 }
+  {
+    ids = [||];
+    pfx = [||];
+    nodes = [||];
+    n = 0;
+    off = Key.max_prefix_offset;
+    by_node = Hashtbl.create 64;
+  }
 
 let size t = t.n
 
@@ -19,14 +28,52 @@ let id_of t ~node =
   | Some id -> id
   | None -> invalid_arg "Ring.id_of: node is not a member"
 
+(* The ids are sorted, so every id shares the common prefix of the
+   first and last one.  Comparing precomputed 62-bit prefixes taken at
+   that offset resolves almost every binary-search step with one
+   unboxed int comparison, even when all ids share a long prefix
+   (load-balanced rings derive ids from one volume's keys). *)
+let current_off t =
+  if t.n <= 1 then Key.max_prefix_offset
+  else min Key.max_prefix_offset (Key.common_prefix_len t.ids.(0) t.ids.(t.n - 1))
+
+(* Re-derive [off] after a membership change; [fresh] is the index of
+   a newly inserted id still missing its prefix, or -1. *)
+let sync_prefixes t ~fresh =
+  let off = current_off t in
+  if off <> t.off then begin
+    t.off <- off;
+    for i = 0 to t.n - 1 do
+      t.pfx.(i) <- Key.prefix_at t.ids.(i) off
+    done
+  end
+  else if fresh >= 0 then t.pfx.(fresh) <- Key.prefix_at t.ids.(fresh) off
+
 (* Index of the first id >= key, or [t.n] if none. *)
 let lower_bound t key =
-  let lo = ref 0 and hi = ref t.n in
-  while !lo < !hi do
-    let mid = (!lo + !hi) / 2 in
-    if Key.compare t.ids.(mid) key < 0 then lo := mid + 1 else hi := mid
-  done;
-  !lo
+  if t.n = 0 then 0
+  else begin
+    (* All ids agree on their first [off] bytes; one head comparison
+       settles any key that diverges from that prefix. *)
+    let c = if t.off = 0 then 0 else Key.compare_head key t.ids.(0) t.off in
+    if c < 0 then 0
+    else if c > 0 then t.n
+    else begin
+      let kp = Key.prefix_at key t.off in
+      let lo = ref 0 and hi = ref t.n in
+      while !lo < !hi do
+        let mid = (!lo + !hi) lsr 1 in
+        let mp = Array.unsafe_get t.pfx mid in
+        let below =
+          if mp < kp then true
+          else if mp > kp then false
+          else Key.compare_from t.off t.ids.(mid) key < 0
+        in
+        if below then lo := mid + 1 else hi := mid
+      done;
+      !lo
+    end
+  end
 
 let id_taken t key =
   let i = lower_bound t key in
@@ -47,10 +94,14 @@ let grow t =
   let cap = Array.length t.ids in
   if t.n = cap then begin
     let ncap = max 16 (2 * cap) in
-    let ids = Array.make ncap Key.zero and nodes = Array.make ncap 0 in
+    let ids = Array.make ncap Key.zero
+    and pfx = Array.make ncap 0
+    and nodes = Array.make ncap 0 in
     Array.blit t.ids 0 ids 0 t.n;
+    Array.blit t.pfx 0 pfx 0 t.n;
     Array.blit t.nodes 0 nodes 0 t.n;
     t.ids <- ids;
+    t.pfx <- pfx;
     t.nodes <- nodes
   end
 
@@ -60,18 +111,22 @@ let add t ~id ~node =
   if i < t.n && Key.equal t.ids.(i) id then invalid_arg "Ring.add: id already taken";
   grow t;
   Array.blit t.ids i t.ids (i + 1) (t.n - i);
+  Array.blit t.pfx i t.pfx (i + 1) (t.n - i);
   Array.blit t.nodes i t.nodes (i + 1) (t.n - i);
   t.ids.(i) <- id;
   t.nodes.(i) <- node;
   t.n <- t.n + 1;
-  Hashtbl.replace t.by_node node id
+  Hashtbl.replace t.by_node node id;
+  sync_prefixes t ~fresh:i
 
 let remove t ~node =
   let i = rank_of t ~node in
   Array.blit t.ids (i + 1) t.ids i (t.n - i - 1);
+  Array.blit t.pfx (i + 1) t.pfx i (t.n - i - 1);
   Array.blit t.nodes (i + 1) t.nodes i (t.n - i - 1);
   t.n <- t.n - 1;
-  Hashtbl.remove t.by_node node
+  Hashtbl.remove t.by_node node;
+  sync_prefixes t ~fresh:(-1)
 
 let change_id t ~node ~id =
   remove t ~node;
@@ -122,4 +177,10 @@ let check_invariants t =
     match Hashtbl.find_opt t.by_node t.nodes.(i) with
     | Some id when Key.equal id t.ids.(i) -> ()
     | _ -> invalid_arg "Ring.check_invariants: node/id mapping broken"
+  done;
+  if t.n > 0 && t.off <> current_off t then
+    invalid_arg "Ring.check_invariants: stale prefix offset";
+  for i = 0 to t.n - 1 do
+    if t.pfx.(i) <> Key.prefix_at t.ids.(i) t.off then
+      invalid_arg "Ring.check_invariants: stale prefix cache"
   done

@@ -1,14 +1,8 @@
 module Rng = D2_util.Rng
 
-let memo_tbl : (string, D2_trace.Op.t) Hashtbl.t = Hashtbl.create 8
+let memo_tbl : D2_trace.Op.t D2_util.Memo.t = D2_util.Memo.create ()
 
-let memo key build =
-  match Hashtbl.find_opt memo_tbl key with
-  | Some t -> t
-  | None ->
-      let t = build () in
-      Hashtbl.replace memo_tbl key t;
-      t
+let memo key build = D2_util.Memo.get memo_tbl key build
 
 let harvard scale =
   memo

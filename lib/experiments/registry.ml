@@ -1,3 +1,6 @@
+module Pool = D2_util.Pool
+module Report = D2_util.Report
+
 type entry = {
   id : string;
   title : string;
@@ -33,6 +36,95 @@ let all =
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all
+
+type outcome = { o_entry : entry; output : string; logs : string; wall : float }
+
+let render_entry scale entry =
+  let t0 = Unix.gettimeofday () in
+  let reports = entry.run scale in
+  let wall = Unix.gettimeofday () -. t0 in
+  (String.concat "" (List.map Report.render reports), wall)
+
+(* Worker domains must not write through whatever Logs reporter is
+   installed (formatters are not domain-safe, and interleaved lines
+   would defeat deterministic output).  While a parallel run is in
+   flight, log records are redirected into a per-running-entry buffer
+   looked up by the reporting domain's id; each entry's captured log
+   text is emitted with its outcome, in registry order. *)
+let buffering_reporter ~find_buf =
+  let report src level ~over k msgf =
+    match find_buf () with
+    | None ->
+        over ();
+        k ()
+    | Some buf ->
+        let ppf = Format.formatter_of_buffer buf in
+        msgf (fun ?header ?tags:_ fmt ->
+            Format.kfprintf
+              (fun ppf ->
+                Format.pp_print_flush ppf ();
+                Buffer.add_char buf '\n';
+                over ();
+                k ())
+              ppf
+              ("%s: [%s] %s" ^^ fmt)
+              (Logs.Src.name src)
+              (Logs.level_to_string (Some level))
+              (match header with Some h -> h ^ " " | None -> ""))
+  in
+  { Logs.report }
+
+let run_parallel ~jobs scale entries =
+  let saved_reporter = Logs.reporter () in
+  let mu = Mutex.create () in
+  let bufs : (int, Buffer.t) Hashtbl.t = Hashtbl.create 8 in
+  let find_buf () =
+    let did = (Domain.self () :> int) in
+    Mutex.lock mu;
+    let b = Hashtbl.find_opt bufs did in
+    Mutex.unlock mu;
+    b
+  in
+  Logs.set_reporter (buffering_reporter ~find_buf);
+  let pool = Pool.create ~jobs () in
+  Fun.protect
+    ~finally:(fun () ->
+      Pool.shutdown pool;
+      Logs.set_reporter saved_reporter)
+    (fun () ->
+      Pool.map pool
+        (fun e ->
+          let buf = Buffer.create 256 in
+          let did = (Domain.self () :> int) in
+          Mutex.lock mu;
+          Hashtbl.replace bufs did buf;
+          Mutex.unlock mu;
+          Fun.protect
+            ~finally:(fun () ->
+              Mutex.lock mu;
+              Hashtbl.remove bufs did;
+              Mutex.unlock mu)
+            (fun () ->
+              let output, wall = render_entry scale e in
+              { o_entry = e; output; logs = Buffer.contents buf; wall }))
+        entries)
+
+let run_entries ?jobs scale entries =
+  let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
+  match entries with
+  | [] -> []
+  | _ when jobs <= 1 || List.compare_length_with entries 1 <= 0 ->
+      List.map
+        (fun e ->
+          let output, wall = render_entry scale e in
+          { o_entry = e; output; logs = ""; wall })
+        entries
+  | _ -> run_parallel ~jobs scale entries
+
+let print_outcome o =
+  print_string o.output;
+  if o.logs <> "" then print_string o.logs;
+  Printf.printf "[%s: %.1fs]\n\n%!" o.o_entry.id o.wall
 
 let run_and_print scale entry =
   let t0 = Unix.gettimeofday () in

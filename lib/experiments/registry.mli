@@ -1,6 +1,13 @@
 (** Catalogue of every reproducible experiment: the paper's tables and
     figures plus the ablations.  The bench harness and the CLI both
-    drive experiments through this list. *)
+    drive experiments through this list.
+
+    Experiments are independent — each seeds its own {!D2_util.Rng}
+    chain and builds its own simulation state, and the shared trace /
+    pass caches ({!Data}, {!Suites}) are domain-safe — so
+    {!run_entries} can execute them concurrently on a
+    {!D2_util.Pool} of worker domains while still printing results
+    deterministically in registry order. *)
 
 type entry = {
   id : string;  (** e.g. "fig9", "table3", "ablation_pointers" *)
@@ -14,5 +21,24 @@ val all : entry list
 
 val find : string -> entry option
 
+type outcome = {
+  o_entry : entry;
+  output : string;  (** rendered report tables *)
+  logs : string;  (** log records captured during a parallel run *)
+  wall : float;  (** this entry's own wall-clock seconds *)
+}
+
+val run_entries : ?jobs:int -> Config.scale -> entry list -> outcome list
+(** Run the entries on [jobs] worker domains (default
+    {!D2_util.Pool.default_jobs}, i.e. the [D2_JOBS] environment
+    override) and return their outcomes {e in input order}.  With
+    [jobs = 1] (or a single entry) everything runs sequentially on the
+    calling domain.  Report output is byte-identical across job
+    counts; only the [wall] fields vary. *)
+
+val print_outcome : outcome -> unit
+(** Print the entry's tables, any captured log lines, and an
+    "[id: 1.2s]" wall-time trailer. *)
+
 val run_and_print : Config.scale -> entry -> unit
-(** Run one entry, print its tables and the elapsed wall time. *)
+(** Run one entry sequentially, print its tables and elapsed time. *)

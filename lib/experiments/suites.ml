@@ -5,17 +5,13 @@ module Balance_sim = D2_core.Balance_sim
 
 let all_modes = [ Keymap.Traditional; Keymap.Traditional_file; Keymap.D2 ]
 
-let avail_memo : (string, Availability.replay) Hashtbl.t = Hashtbl.create 32
-let perf_memo : (string, Perf.pass) Hashtbl.t = Hashtbl.create 32
-let balance_memo : (string, Balance_sim.result) Hashtbl.t = Hashtbl.create 16
+(* Domain-safe: concurrent experiments requesting the same replay or
+   pass block on the first builder instead of duplicating it. *)
+let avail_memo : Availability.replay D2_util.Memo.t = D2_util.Memo.create ()
+let perf_memo : Perf.pass D2_util.Memo.t = D2_util.Memo.create ()
+let balance_memo : Balance_sim.result D2_util.Memo.t = D2_util.Memo.create ()
 
-let memo tbl key build =
-  match Hashtbl.find_opt tbl key with
-  | Some v -> v
-  | None ->
-      let v = build () in
-      Hashtbl.replace tbl key v;
-      v
+let memo tbl key build = D2_util.Memo.get tbl key build
 
 let availability_replay scale ~mode ~trial =
   let key =

@@ -13,6 +13,70 @@ let to_string t = t
 let compare = String.compare
 let equal = String.equal
 
+(* {1 Comparison fast path}
+
+   [prefix_at t off] packs the top 62 bits of bytes [off .. off+7]
+   into a non-negative OCaml int.  Its ordering agrees with the
+   lexicographic ordering of those bytes, so two keys whose prefixes
+   differ compare with one unboxed int comparison; only prefix ties
+   (first 62 bits at [off] equal) need byte-wise comparison. *)
+
+let max_prefix_offset = size - 8
+
+let prefix_at t off = Int64.to_int (Int64.shift_right_logical (String.get_int64_be t off) 2)
+
+let common_prefix_len a b =
+  let n = ref 0 in
+  while !n < size && a.[!n] = b.[!n] do incr n done;
+  !n
+
+let compare_head a b len =
+  let rec go i =
+    if i >= len then 0
+    else
+      let c = Char.compare a.[i] b.[i] in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let compare_from off a b =
+  let rec go i =
+    if i >= size then 0
+    else
+      let c = Char.compare a.[i] b.[i] in
+      if c <> 0 then c else go (i + 1)
+  in
+  go off
+
+(* {1 Hashing}
+
+   Only the discriminating fields (Fig. 4 layout): the volume-id tail,
+   the slot path and the block number.  Keys of one volume share the
+   20-byte volume prefix, and version bytes are almost always zero, so
+   hashing all 64 bytes (what the polymorphic [Hashtbl.hash] does)
+   wastes most of its work.  Bytes 16..47 cover the volume tail, every
+   slot level and the remainder hash head; bytes 52..59 the block. *)
+
+let hash t =
+  let mix h w =
+    let h = Int64.logxor h w in
+    let h = Int64.mul h 0xBF58476D1CE4E5B9L in
+    Int64.logxor h (Int64.shift_right_logical h 29)
+  in
+  let h = mix 0x2545F4914F6CDD1DL (String.get_int64_be t 16) in
+  let h = mix h (String.get_int64_be t 24) in
+  let h = mix h (String.get_int64_be t 32) in
+  let h = mix h (String.get_int64_be t 40) in
+  let h = mix h (String.get_int64_be t 52) in
+  Int64.to_int h land max_int
+
+module Table = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = String.equal
+  let hash = hash
+end)
+
 let zero = String.make size '\000'
 let max_key = String.make size '\255'
 

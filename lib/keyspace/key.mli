@@ -17,6 +17,36 @@ val to_string : t -> string
 val compare : t -> t -> int
 val equal : t -> t -> bool
 
+val max_prefix_offset : int
+(** Largest valid offset for {!prefix_at}: [size - 8]. *)
+
+val prefix_at : t -> int -> int
+(** [prefix_at t off] is the top 62 bits of bytes [off .. off+7] as a
+    non-negative int whose ordering agrees with the lexicographic
+    ordering of those bytes.  Hot-path structures (the ring's binary
+    search, the lookup cache's range map) compare precomputed prefixes
+    with one unboxed int comparison and only fall back to byte-wise
+    {!compare} on a tie.  [0 <= off <= max_prefix_offset]. *)
+
+val common_prefix_len : t -> t -> int
+(** Number of leading bytes on which the two keys agree (0..[size]). *)
+
+val compare_head : t -> t -> int -> int
+(** [compare_head a b len] compares only the first [len] bytes. *)
+
+val compare_from : int -> t -> t -> int
+(** [compare_from off a b] compares only bytes [off .. size-1]; equal
+    to [compare a b] whenever the first [off] bytes agree. *)
+
+val hash : t -> int
+(** Hash of the discriminating bytes only — volume-id tail, slot path
+    and block number (Fig. 4 fields) — instead of the whole 64-byte
+    string.  Pair with {!equal} in hash tables; see {!Table}. *)
+
+module Table : Hashtbl.S with type key = t
+(** [Hashtbl.Make] instance over {!hash}/{!equal}, for key-indexed hot
+    tables (block index, holder sets, buffer-cache warmth). *)
+
 val zero : t
 (** All-zero key: the smallest point of the ring. *)
 

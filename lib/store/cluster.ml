@@ -1,4 +1,5 @@
 module Key = D2_keyspace.Key
+module KTbl = Key.Table
 module Ring = D2_dht.Ring
 module Engine = D2_simnet.Engine
 
@@ -56,7 +57,7 @@ type block = {
 
 type node = {
   mutable up : bool;
-  held : (Key.t, block) Hashtbl.t;
+  held : block KTbl.t;
   mutable physical_bytes : int;
   mutable primary_bytes : int;
   mutable pointer_count : int;
@@ -75,7 +76,7 @@ type t = {
   engine : Engine.t;
   ring : Ring.t;
   nodes : node array;
-  index : (Key.t, block) Hashtbl.t;
+  index : block KTbl.t;
   mutable written : float;
   mutable removed : float;
   mutable migrated : float;
@@ -95,13 +96,13 @@ let create ~engine ~config ~ids =
       Array.init n (fun _ ->
           {
             up = true;
-            held = Hashtbl.create 64;
+            held = KTbl.create 64;
             physical_bytes = 0;
             primary_bytes = 0;
             pointer_count = 0;
             busy_until = 0.0;
           });
-    index = Hashtbl.create 4096;
+    index = KTbl.create 4096;
     written = 0.0;
     removed = 0.0;
     migrated = 0.0;
@@ -122,7 +123,7 @@ let node_stats t i =
     pointer_count = n.pointer_count;
   }
 
-let block_count t = Hashtbl.length t.index
+let block_count t = KTbl.length t.index
 let is_up t ~node = t.nodes.(node).up
 let written_bytes t = t.written
 let removed_bytes t = t.removed
@@ -188,7 +189,7 @@ let set_owner t block =
 let drop_holder t block (h : holder) =
   block.holders <- List.filter (fun x -> x != h) block.holders;
   let node = t.nodes.(h.hnode) in
-  Hashtbl.remove node.held block.key;
+  KTbl.remove node.held block.key;
   if h.physical then node.physical_bytes <- node.physical_bytes - unit_size t.cfg block.size
   else node.pointer_count <- node.pointer_count - 1
 
@@ -274,7 +275,7 @@ let ensure_holder t block n why =
     let h = { hnode = n; physical = false } in
     block.holders <- h :: block.holders;
     let node = t.nodes.(n) in
-    Hashtbl.replace node.held block.key block;
+    KTbl.replace node.held block.key block;
     node.pointer_count <- node.pointer_count + 1;
     let delay =
       match why with
@@ -300,7 +301,7 @@ let delete_block t block =
     List.iter
       (fun (h : holder) ->
         let node = t.nodes.(h.hnode) in
-        Hashtbl.remove node.held block.key;
+        KTbl.remove node.held block.key;
         if h.physical then
           node.physical_bytes <- node.physical_bytes - unit_size t.cfg block.size
         else node.pointer_count <- node.pointer_count - 1)
@@ -308,7 +309,7 @@ let delete_block t block =
     block.holders <- [];
     t.nodes.(block.owner).primary_bytes <-
       t.nodes.(block.owner).primary_bytes - unit_size t.cfg block.size;
-    Hashtbl.remove t.index block.key;
+    KTbl.remove t.index block.key;
     t.removed <- t.removed +. float_of_int block.size
   end
 
@@ -329,7 +330,7 @@ let put t ~key ~size ?data ?ttl () =
   (match ttl with
   | Some v when v <= 0.0 -> invalid_arg "Cluster.put: ttl must be positive"
   | _ -> ());
-  (match Hashtbl.find_opt t.index key with
+  (match KTbl.find_opt t.index key with
   | Some old -> delete_block t old
   | None -> ());
   let des = desired t key in
@@ -342,40 +343,40 @@ let put t ~key ~size ?data ?ttl () =
     (fun n ->
       block.holders <- { hnode = n; physical = true } :: block.holders;
       let node = t.nodes.(n) in
-      Hashtbl.replace node.held key block;
+      KTbl.replace node.held key block;
       node.physical_bytes <- node.physical_bytes + unit_size t.cfg size)
     des;
   t.nodes.(owner).primary_bytes <- t.nodes.(owner).primary_bytes + unit_size t.cfg size;
-  Hashtbl.replace t.index key block;
+  KTbl.replace t.index key block;
   arm_expiry t block;
   t.written <- t.written +. float_of_int size
 
 let refresh t ~key ~ttl =
   if ttl <= 0.0 then invalid_arg "Cluster.refresh: ttl must be positive";
-  match Hashtbl.find_opt t.index key with
+  match KTbl.find_opt t.index key with
   | Some b when (not b.dead) && b.expires < infinity ->
       b.expires <- Engine.now t.engine +. ttl
   | Some _ | None -> ()
 
 let get t ~key =
-  match Hashtbl.find_opt t.index key with
+  match KTbl.find_opt t.index key with
   | Some b when not b.dead -> Some b.data
   | Some _ | None -> None
 
 let mem t ~key =
-  match Hashtbl.find_opt t.index key with
+  match KTbl.find_opt t.index key with
   | Some b -> not b.dead
   | None -> false
 
 let remove t ~key ?delay () =
   let delay = match delay with Some d -> d | None -> t.cfg.remove_delay in
-  match Hashtbl.find_opt t.index key with
+  match KTbl.find_opt t.index key with
   | None -> ()
   | Some block ->
       ignore (Engine.schedule_in t.engine ~delay (fun () -> delete_block t block))
 
 let available t ~key =
-  match Hashtbl.find_opt t.index key with
+  match KTbl.find_opt t.index key with
   | None -> false
   | Some b ->
       let live =
@@ -384,12 +385,12 @@ let available t ~key =
       (not b.dead) && live >= units_needed t.cfg
 
 let owner_of t ~key =
-  match Hashtbl.find_opt t.index key with
+  match KTbl.find_opt t.index key with
   | Some b when not b.dead -> Some b.owner
   | Some _ | None -> None
 
 let physical_holders t ~key =
-  match Hashtbl.find_opt t.index key with
+  match KTbl.find_opt t.index key with
   | None -> []
   | Some b ->
       List.filter_map (fun h -> if h.physical then Some h.hnode else None) b.holders
@@ -397,15 +398,15 @@ let physical_holders t ~key =
 (* {1 Membership events} *)
 
 let blocks_held t n =
-  Hashtbl.fold (fun _ b acc -> b :: acc) t.nodes.(n).held []
+  KTbl.fold (fun _ b acc -> b :: acc) t.nodes.(n).held []
 
 let neighborhood_blocks t ~node =
   (* Blocks whose replica window an ID change of [node] can affect:
      those held by the node itself and by the r nodes clockwise of it. *)
   let r = t.cfg.replicas in
-  let tbl = Hashtbl.create 256 in
+  let tbl = KTbl.create 256 in
   let add_node_blocks i =
-    Hashtbl.iter (fun k b -> Hashtbl.replace tbl k b) t.nodes.(i).held
+    KTbl.iter (fun k b -> KTbl.replace tbl k b) t.nodes.(i).held
   in
   add_node_blocks node;
   for k = 1 to min r (Ring.size t.ring - 1) do
@@ -417,8 +418,8 @@ let change_id t ~node ~id =
   let before = neighborhood_blocks t ~node in
   Ring.change_id t.ring ~node ~id;
   let after = neighborhood_blocks t ~node in
-  Hashtbl.iter (fun k b -> Hashtbl.replace before k b) after;
-  Hashtbl.iter (fun _ b -> reconcile t b Migration) before
+  KTbl.iter (fun k b -> KTbl.replace before k b) after;
+  KTbl.iter (fun _ b -> reconcile t b Migration) before
 
 let fail t ~node =
   let n = t.nodes.(node) in
@@ -443,7 +444,7 @@ let recover t ~node =
 
 let median_primary_key t ~node =
   let keys =
-    Hashtbl.fold
+    KTbl.fold
       (fun _ b acc -> if b.owner = node && not b.dead then (b.key, b.size) :: acc else acc)
       t.nodes.(node).held []
   in
@@ -466,7 +467,7 @@ let check_invariants t =
   let phys = Array.make (Array.length t.nodes) 0 in
   let prim = Array.make (Array.length t.nodes) 0 in
   let ptrs = Array.make (Array.length t.nodes) 0 in
-  Hashtbl.iter
+  KTbl.iter
     (fun key b ->
       if b.dead then invalid_arg "Cluster.check_invariants: dead block in index";
       if not (Key.equal key b.key) then
@@ -474,7 +475,7 @@ let check_invariants t =
       prim.(b.owner) <- prim.(b.owner) + unit_size t.cfg b.size;
       List.iter
         (fun (h : holder) ->
-          (match Hashtbl.find_opt t.nodes.(h.hnode).held key with
+          (match KTbl.find_opt t.nodes.(h.hnode).held key with
           | Some b' when b' == b -> ()
           | _ -> invalid_arg "Cluster.check_invariants: holder missing held entry");
           if h.physical then phys.(h.hnode) <- phys.(h.hnode) + unit_size t.cfg b.size

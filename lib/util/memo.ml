@@ -1,0 +1,40 @@
+type 'a slot = Building | Ready of 'a
+
+type 'a t = {
+  mu : Mutex.t;
+  cv : Condition.t;
+  tbl : (string, 'a slot) Hashtbl.t;
+}
+
+let create () = { mu = Mutex.create (); cv = Condition.create (); tbl = Hashtbl.create 16 }
+
+let get t key build =
+  Mutex.lock t.mu;
+  let rec wait () =
+    match Hashtbl.find_opt t.tbl key with
+    | Some (Ready v) ->
+        Mutex.unlock t.mu;
+        v
+    | Some Building ->
+        Condition.wait t.cv t.mu;
+        wait ()
+    | None ->
+        Hashtbl.replace t.tbl key Building;
+        Mutex.unlock t.mu;
+        let v =
+          try build ()
+          with e ->
+            let bt = Printexc.get_raw_backtrace () in
+            Mutex.lock t.mu;
+            Hashtbl.remove t.tbl key;
+            Condition.broadcast t.cv;
+            Mutex.unlock t.mu;
+            Printexc.raise_with_backtrace e bt
+        in
+        Mutex.lock t.mu;
+        Hashtbl.replace t.tbl key (Ready v);
+        Condition.broadcast t.cv;
+        Mutex.unlock t.mu;
+        v
+  in
+  wait ()

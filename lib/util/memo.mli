@@ -1,0 +1,19 @@
+(** Domain-safe string-keyed memoization.
+
+    The experiment suite caches generated traces and simulation passes
+    so that figures sharing an input compute it once.  With the
+    parallel runner several domains can request the same key
+    concurrently; this table makes the build happen exactly once —
+    later requesters block until the first build finishes rather than
+    duplicating minutes of simulation.
+
+    A build that raises is forgotten (the exception propagates to the
+    caller that ran it; waiters retry the build themselves). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val get : 'a t -> string -> (unit -> 'a) -> 'a
+(** [get t key build] returns the cached value for [key], running
+    [build] (outside the lock) if absent. *)

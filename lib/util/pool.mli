@@ -1,0 +1,46 @@
+(** Fixed pool of [Domain.t] workers for embarrassingly parallel jobs.
+
+    The evaluation suite runs independent experiments (each with its
+    own RNG seeds and simulation state) concurrently on OCaml 5
+    domains.  The pool is deliberately small and stdlib-only: a task
+    queue guarded by a mutex, [jobs] worker domains blocking on a
+    condition variable, and promises completed under the same lock.
+
+    Determinism: tasks may {e run} in any order, but {!map} returns
+    results in submission order and re-raises the first failing task's
+    exception (with its original backtrace), so callers see the same
+    values a sequential run would produce. *)
+
+type t
+
+val default_jobs : unit -> int
+(** Worker count from the [D2_JOBS] environment variable when set to
+    a positive integer, otherwise [Domain.recommended_domain_count () - 1],
+    and never below 1.  A malformed [D2_JOBS] warns on stderr and
+    falls back to the default. *)
+
+val create : ?jobs:int -> unit -> t
+(** Spawn a pool of [jobs] worker domains (default {!default_jobs}).
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val jobs : t -> int
+
+type 'a promise
+
+val submit : t -> (unit -> 'a) -> 'a promise
+(** Enqueue a task.  @raise Invalid_argument after {!shutdown}. *)
+
+val await : 'a promise -> 'a
+(** Block until the task finishes; returns its value or re-raises its
+    exception with the original backtrace. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map t f xs] runs [f] on every element concurrently and returns
+    the results in the order of [xs]. *)
+
+val run : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** One-shot convenience: create a pool, {!map}, {!shutdown} — even
+    when a task raises. *)
+
+val shutdown : t -> unit
+(** Drain queued tasks, then join every worker.  Idempotent. *)

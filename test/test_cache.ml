@@ -86,6 +86,35 @@ let prop_cached_lookup_agrees_with_interval =
       let hit = Lookup_cache.lookup c ~now:1.0 kp = Some 1 in
       hit = Key.in_interval kp ~lo:klo ~hi:khi)
 
+let test_lookup_mru_streak () =
+  (* Repeated probes into the same range hit the MRU fast path; the
+     fast path must honour insertion, expiry, purge, and clear exactly
+     like the map search. *)
+  let c = Lookup_cache.create ~ttl:100.0 () in
+  Lookup_cache.insert c ~now:0.0 ~lo:(k_of_byte 10) ~hi:(k_of_byte 20) ~node:7;
+  (* First hit primes the MRU; the rest are served from it. *)
+  for _ = 1 to 5 do
+    Alcotest.(check (option int)) "streak hit" (Some 7)
+      (Lookup_cache.lookup c ~now:1.0 (k_of_byte 15))
+  done;
+  Alcotest.(check int) "hits counted on fast path" 5 (Lookup_cache.hits c);
+  (* Expiry must not be served from the MRU. *)
+  Alcotest.(check (option int)) "expired" None
+    (Lookup_cache.lookup c ~now:101.0 (k_of_byte 15));
+  (* Re-insert; a new insert after a hit must not leave a stale MRU. *)
+  Lookup_cache.insert c ~now:200.0 ~lo:(k_of_byte 10) ~hi:(k_of_byte 20) ~node:8;
+  Alcotest.(check (option int)) "fresh entry wins" (Some 8)
+    (Lookup_cache.lookup c ~now:201.0 (k_of_byte 15));
+  Lookup_cache.insert c ~now:200.0 ~lo:(k_of_byte 30) ~hi:(k_of_byte 40) ~node:9;
+  Alcotest.(check (option int)) "other range still found" (Some 9)
+    (Lookup_cache.lookup c ~now:201.0 (k_of_byte 35));
+  Alcotest.(check (option int)) "first range still found" (Some 8)
+    (Lookup_cache.lookup c ~now:201.0 (k_of_byte 12));
+  (* clear drops the MRU too. *)
+  Lookup_cache.clear c;
+  Alcotest.(check (option int)) "cleared" None
+    (Lookup_cache.lookup c ~now:201.0 (k_of_byte 15))
+
 (* {1 Block cache} *)
 
 let test_block_warmth () =
@@ -191,6 +220,7 @@ let () =
         :: Alcotest.test_case "full ring" `Quick test_full_ring_entry
         :: Alcotest.test_case "multiple ranges" `Quick test_multiple_ranges
         :: Alcotest.test_case "miss rate + reset" `Quick test_miss_rate_and_reset
+        :: Alcotest.test_case "mru fast path" `Quick test_lookup_mru_streak
         :: qcheck [ prop_cached_lookup_agrees_with_interval ] );
       ( "retrieval_cache",
         [

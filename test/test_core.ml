@@ -12,6 +12,8 @@ module Perf = D2_core.Perf
 module Balance_sim = D2_core.Balance_sim
 module Cluster = D2_store.Cluster
 module Engine = D2_simnet.Engine
+module Topology = D2_simnet.Topology
+module Tcp = D2_simnet.Tcp
 module Key = D2_keyspace.Key
 module Rng = D2_util.Rng
 
@@ -242,6 +244,78 @@ let test_perf_latency_pairs_match_groups () =
     (fun (a, b) -> Alcotest.(check (float 1e-9)) "identical" a b)
     pairs
 
+(* Reference list scheduler: the straightforward linear scan over the
+   in-flight slots that Perf.para_makespan's min-heap replaced.  Pins
+   the optimized schedule to the original makespans. *)
+let reference_para_makespan ~(cfg : Perf.config) ~conns ~client ~topo ~fetches =
+  let slots = Array.make cfg.Perf.max_in_flight 0.0 in
+  let server_free : (int, float) Hashtbl.t = Hashtbl.create 16 in
+  let finish = ref 0.0 in
+  List.iter
+    (fun (fd : Perf.fetch_desc) ->
+      let best = ref 0 in
+      for i = 1 to cfg.Perf.max_in_flight - 1 do
+        if slots.(i) < slots.(!best) then best := i
+      done;
+      let ready = Float.max fd.Perf.ready slots.(!best) in
+      let sfree =
+        match Hashtbl.find_opt server_free fd.Perf.server with Some v -> v | None -> 0.0
+      in
+      let start = Float.max ready sfree in
+      let ck =
+        if cfg.Perf.shared_window then (client, -1) else (client, fd.Perf.server)
+      in
+      let conn =
+        match Hashtbl.find_opt conns ck with
+        | Some c -> c
+        | None ->
+            let c = Tcp.fresh_conn () in
+            Hashtbl.replace conns ck c;
+            c
+      in
+      let rtt = Topology.rtt topo client fd.Perf.server in
+      let dur =
+        Tcp.transfer_time conn ~now:start ~rtt ~bandwidth:cfg.Perf.access_bandwidth
+          ~bytes:fd.Perf.f_bytes
+      in
+      let stop = start +. dur in
+      slots.(!best) <- stop;
+      Hashtbl.replace server_free fd.Perf.server stop;
+      if stop > !finish then finish := stop)
+    (List.rev fetches);
+  !finish
+
+let test_para_makespan_matches_reference () =
+  let rng = Rng.create 7 in
+  let topo = Topology.create ~rng ~n:20 () in
+  List.iter
+    (fun (max_in_flight, shared_window, n_fetches) ->
+      let cfg =
+        { (Perf.default_config ~nodes:20 ~bandwidth:1_500_000.0) with
+          Perf.max_in_flight; shared_window }
+      in
+      (* Reverse issue order, as accumulated during replay. *)
+      let fetches =
+        List.init n_fetches (fun _ ->
+            { Perf.ready = Rng.float rng 5.0;
+              server = Rng.int rng 20;
+              f_bytes = 1 + Rng.int rng 200_000 })
+      in
+      (* Fresh connection tables for each run: transfer_time mutates
+         per-connection window state. *)
+      let heap_v =
+        Perf.para_makespan ~cfg ~conns:(Hashtbl.create 16) ~client:0 ~topo ~fetches
+      in
+      let ref_v =
+        reference_para_makespan ~cfg ~conns:(Hashtbl.create 16) ~client:0 ~topo ~fetches
+      in
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "makespan (k=%d shared=%b n=%d)" max_in_flight shared_window
+           n_fetches)
+        ref_v heap_v;
+      Alcotest.(check bool) "positive" true (n_fetches = 0 || heap_v > 0.0))
+    [ (1, false, 30); (4, false, 50); (15, false, 100); (4, true, 50); (15, true, 7); (3, false, 0) ]
+
 (* {1 Balance simulator} *)
 
 let test_balance_sim_improves_imbalance () =
@@ -330,6 +404,8 @@ let () =
           Alcotest.test_case "self speedup = 1" `Quick test_perf_self_speedup_is_one;
           Alcotest.test_case "d2 less lookup traffic" `Quick test_perf_d2_less_lookup_traffic;
           Alcotest.test_case "latency pairs" `Quick test_perf_latency_pairs_match_groups;
+          Alcotest.test_case "para makespan = reference" `Quick
+            test_para_makespan_matches_reference;
         ] );
       ( "balance",
         [

@@ -134,6 +134,113 @@ let prop_successors_distinct =
       let succ = Ring.successors r (k_of_byte 100) (1 + r_count) in
       List.length succ = List.length (List.sort_uniq compare succ))
 
+(* {1 Prefix fast path}
+
+   [Ring.lower_bound] resolves most comparisons with precomputed
+   unboxed int prefixes (taken at the ids' common-prefix offset) and
+   only falls back to byte comparison on prefix ties.  These tests pin
+   the accelerated path to the pure [Key.compare] semantics, including
+   the adversarial case the prefix cannot discriminate: keys sharing a
+   long common prefix and differing only in trailing bytes. *)
+
+(* A key with [shared] leading 'p' bytes, then 3 bytes from [tail]. *)
+let shared_prefix_key ~shared tail =
+  let b = Bytes.make 64 '\000' in
+  Bytes.fill b 0 shared 'p';
+  Bytes.set b shared (Char.chr ((tail lsr 16) land 0xff));
+  Bytes.set b (shared + 1) (Char.chr ((tail lsr 8) land 0xff));
+  Bytes.set b (shared + 2) (Char.chr (tail land 0xff));
+  Key.of_string (Bytes.to_string b)
+
+let brute_successor ids key =
+  match List.filter (fun id -> Key.compare id key >= 0) ids with
+  | id :: _ -> id
+  | [] -> List.hd ids
+
+let check_ring_agrees_with_bruteforce ids probes =
+  let r = Ring.create () in
+  List.iteri (fun node id -> Ring.add r ~id ~node) ids;
+  Ring.check_invariants r;
+  List.for_all
+    (fun key ->
+      let node = Ring.successor r key in
+      Key.equal (Ring.id_of r ~node) (brute_successor ids key))
+    probes
+
+let prop_prefix_successor_shared_prefixes =
+  (* Ids and probes share [shared] leading bytes (0..61), so the
+     ring's dynamic prefix offset lands right at the divergence point
+     and ties are common. *)
+  QCheck.Test.make ~name:"prefix successor = brute force (shared prefixes)" ~count:300
+    QCheck.(
+      triple (int_bound 61)
+        (list_of_size Gen.(int_range 1 24) (int_bound 0xffffff))
+        (list_of_size Gen.(int_range 1 30) (int_bound 0xffffff)))
+    (fun (shared, tails, probes) ->
+      let ids = List.sort_uniq Key.compare (List.map (shared_prefix_key ~shared) tails) in
+      check_ring_agrees_with_bruteforce ids (List.map (shared_prefix_key ~shared) probes))
+
+let prop_prefix_successor_random_keys =
+  (* Fully random 64-byte keys: prefixes diverge early, the int
+     compare settles nearly everything. *)
+  QCheck.Test.make ~name:"prefix successor = brute force (random keys)" ~count:200
+    QCheck.(pair (int_bound 10_000) small_nat)
+    (fun (seed, extra) ->
+      let rng = Rng.create (seed + 1) in
+      let n = 1 + (extra mod 24) in
+      let ids = List.sort_uniq Key.compare (List.init n (fun _ -> Key.random rng)) in
+      let probes = List.init 20 (fun _ -> Key.random rng) in
+      (* Also probe the ids themselves and their neighbours. *)
+      let probes = probes @ ids @ List.map Key.succ ids @ List.map Key.pred ids in
+      check_ring_agrees_with_bruteforce ids probes)
+
+let test_prefix_tail_discrimination () =
+  (* 60 shared bytes, ids differing only in the last byte — entirely
+     below the (clamped) prefix granularity, so every probe exercises
+     the byte-compare fallback. *)
+  let mk last =
+    let b = Bytes.make 64 'p' in
+    Bytes.set b 63 (Char.chr last);
+    Key.of_string (Bytes.to_string b)
+  in
+  let ids = List.map mk [ 10; 20; 30; 31 ] in
+  let r = Ring.create () in
+  List.iteri (fun node id -> Ring.add r ~id ~node) ids;
+  Ring.check_invariants r;
+  List.iter
+    (fun (probe, expect) ->
+      let node = Ring.successor r (mk probe) in
+      Alcotest.(check bool)
+        (Printf.sprintf "probe last-byte %d -> id last-byte %d" probe expect)
+        true
+        (Key.equal (Ring.id_of r ~node) (mk expect)))
+    [ (0, 10); (10, 10); (11, 20); (20, 20); (21, 30); (30, 30); (31, 31); (32, 10); (255, 10) ]
+
+let test_prefix_offset_tracks_membership () =
+  (* The common-prefix offset must shrink and grow with membership:
+     start with ids sharing 40 bytes, add a divergent id (offset drops
+     to 0), remove it again (offset recovers).  check_invariants
+     verifies off and every cached prefix after each step. *)
+  let ids40 = List.map (fun t -> shared_prefix_key ~shared:40 t) [ 1; 2; 3; 1000; 70000 ] in
+  let divergent = k_of_byte 200 in
+  let r = Ring.create () in
+  List.iteri (fun node id -> Ring.add r ~id ~node) ids40;
+  Ring.check_invariants r;
+  Ring.add r ~id:divergent ~node:99;
+  Ring.check_invariants r;
+  let all = List.sort Key.compare (divergent :: ids40) in
+  List.iter
+    (fun key ->
+      let node = Ring.successor r key in
+      Alcotest.(check bool) "agrees while mixed" true
+        (Key.equal (Ring.id_of r ~node) (brute_successor all key)))
+    (List.map Key.succ all @ List.map Key.pred all);
+  Ring.remove r ~node:99;
+  Ring.check_invariants r;
+  (* change_id across the prefix boundary. *)
+  Ring.change_id r ~node:0 ~id:(k_of_byte 5);
+  Ring.check_invariants r
+
 let test_random_membership_stress () =
   (* Random adds/removes/changes keep the invariants. *)
   let rng = Rng.create 33 in
@@ -256,7 +363,16 @@ let () =
         :: Alcotest.test_case "rank roundtrip" `Quick test_rank_node_roundtrip
         :: Alcotest.test_case "id taken" `Quick test_id_taken
         :: Alcotest.test_case "membership stress" `Quick test_random_membership_stress
-        :: qcheck [ prop_successor_matches_bruteforce; prop_successors_distinct ] );
+        :: Alcotest.test_case "prefix tail discrimination" `Quick test_prefix_tail_discrimination
+        :: Alcotest.test_case "prefix offset tracks membership" `Quick
+             test_prefix_offset_tracks_membership
+        :: qcheck
+             [
+               prop_successor_matches_bruteforce;
+               prop_successors_distinct;
+               prop_prefix_successor_shared_prefixes;
+               prop_prefix_successor_random_keys;
+             ] );
       ( "routing",
         [
           Alcotest.test_case "hop basics" `Quick test_route_hops;

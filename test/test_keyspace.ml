@@ -87,6 +87,96 @@ let prop_interval_partition =
       (* k = a belongs to (b,a] only; k = b to (a,b] only; others to exactly one. *)
       in1 <> in2)
 
+(* {1 Prefix fast compare and hashing} *)
+
+let prop_prefix_order_consistent =
+  (* When two keys' 62-bit prefixes at an offset differ, their order
+     must equal the byte order of the suffixes starting there — the
+     contract the ring's binary search relies on. *)
+  QCheck.Test.make ~name:"prefix_at order-consistent with compare_from" ~count:500
+    QCheck.(triple (int_bound 10_000) (int_bound 10_000) (int_bound Key.max_prefix_offset))
+    (fun (s1, s2, off) ->
+      let a = Key.random (Rng.create (s1 + 1)) and b = Key.random (Rng.create (s2 + 1)) in
+      let pa = Key.prefix_at a off and pb = Key.prefix_at b off in
+      (pa >= 0 && pb >= 0)
+      && (pa = pb || compare pa pb = compare (Key.compare_from off a b) 0))
+
+let test_prefix_tie_needs_fallback () =
+  (* Keys equal through byte off+7 but differing later: the prefix
+     ties, compare_from must still discriminate. *)
+  let mk last =
+    let b = Bytes.make 64 'q' in
+    Bytes.set b 63 (Char.chr last);
+    Key.of_string (Bytes.to_string b)
+  in
+  let a = mk 1 and b = mk 2 in
+  Alcotest.(check int) "prefix ties at 0" (Key.prefix_at a 0) (Key.prefix_at b 0);
+  Alcotest.(check bool) "compare_from 0 breaks tie" true (Key.compare_from 0 a b < 0);
+  Alcotest.(check bool) "compare_from at max offset" true
+    (Key.compare_from Key.max_prefix_offset a b < 0);
+  (* The prefix keeps the top 62 of 64 bits, so even at the max offset
+     keys differing only in the last byte's bottom 2 bits tie — the
+     fallback is mandatory there ... *)
+  Alcotest.(check int) "2-bit blind spot ties"
+    (Key.prefix_at a Key.max_prefix_offset)
+    (Key.prefix_at b Key.max_prefix_offset);
+  (* ... while any difference above bit 1 discriminates. *)
+  Alcotest.(check bool) "bit 2 discriminates" true
+    (Key.prefix_at (mk 4) Key.max_prefix_offset < Key.prefix_at (mk 8) Key.max_prefix_offset)
+
+let test_compare_from_zero_is_compare () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 200 do
+    let a = Key.random rng and b = Key.random rng in
+    Alcotest.(check int) "sign matches"
+      (compare (Key.compare a b) 0)
+      (compare (Key.compare_from 0 a b) 0)
+  done
+
+let test_common_prefix_len () =
+  let mk l =
+    let b = Bytes.make 64 '\000' in
+    Bytes.fill b 0 l 'x';
+    Bytes.set b l '\001';
+    Key.of_string (Bytes.to_string b)
+  in
+  Alcotest.(check int) "diverge at 0" 0 (Key.common_prefix_len (mk 0) (mk 5));
+  Alcotest.(check int) "diverge at 5" 5 (Key.common_prefix_len (mk 5) (mk 9));
+  Alcotest.(check int) "equal keys" 64 (Key.common_prefix_len (mk 7) (mk 7));
+  Alcotest.(check int) "head compare equal" 0 (Key.compare_head (mk 5) (mk 9) 5);
+  Alcotest.(check bool) "head compare diverged" true (Key.compare_head (mk 5) (mk 9) 6 <> 0)
+
+let test_hash_table_basics () =
+  let rng = Rng.create 12 in
+  let tbl = Key.Table.create 64 in
+  let keys = List.init 500 (fun i -> (Key.random rng, i)) in
+  List.iter (fun (k, i) -> Key.Table.replace tbl k i) keys;
+  List.iter
+    (fun (k, i) -> Alcotest.(check (option int)) "find" (Some i) (Key.Table.find_opt tbl k))
+    keys;
+  Alcotest.(check int) "size" 500 (Key.Table.length tbl);
+  (* hash is a function of the key bytes only. *)
+  let k = Key.random rng in
+  Alcotest.(check int) "stable" (Key.hash k) (Key.hash (Key.of_string (Key.to_string k)));
+  Alcotest.(check bool) "non-negative" true (Key.hash k >= 0)
+
+let test_hash_discriminates_fig4_fields () =
+  (* The hash reads only the discriminating bytes (volume tail, slots,
+     block): keys differing in slot path or block number must almost
+     always hash apart. *)
+  let volume = Encoding.volume_id "hashvol" in
+  let mk slots block = Encoding.of_slot_path ~volume ~slots ~block ~version:0l in
+  let seen = Hashtbl.create 64 in
+  for s = 1 to 20 do
+    for b = 0 to 19 do
+      Hashtbl.replace seen (Key.hash (mk [ 1; s ] (Int64.of_int b))) ()
+    done
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "hashes spread (%d/400 distinct)" (Hashtbl.length seen))
+    true
+    (Hashtbl.length seen > 390)
+
 (* {1 Fig. 4 encoding} *)
 
 let vol = Encoding.volume_id "testvol"
@@ -271,7 +361,12 @@ let () =
         :: Alcotest.test_case "interval wrap" `Quick test_in_interval_wrap
         :: Alcotest.test_case "hex roundtrip" `Quick test_hex_roundtrip
         :: Alcotest.test_case "random spread" `Quick test_random_spread
-        :: qcheck [ prop_interval_partition ] );
+        :: Alcotest.test_case "prefix tie fallback" `Quick test_prefix_tie_needs_fallback
+        :: Alcotest.test_case "compare_from 0 = compare" `Quick test_compare_from_zero_is_compare
+        :: Alcotest.test_case "common prefix length" `Quick test_common_prefix_len
+        :: Alcotest.test_case "hash table basics" `Quick test_hash_table_basics
+        :: Alcotest.test_case "hash discriminates" `Quick test_hash_discriminates_fig4_fields
+        :: qcheck [ prop_interval_partition; prop_prefix_order_consistent ] );
       ( "encoding",
         Alcotest.test_case "volume id" `Quick test_volume_id
         :: Alcotest.test_case "roundtrip" `Quick test_encode_decode_roundtrip

@@ -1,0 +1,107 @@
+(* Tests for the domain worker pool and the domain-safe memo table
+   that back the parallel experiment runner. *)
+
+module Pool = D2_util.Pool
+module Memo = D2_util.Memo
+
+(* Deterministic busywork so tasks overlap across domains. *)
+let spin n =
+  let acc = ref 0 in
+  for i = 1 to n do
+    acc := !acc + (i land 7)
+  done;
+  !acc
+
+let test_map_preserves_order () =
+  let pool = Pool.create ~jobs:4 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let xs = List.init 100 Fun.id in
+      let ys = Pool.map pool (fun x -> (x * x) + (spin (1000 * (x mod 7)) * 0)) xs in
+      Alcotest.(check (list int)) "submission order" (List.map (fun x -> x * x) xs) ys)
+
+let test_more_tasks_than_workers () =
+  (* 2 workers, 64 tasks: the queue must drain completely and results
+     must still come back in submission order. *)
+  let ys = Pool.run ~jobs:2 (fun x -> x + (spin ((x * 37) mod 5000) * 0)) (List.init 64 Fun.id) in
+  Alcotest.(check (list int)) "all tasks ran" (List.init 64 Fun.id) ys
+
+let test_exception_propagates () =
+  let pool = Pool.create ~jobs:3 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      Alcotest.check_raises "await re-raises" (Failure "boom") (fun () ->
+          ignore (Pool.map pool (fun x -> if x = 5 then failwith "boom" else x) (List.init 10 Fun.id)));
+      (* The pool survives a failing task. *)
+      Alcotest.(check (list int)) "still usable" [ 2; 4; 6 ]
+        (Pool.map pool (fun x -> 2 * x) [ 1; 2; 3 ]))
+
+let test_run_propagates_and_cleans_up () =
+  Alcotest.check_raises "run re-raises" (Failure "task died") (fun () ->
+      ignore (Pool.run ~jobs:2 (fun _ -> failwith "task died") [ 1; 2; 3 ]))
+
+let test_submit_after_shutdown () =
+  let pool = Pool.create ~jobs:1 () in
+  let p = Pool.submit pool (fun () -> 41 + 1) in
+  Pool.shutdown pool;
+  Alcotest.(check int) "queued task finished before join" 42 (Pool.await p);
+  Alcotest.check_raises "submit rejected"
+    (Invalid_argument "Pool.submit: pool is shut down") (fun () ->
+      ignore (Pool.submit pool (fun () -> ())));
+  (* Idempotent. *)
+  Pool.shutdown pool
+
+let test_invalid_jobs () =
+  Alcotest.check_raises "jobs < 1" (Invalid_argument "Pool.create: jobs must be >= 1")
+    (fun () -> ignore (Pool.create ~jobs:0 ()))
+
+let test_jobs_accessor () =
+  let pool = Pool.create ~jobs:3 () in
+  Alcotest.(check int) "jobs" 3 (Pool.jobs pool);
+  Pool.shutdown pool
+
+let test_memo_builds_once_under_concurrency () =
+  let memo = Memo.create () in
+  let builds = Atomic.make 0 in
+  let vs =
+    Pool.run ~jobs:4
+      (fun _ ->
+        Memo.get memo "shared" (fun () ->
+            Atomic.incr builds;
+            spin 200_000))
+      (List.init 16 Fun.id)
+  in
+  Alcotest.(check int) "built exactly once" 1 (Atomic.get builds);
+  let expected = spin 200_000 in
+  List.iter (fun v -> Alcotest.(check int) "same value" expected v) vs
+
+let test_memo_failed_build_forgotten () =
+  let memo = Memo.create () in
+  Alcotest.check_raises "build exception propagates" (Failure "build failed") (fun () ->
+      ignore (Memo.get memo "k" (fun () -> failwith "build failed")));
+  (* A later build of the same key runs again and is cached. *)
+  Alcotest.(check int) "retried" 7 (Memo.get memo "k" (fun () -> 7));
+  Alcotest.(check int) "cached" 7 (Memo.get memo "k" (fun () -> 8))
+
+let () =
+  Alcotest.run "d2_pool"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map preserves order" `Quick test_map_preserves_order;
+          Alcotest.test_case "queue deeper than workers" `Quick test_more_tasks_than_workers;
+          Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+          Alcotest.test_case "run cleans up on failure" `Quick test_run_propagates_and_cleans_up;
+          Alcotest.test_case "submit after shutdown" `Quick test_submit_after_shutdown;
+          Alcotest.test_case "invalid jobs" `Quick test_invalid_jobs;
+          Alcotest.test_case "jobs accessor" `Quick test_jobs_accessor;
+        ] );
+      ( "memo",
+        [
+          Alcotest.test_case "builds once under concurrency" `Quick
+            test_memo_builds_once_under_concurrency;
+          Alcotest.test_case "failed build forgotten" `Quick test_memo_failed_build_forgotten;
+        ] );
+    ]
