@@ -15,15 +15,19 @@ bench:
 # worker domains and diff the output (wall times normalized away)
 # against the golden file.  Catches both report regressions and
 # parallel-runner nondeterminism — the report bytes must not depend
-# on the job count or on scheduling.
+# on the job count or on scheduling.  The reduced quick-scale micro
+# set still runs (so the JSON has micro numbers), but its
+# timing-dependent lines are filtered out of the golden diff.
 bench-quick: build
 	set -o pipefail; \
 	D2_SCALE=quick D2_JOBS=2 dune exec bench/main.exe -- \
 	  table1 fig3 ablation_routing ablation_hotspot \
-	  --no-micro --json /tmp/d2_bench_quick.json \
+	  --json /tmp/d2_bench_quick.json \
 	| sed -E 's/^\[([a-z0-9_]+): [0-9.]+s\]$$/[\1: _s]/' \
 	| grep -v '^Total wall time' \
 	| grep -v '^results written to' \
+	| grep -v '^== Bechamel micro-benchmarks ==' \
+	| grep -v -E '^  [a-z0-9_]+ +([0-9.]+ ns/op|\(no estimate\))$$' \
 	> /tmp/d2_bench_quick.out
 	diff -u bench/golden_quick.txt /tmp/d2_bench_quick.out
 	@echo "bench-quick OK"

@@ -22,7 +22,11 @@ module Encoding = D2_keyspace.Encoding
 module Ring = D2_dht.Ring
 module Rng = D2_util.Rng
 module Pool = D2_util.Pool
+module Gc_tune = D2_util.Gc_tune
 module Lookup_cache = D2_cache.Lookup_cache
+module Op = D2_trace.Op
+module Plan = D2_trace.Plan
+module Keymap = D2_trace.Keymap
 
 let run_experiments scale ids ~jobs =
   let entries =
@@ -46,7 +50,56 @@ let run_experiments scale ids ~jobs =
 
 (* {1 Bechamel micro-benchmarks} *)
 
-let micro_tests () =
+(* Small synthetic trace for the Plan micro-benchmarks: enough ops to
+   exercise the path-interning and key-derivation loops, small enough
+   that one compile is microseconds. *)
+let micro_trace =
+  lazy
+    (let ops =
+       Array.init 512 (fun i ->
+           {
+             Op.time = float_of_int i;
+             user = i mod 4;
+             path = Printf.sprintf "/f%d/b%d" (i mod 16) (i / 16);
+             file = i mod 16;
+             block = i / 16;
+             kind = (match i land 3 with 0 -> Op.Create | 1 -> Op.Write | _ -> Op.Read);
+             bytes = Op.block_size;
+           })
+     in
+     {
+       Op.name = "micro";
+       duration = 600.0;
+       users = 4;
+       ops;
+       initial_files =
+         Array.init 16 (fun f ->
+             {
+               Op.file_id = f;
+               file_path = Printf.sprintf "/f%d" f;
+               file_bytes = 32 * Op.block_size;
+             });
+     })
+
+let plan_tests () =
+  let open Bechamel in
+  let trace = Lazy.force micro_trace in
+  let plan = Plan.of_trace trace in
+  (* Fresh volume name per run so [replay_keys] measures actual key
+     derivation, not a memo-table hit. *)
+  let vol = ref 0 in
+  [
+    Test.make ~name:"plan_compile" (Staged.stage (fun () ->
+        ignore (Plan.compile trace)));
+    Test.make ~name:"plan_replay_keys" (Staged.stage (fun () ->
+        incr vol;
+        ignore
+          (Plan.replay_keys plan
+             ~volume:(Printf.sprintf "micro@%d" !vol)
+             ~mode:Keymap.D2 ~policy:Plan.Reads_and_writes)));
+  ]
+
+let micro_tests ~full () =
   let open Bechamel in
   let rng = Rng.create 99 in
   let keys = Array.init 1024 (fun _ -> Key.random rng) in
@@ -82,33 +135,49 @@ let micro_tests () =
       ~node:i
   done;
   let d2_idx = ref 0 in
-  [
-    Test.make ~name:"key_compare" (Staged.stage (fun () ->
-        ignore (Key.compare (next_key ()) keys.(0))));
-    Test.make ~name:"key_encode_fig4" (Staged.stage (fun () ->
-        ignore
-          (Encoding.of_slot_path ~volume ~slots:[ 1; 2; 3; 4 ] ~block:7L ~version:0l)));
-    Test.make ~name:"key_decode_fig4" (Staged.stage (
-        let k = Encoding.of_slot_path ~volume ~slots:[ 1; 2; 3; 4 ] ~block:7L ~version:0l in
-        fun () -> ignore (Encoding.decode k)));
-    Test.make ~name:"ring_successor_1000" (Staged.stage (fun () ->
-        ignore (Ring.successor ring (next_key ()))));
-    Test.make ~name:"ring_route_hops_1000" (Staged.stage (fun () ->
-        ignore (Ring.route_hops ring ~src:0 ~key:(next_key ()))));
-    Test.make ~name:"lookup_cache_probe" (Staged.stage (fun () ->
-        ignore (Lookup_cache.lookup cache ~now:1.0 (next_key ()))));
-    Test.make ~name:"lookup_cache_probe_d2" (Staged.stage (fun () ->
-        ignore (Lookup_cache.lookup d2_cache ~now:1.0 d2_keys.(!d2_idx));
-        d2_idx := (!d2_idx + 1) land 1023));
-  ]
+  (* [`Quick]-tier tests run at every scale (a reduced set that still
+     covers compare / routing / cache probe); [`Full] ones only under
+     D2_SCALE=paper. *)
+  let tiered =
+    [
+      (`Quick, Test.make ~name:"key_compare" (Staged.stage (fun () ->
+           ignore (Key.compare (next_key ()) keys.(0)))));
+      (`Full, Test.make ~name:"key_encode_fig4" (Staged.stage (fun () ->
+           ignore
+             (Encoding.of_slot_path ~volume ~slots:[ 1; 2; 3; 4 ] ~block:7L ~version:0l))));
+      (`Full, Test.make ~name:"key_decode_fig4" (Staged.stage (
+           let k = Encoding.of_slot_path ~volume ~slots:[ 1; 2; 3; 4 ] ~block:7L ~version:0l in
+           fun () -> ignore (Encoding.decode k))));
+      (`Quick, Test.make ~name:"ring_successor_1000" (Staged.stage (fun () ->
+           ignore (Ring.successor ring (next_key ())))));
+      (`Full, Test.make ~name:"ring_route_hops_1000" (Staged.stage (fun () ->
+           ignore (Ring.route_hops ring ~src:0 ~key:(next_key ())))));
+      (`Full, Test.make ~name:"lookup_cache_probe" (Staged.stage (fun () ->
+           ignore (Lookup_cache.lookup cache ~now:1.0 (next_key ())))));
+      (`Quick, Test.make ~name:"lookup_cache_probe_d2" (Staged.stage (fun () ->
+           ignore (Lookup_cache.lookup d2_cache ~now:1.0 d2_keys.(!d2_idx));
+           d2_idx := (!d2_idx + 1) land 1023)));
+    ]
+  in
+  List.filter_map
+    (fun (tier, t) -> if full || tier = `Quick then Some t else None)
+    tiered
+  @ plan_tests ()
 
-let run_micro () =
+let run_micro scale =
   let open Bechamel in
   let open Bechamel.Toolkit in
   print_endline "== Bechamel micro-benchmarks ==";
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
-  let tests = micro_tests () in
+  (* Quick scale runs the reduced tier on a short quota so CI still
+     records micro numbers in the JSON without the full sweep. *)
+  let full, quota =
+    match scale with
+    | Config.Paper -> (true, Time.second 0.5)
+    | Config.Quick -> (false, Time.second 0.1)
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota ~kde:(Some 1000) () in
+  let tests = micro_tests ~full () in
   List.concat_map
     (fun test ->
       let results = Benchmark.all cfg instances test in
@@ -146,9 +215,12 @@ let json_escape s =
 
 let write_results path ~scale ~jobs ~total ~outcomes ~micros =
   let oc = open_out path in
+  let gc = Gc_tune.current () in
   Printf.fprintf oc "{\n";
   Printf.fprintf oc "  \"scale\": \"%s\",\n" (json_escape (Config.scale_name scale));
   Printf.fprintf oc "  \"jobs\": %d,\n" jobs;
+  Printf.fprintf oc "  \"gc\": {\"minor_heap_words\": %d, \"space_overhead\": %d},\n"
+    gc.Gc_tune.minor_heap_words gc.Gc_tune.space_overhead;
   Printf.fprintf oc "  \"total_wall_s\": %.3f,\n" total;
   Printf.fprintf oc "  \"experiments\": [\n";
   List.iteri
@@ -180,11 +252,12 @@ let () =
   let ids, json_path, no_micro =
     parse [] "BENCH_results.json" false (List.tl (Array.to_list Sys.argv))
   in
+  Gc_tune.apply ();
   let scale = Config.of_env () in
   let jobs = Pool.default_jobs () in
   let t0 = Unix.gettimeofday () in
   let outcomes = run_experiments scale ids ~jobs in
-  let micros = if no_micro then [] else run_micro () in
+  let micros = if no_micro then [] else run_micro scale in
   let total = Unix.gettimeofday () -. t0 in
   Printf.printf "\nTotal wall time: %.1fs\n" total;
   write_results json_path ~scale ~jobs ~total ~outcomes ~micros

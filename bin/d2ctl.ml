@@ -217,6 +217,7 @@ let fsck_cmd =
     Term.(const run $ const ())
 
 let () =
+  D2_util.Gc_tune.apply ();
   let info =
     Cmd.info "d2ctl" ~version:"1.0.0"
       ~doc:"Defragmented DHT file system (D2) — reproduction toolkit"

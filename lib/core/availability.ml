@@ -1,4 +1,5 @@
 module Op = D2_trace.Op
+module Plan = D2_trace.Plan
 module Failure = D2_trace.Failure
 module Task = D2_trace.Task
 module Cluster = D2_store.Cluster
@@ -56,7 +57,11 @@ let replay ~trace ~failures ~mode ~seed ?params () =
   let system =
     System.create ~engine ~mode ~rng:(Rng.split rng) ~nodes ~config ()
   in
-  System.load_initial system trace;
+  let plan = Plan.of_trace trace in
+  (* This replay keys every read too (to test block availability), so
+     reads participate in D2 slot assignment. *)
+  let keys = Plan.replay_keys plan ~mode ~policy:Plan.Reads_and_writes in
+  System.load_initial_plan system plan keys;
   let horizon = p.warmup +. trace.Op.duration +. 1.0 in
   if p.use_balancer then
     ignore (System.attach_balancer system ~rng:(Rng.split rng) ~until:horizon ());
@@ -72,33 +77,32 @@ let replay ~trace ~failures ~mode ~seed ?params () =
              if e.Failure.up then Cluster.recover cluster ~node:e.Failure.node
              else Cluster.fail cluster ~node:e.Failure.node)))
     failures.Failure.events;
-  let n_ops = Array.length trace.Op.ops in
+  let n_ops = plan.Plan.n in
   let op_ok = Array.make n_ops true in
   let op_node = Array.make n_ops (-1) in
-  Array.iteri
-    (fun i (o : Op.op) ->
-      Engine.run engine ~until:(p.warmup +. o.Op.time);
-      (match o.Op.kind with
-      | Op.Read ->
-          let key = System.key_of_op system o in
-          (* A block that no longer exists (rare trace-edge races with
-             delayed removal) is not a node-unavailability failure. *)
-          op_ok.(i) <- Cluster.available cluster ~key || not (Cluster.mem cluster ~key);
-          (match Cluster.owner_of cluster ~key with
-          | Some node -> op_node.(i) <- node
-          | None -> op_node.(i) <- -1)
-      | Op.Write | Op.Create | Op.Delete -> ());
-      (match o.Op.kind with
-      | Op.Read -> ()
-      | Op.Write | Op.Create | Op.Delete -> System.apply_op system o);
-      (match o.Op.kind with
-      | Op.Write | Op.Create -> (
-          let key = System.key_of_op system o in
-          match Cluster.owner_of cluster ~key with
-          | Some node -> op_node.(i) <- node
-          | None -> op_node.(i) <- -1)
-      | Op.Read | Op.Delete -> ()))
-    trace.Op.ops;
+  let times = plan.Plan.times in
+  let kinds = plan.Plan.kinds in
+  let op_keys = keys.Plan.op_keys in
+  for i = 0 to n_ops - 1 do
+    Engine.run engine ~until:(p.warmup +. times.(i));
+    let k = kinds.(i) in
+    if k = Plan.kind_read then begin
+      let key = op_keys.(i) in
+      (* A block that no longer exists (rare trace-edge races with
+         delayed removal) is not a node-unavailability failure. *)
+      op_ok.(i) <- Cluster.available cluster ~key || not (Cluster.mem cluster ~key);
+      match Cluster.owner_of cluster ~key with
+      | Some node -> op_node.(i) <- node
+      | None -> op_node.(i) <- -1
+    end
+    else begin
+      System.apply_plan_op system plan keys i;
+      if k = Plan.kind_write || k = Plan.kind_create then
+        match Cluster.owner_of cluster ~key:op_keys.(i) with
+        | Some node -> op_node.(i) <- node
+        | None -> op_node.(i) <- -1
+    end
+  done;
   { op_ok; op_node; trials_mode = mode }
 
 type task_stats = {

@@ -1,4 +1,5 @@
 module Op = D2_trace.Op
+module Plan = D2_trace.Plan
 module Task = D2_trace.Task
 module Key = D2_keyspace.Key
 module Cluster = D2_store.Cluster
@@ -140,19 +141,18 @@ let run_pass ~trace ~mode ~config:cfg =
   in
   let cluster = System.cluster system in
   let ring = Cluster.ring cluster in
-  System.load_initial system trace;
+  let plan = Plan.of_trace trace in
+  let keys = Plan.replay_keys plan ~mode ~policy:Plan.Reads_and_writes in
+  System.load_initial_plan system plan keys;
   (* Volume-replicate the data set to scale with system size (§9.1). *)
   let copies = max 1 (cfg.nodes / cfg.base_nodes) in
   for j = 1 to copies - 1 do
-    let km = Keymap.create mode ~volume:(Printf.sprintf "vol@%d" j) in
+    let copy_keys =
+      Plan.init_keys plan ~mode ~volume:(Printf.sprintf "vol@%d" j)
+    in
     Array.iter
-      (fun (fi : Op.file_info) ->
-        let nblocks = Op.blocks_of_bytes fi.Op.file_bytes in
-        for b = 0 to nblocks - 1 do
-          let key = Keymap.key_of km ~path:fi.Op.file_path ~block:b in
-          Cluster.put cluster ~key ~size:Op.block_size ()
-        done)
-      trace.Op.initial_files
+      (fun key -> Cluster.put cluster ~key ~size:Op.block_size ())
+      copy_keys
   done;
   let horizon = cfg.warmup +. trace.Op.duration +. 1.0 in
   if mode = Keymap.D2 then
@@ -192,26 +192,29 @@ let run_pass ~trace ~mode ~config:cfg =
           { g_user = ga.ga_user; seq = ga.seq_clock; para; fetched = ga.count };
         Hashtbl.remove accums gid
   in
-  Array.iteri
-    (fun i (o : Op.op) ->
-      Engine.run engine ~until:(cfg.warmup +. o.Op.time);
-      let u = o.Op.user in
-      let measured = in_windows windows o.Op.time in
-      (* Group boundary detection per user. *)
-      let gid = labels.(i) in
-      if current_group.(u) <> gid then begin
-        if current_group.(u) >= 0 then finalize current_group.(u);
-        current_group.(u) <- gid;
-        if measured then
-          Hashtbl.replace accums gid
-            { ga_user = u; seq_clock = 0.0; fetches = []; count = 0 }
-      end;
-      match o.Op.kind with
-      | Op.Write | Op.Create | Op.Delete -> System.apply_op system o
-      | Op.Read ->
-          let key = System.key_of_op system o in
+  let times = plan.Plan.times in
+  let kinds = plan.Plan.kinds in
+  let user_col = plan.Plan.users in
+  let bytes_col = plan.Plan.bytes in
+  let op_keys = keys.Plan.op_keys in
+  for i = 0 to plan.Plan.n - 1 do
+    let now = times.(i) in
+    Engine.run engine ~until:(cfg.warmup +. now);
+    let u = user_col.(i) in
+    let measured = in_windows windows now in
+    (* Group boundary detection per user. *)
+    let gid = labels.(i) in
+    if current_group.(u) <> gid then begin
+      if current_group.(u) >= 0 then finalize current_group.(u);
+      current_group.(u) <- gid;
+      if measured then
+        Hashtbl.replace accums gid
+          { ga_user = u; seq_clock = 0.0; fetches = []; count = 0 }
+    end;
+    if kinds.(i) <> Plan.kind_read then System.apply_plan_op system plan keys i
+    else begin
+          let key = op_keys.(i) in
           let client = clients.(u) in
-          let now = o.Op.time in
           let warm_hit = Block_cache.touch warm_caches.(u) ~now key in
           if not warm_hit then begin
             let holders = Cluster.physical_holders cluster ~key in
@@ -273,16 +276,18 @@ let run_pass ~trace ~mode ~config:cfg =
                     let rtt = Topology.rtt topo client server in
                     let dur =
                       Tcp.transfer_time conn ~now:(now +. ga.seq_clock) ~rtt
-                        ~bandwidth:cfg.access_bandwidth ~bytes:o.Op.bytes
+                        ~bandwidth:cfg.access_bandwidth ~bytes:bytes_col.(i)
                     in
                     ga.seq_clock <- ga.seq_clock +. lookup_lat +. dur;
                     ga.fetches <-
-                      { ready = lookup_lat; server; f_bytes = o.Op.bytes } :: ga.fetches;
+                      { ready = lookup_lat; server; f_bytes = bytes_col.(i) }
+                      :: ga.fetches;
                     ga.count <- ga.count + 1
               end
             end
-          end)
-    trace.Op.ops;
+          end
+    end
+  done;
   Array.iter (fun gid -> if gid >= 0 then finalize gid) current_group;
   let user_rates = ref [] in
   for u = 0 to trace.Op.users - 1 do

@@ -2,10 +2,13 @@ module Key = D2_keyspace.Key
 module Cluster = D2_store.Cluster
 module Engine = D2_simnet.Engine
 module Op = D2_trace.Op
+module Plan = D2_trace.Plan
 module Rng = D2_util.Rng
 module Stats = D2_util.Stats
 
-type file_state = { path : string; blocks : (int, int) Hashtbl.t }
+(* Each live block remembers the key it was stored under, so deletes
+   drop exactly what was put without re-deriving keys from the path. *)
+type file_state = { blocks : (int, int * Key.t) Hashtbl.t }
 
 type t = {
   mode : Keymap.mode;
@@ -38,19 +41,30 @@ let baseline_written t = t.baseline
 
 let key_of_op t o = Keymap.key_of_op t.keymap o
 
-let file_state t ~file ~path =
+let file_state t ~file =
   match Hashtbl.find_opt t.files file with
   | Some fs -> fs
   | None ->
-      let fs = { path; blocks = Hashtbl.create 8 } in
+      let fs = { blocks = Hashtbl.create 8 } in
       Hashtbl.replace t.files file fs;
       fs
 
-let put_block t ~path ~file ~block ~size =
-  let fs = file_state t ~file ~path in
-  Hashtbl.replace fs.blocks block size;
-  let key = Keymap.key_of t.keymap ~path ~block in
+let put_block_key t ~file ~block ~size ~key =
+  let fs = file_state t ~file in
+  Hashtbl.replace fs.blocks block (size, key);
   Cluster.put t.cluster ~key ~size ()
+
+let put_block t ~path ~file ~block ~size =
+  put_block_key t ~file ~block ~size ~key:(Keymap.key_of t.keymap ~path ~block)
+
+let delete_file t ~file =
+  match Hashtbl.find_opt t.files file with
+  | None -> ()
+  | Some fs ->
+      Hashtbl.iter
+        (fun _block (_size, key) -> Cluster.remove t.cluster ~key ())
+        fs.blocks;
+      Hashtbl.remove t.files file
 
 let load_initial t (trace : Op.t) =
   let before = Cluster.written_bytes t.cluster in
@@ -70,26 +84,42 @@ let load_initial t (trace : Op.t) =
     trace.Op.initial_files;
   t.baseline <- t.baseline +. (Cluster.written_bytes t.cluster -. before)
 
+let load_initial_plan t (plan : Plan.t) (keys : Plan.keyset) =
+  let before = Cluster.written_bytes t.cluster in
+  let nf = Array.length plan.Plan.init_files in
+  for f = 0 to nf - 1 do
+    let file = plan.Plan.init_files.(f) in
+    let off = plan.Plan.init_offsets.(f) in
+    for j = off to plan.Plan.init_offsets.(f + 1) - 1 do
+      put_block_key t ~file ~block:(j - off) ~size:plan.Plan.init_sizes.(j)
+        ~key:keys.Plan.init_keys.(j)
+    done
+  done;
+  t.baseline <- t.baseline +. (Cluster.written_bytes t.cluster -. before)
+
 let apply_op t (o : Op.op) =
   match o.Op.kind with
   | Op.Read -> ()
   | Op.Write | Op.Create ->
       put_block t ~path:o.Op.path ~file:o.Op.file ~block:o.Op.block ~size:o.Op.bytes
-  | Op.Delete -> (
-      match Hashtbl.find_opt t.files o.Op.file with
-      | None -> ()
-      | Some fs ->
-          Hashtbl.iter
-            (fun block _ ->
-              let key = Keymap.key_of t.keymap ~path:fs.path ~block in
-              Cluster.remove t.cluster ~key ())
-            fs.blocks;
-          Hashtbl.remove t.files o.Op.file)
+  | Op.Delete -> delete_file t ~file:o.Op.file
+
+(* Plan-column variant of {!apply_op}: everything the op's effect needs
+   is an unboxed array read plus the precomputed key — no record churn,
+   no keymap probe. *)
+let apply_plan_op t (plan : Plan.t) (keys : Plan.keyset) i =
+  let k = plan.Plan.kinds.(i) in
+  if k = Plan.kind_write || k = Plan.kind_create then
+    put_block_key t ~file:plan.Plan.files.(i) ~block:plan.Plan.blocks.(i)
+      ~size:plan.Plan.bytes.(i) ~key:keys.Plan.op_keys.(i)
+  else if k = Plan.kind_delete then delete_file t ~file:plan.Plan.files.(i)
 
 let file_blocks t ~file =
   match Hashtbl.find_opt t.files file with
   | None -> []
-  | Some fs -> List.sort compare (Hashtbl.fold (fun b s acc -> (b, s) :: acc) fs.blocks [])
+  | Some fs ->
+      List.sort compare
+        (Hashtbl.fold (fun b (s, _key) acc -> (b, s) :: acc) fs.blocks [])
 
 let attach_balancer t ~rng ?config ~until () =
   D2_balance.Balancer.attach ~cluster:t.cluster ~rng ?config ~until ()

@@ -32,6 +32,10 @@ val load_initial : t -> D2_trace.Op.t -> unit
 (** Insert every block of the trace's initial files (without counting
     them as user write traffic — see {!baseline_written}). *)
 
+val load_initial_plan : t -> D2_trace.Plan.t -> D2_trace.Plan.keyset -> unit
+(** Same effect as {!load_initial} on the plan's trace, but block sizes
+    and keys come from the compiled plan — no keymap walk. *)
+
 val baseline_written : t -> float
 (** Bytes inserted by [load_initial]; subtract from
     [Cluster.written_bytes] to get replayed user writes. *)
@@ -40,6 +44,11 @@ val apply_op : t -> D2_trace.Op.op -> unit
 (** Apply one trace op's storage effect: [Create]/[Write] put the
     block, [Delete] removes every live block of the file, [Read] does
     nothing. *)
+
+val apply_plan_op : t -> D2_trace.Plan.t -> D2_trace.Plan.keyset -> int -> unit
+(** [apply_plan_op t plan keys i] is {!apply_op} for the plan's [i]-th
+    op, reading columns and the precomputed key instead of an op
+    record. *)
 
 val key_of_op : t -> D2_trace.Op.op -> Key.t
 

@@ -145,6 +145,19 @@ let successors t key r =
     List.init count (fun k -> t.nodes.((start + k) mod t.n))
   end
 
+let iter_successors t key ~limit f =
+  if t.n > 0 then begin
+    let start = let i = lower_bound t key in if i = t.n then 0 else i in
+    let count = min limit t.n in
+    let k = ref 0 and continue_ = ref true in
+    while !continue_ && !k < count do
+      let idx = start + !k in
+      let idx = if idx >= t.n then idx - t.n else idx in
+      continue_ := f t.nodes.(idx);
+      incr k
+    done
+  end
+
 let predecessor_id t ~node =
   let i = rank_of t ~node in
   t.ids.((i - 1 + t.n) mod t.n)

@@ -46,6 +46,13 @@ val successors : t -> D2_keyspace.Key.t -> int -> int list
     including) the key's owner.  Returns fewer when the ring is
     smaller than [r]. *)
 
+val iter_successors : t -> D2_keyspace.Key.t -> limit:int -> (int -> bool) -> unit
+(** [iter_successors t key ~limit f] visits the same nodes as
+    [successors t key limit] in the same clockwise order, but without
+    materializing the list, and stops early when [f] returns [false] —
+    the replica-selection hot path ({!D2_store.Cluster}) usually needs
+    only the first few up nodes of a long candidate window. *)
+
 val predecessor_id : t -> node:int -> D2_keyspace.Key.t
 (** ID of the node's predecessor (its own ID when it is alone);
     the node's responsibility range is [(predecessor_id, id_of]]. *)

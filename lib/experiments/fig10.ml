@@ -34,3 +34,18 @@ let speedup_rows scale ~baseline_mode ~title =
 let run scale =
   speedup_rows scale ~baseline_mode:Keymap.Traditional
     ~title:"Figure 10: speedup of D2 over the traditional DHT"
+
+let cells_for scale ~baseline_mode =
+  Suites.trace_cell scale `Harvard
+  :: List.concat_map
+       (fun bandwidth ->
+         List.concat_map
+           (fun nodes ->
+             [
+               Suites.perf_cell scale ~mode:baseline_mode ~nodes ~bandwidth;
+               Suites.perf_cell scale ~mode:Keymap.D2 ~nodes ~bandwidth;
+             ])
+           (Config.perf_sizes scale))
+       (Config.perf_bandwidths scale)
+
+let cells scale = cells_for scale ~baseline_mode:Keymap.Traditional

@@ -8,3 +8,9 @@ val speedup_rows :
 (** Shared speedup-table builder (also drives Figure 11). *)
 
 val run : Config.scale -> D2_util.Report.t list
+
+val cells_for :
+  Config.scale -> baseline_mode:D2_core.Keymap.mode -> Suites.cell list
+
+val cells : Config.scale -> Suites.cell list
+(** Datapoint dependencies of {!run}, for {!Registry.run_entries}. *)

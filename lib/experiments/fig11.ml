@@ -5,3 +5,5 @@ module Keymap = D2_core.Keymap
 let run scale =
   Fig10.speedup_rows scale ~baseline_mode:Keymap.Traditional_file
     ~title:"Figure 11: speedup of D2 over the traditional-file DHT"
+
+let cells scale = Fig10.cells_for scale ~baseline_mode:Keymap.Traditional_file

@@ -54,3 +54,12 @@ let run scale =
       Report.fmt_float ~decimals:2 para_sp.Perf.overall;
     ];
   [ r ]
+
+let cells scale =
+  let nodes = List.fold_left max 0 (Config.perf_sizes scale) in
+  let bandwidth = 1_500_000.0 in
+  [
+    Suites.trace_cell scale `Harvard;
+    Suites.perf_cell scale ~mode:Keymap.Traditional ~nodes ~bandwidth;
+    Suites.perf_cell scale ~mode:Keymap.D2 ~nodes ~bandwidth;
+  ]

@@ -1,3 +1,6 @@
 (** Figure 12: per-user speedup distribution in the largest scenario (§9.3). *)
 
 val run : Config.scale -> D2_util.Report.t list
+
+val cells : Config.scale -> Suites.cell list
+(** Datapoint dependencies of {!run}, for {!Registry.run_entries}. *)

@@ -25,3 +25,5 @@ let run scale =
         ])
     (Config.perf_sizes scale);
   [ r ]
+
+let cells = Fig9.cells

@@ -1,3 +1,6 @@
 (** Figure 13: mean lookup-cache miss rate per scenario (§9.3). *)
 
 val run : Config.scale -> D2_util.Report.t list
+
+val cells : Config.scale -> Suites.cell list
+(** Datapoint dependencies of {!run}, for {!Registry.run_entries}. *)

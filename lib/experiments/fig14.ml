@@ -69,3 +69,14 @@ let run scale =
     scatter_summary scale ~baseline_mode:Keymap.Traditional ~which:`Para
       ~title:"Figure 14b: access-group latency, D2 vs traditional (para)";
   ]
+
+let cells_for scale ~baseline_mode =
+  let nodes = List.fold_left max 0 (Config.perf_sizes scale) in
+  let bandwidth = 1_500_000.0 in
+  [
+    Suites.trace_cell scale `Harvard;
+    Suites.perf_cell scale ~mode:baseline_mode ~nodes ~bandwidth;
+    Suites.perf_cell scale ~mode:Keymap.D2 ~nodes ~bandwidth;
+  ]
+
+let cells scale = cells_for scale ~baseline_mode:Keymap.Traditional

@@ -10,3 +10,9 @@ val scatter_summary :
 (** Shared scatter-table builder (also drives Figure 15). *)
 
 val run : Config.scale -> D2_util.Report.t list
+
+val cells_for :
+  Config.scale -> baseline_mode:D2_core.Keymap.mode -> Suites.cell list
+
+val cells : Config.scale -> Suites.cell list
+(** Datapoint dependencies of {!run}, for {!Registry.run_entries}. *)

@@ -47,3 +47,9 @@ let series scale ~trace ~title =
 
 let run scale =
   [ series scale ~trace:`Harvard ~title:"Figure 16: load imbalance over time (Harvard)" ]
+
+let cells scale =
+  Suites.trace_cell scale `Harvard
+  :: List.map
+       (fun setup -> Suites.balance_cell scale ~trace:`Harvard ~setup)
+       Balance_sim.all_setups

@@ -8,3 +8,6 @@ val series :
 (** Shared imbalance-series builder (also drives Figure 17). *)
 
 val run : Config.scale -> D2_util.Report.t list
+
+val cells : Config.scale -> Suites.cell list
+(** Datapoint dependencies of {!run}, for {!Registry.run_entries}. *)

@@ -6,3 +6,10 @@ let run scale =
     Fig16.series scale ~trace:`Webcache
       ~title:"Figure 17: load imbalance over time (Webcache)";
   ]
+
+let cells scale =
+  Suites.trace_cell scale `Web
+  :: Suites.trace_cell scale `Webcache
+  :: List.map
+       (fun setup -> Suites.balance_cell scale ~trace:`Webcache ~setup)
+       D2_core.Balance_sim.all_setups

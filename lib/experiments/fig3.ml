@@ -15,8 +15,8 @@ let run scale =
         [ "workload"; "scenario"; "nodes/user-hour"; "normalized vs traditional" ]
   in
   List.iter
-    (fun (name, trace) ->
-      let results = Locality.analyze_all trace ~nodes in
+    (fun (name, workload) ->
+      let results = Suites.locality scale ~workload ~nodes in
       let traditional =
         match results with
         | { Locality.scenario = Locality.Traditional; mean_nodes_per_user_hour; _ } :: _ ->
@@ -34,9 +34,15 @@ let run scale =
                 (res.Locality.mean_nodes_per_user_hour /. traditional);
             ])
         results)
-    [
-      ("harvard", Data.harvard scale);
-      ("hp", Data.hp scale);
-      ("web", Data.web scale);
-    ];
+    [ ("harvard", `Harvard); ("hp", `Hp); ("web", `Web) ];
   [ r ]
+
+let cells scale =
+  let nodes = Config.fig3_nodes scale in
+  List.concat_map
+    (fun w ->
+      [
+        Suites.trace_cell scale (w :> [ `Harvard | `Hp | `Web | `Webcache ]);
+        Suites.locality_cell scale ~workload:w ~nodes;
+      ])
+    [ `Harvard; `Hp; `Web ]

@@ -2,3 +2,6 @@
     ordered / lower-bound placements, all three workloads (§4.1). *)
 
 val run : Config.scale -> D2_util.Report.t list
+
+val cells : Config.scale -> Suites.cell list
+(** Datapoint dependencies of {!run}, for {!Registry.run_entries}. *)

@@ -38,3 +38,11 @@ let run scale =
         Suites.all_modes)
     Config.avail_inters;
   [ r ]
+
+let cells scale =
+  Suites.trace_cell scale `Harvard
+  :: List.concat_map
+       (fun mode ->
+         List.init (Config.avail_trials scale) (fun trial ->
+             Suites.avail_cell scale ~mode ~trial))
+       Suites.all_modes

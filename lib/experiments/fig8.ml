@@ -39,3 +39,7 @@ let run scale =
       string_of_int (affected d2);
     ];
   [ r ]
+
+let cells scale =
+  Suites.trace_cell scale `Harvard
+  :: List.map (fun mode -> Suites.avail_cell scale ~mode ~trial:0) Suites.all_modes

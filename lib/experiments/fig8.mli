@@ -1,3 +1,6 @@
 (** Figure 8: per-user task unavailability, ranked (§8.2). *)
 
 val run : Config.scale -> D2_util.Report.t list
+
+val cells : Config.scale -> Suites.cell list
+(** Datapoint dependencies of {!run}, for {!Registry.run_entries}. *)

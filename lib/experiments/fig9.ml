@@ -35,3 +35,13 @@ let run scale =
         ])
     (Config.perf_sizes scale);
   [ r ]
+
+let cells scale =
+  let bandwidth = List.hd (Config.perf_bandwidths scale) in
+  Suites.trace_cell scale `Harvard
+  :: List.concat_map
+       (fun nodes ->
+         List.map
+           (fun mode -> Suites.perf_cell scale ~mode ~nodes ~bandwidth)
+           Suites.all_modes)
+       (Config.perf_sizes scale)

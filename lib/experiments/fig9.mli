@@ -1,3 +1,6 @@
 (** Figure 9: DHT lookup messages per node vs system size (§9.2). *)
 
 val run : Config.scale -> D2_util.Report.t list
+
+val cells : Config.scale -> Suites.cell list
+(** Datapoint dependencies of {!run}, for {!Registry.run_entries}. *)

@@ -5,52 +5,49 @@ type entry = {
   id : string;
   title : string;
   run : Config.scale -> D2_util.Report.t list;
+  cells : Config.scale -> Suites.cell list;
 }
+
+let entry ?(cells = fun _ -> []) id title run = { id; title; run; cells }
 
 let all =
   [
-    { id = "table1"; title = "Workloads analyzed"; run = Table1.run };
-    { id = "fig3"; title = "Locality of key orderings"; run = Fig3.run };
-    { id = "table2"; title = "Objects and nodes per task"; run = Table2.run };
-    { id = "fig7"; title = "Task unavailability vs inter"; run = Fig7.run };
-    { id = "fig8"; title = "Per-user unavailability"; run = Fig8.run };
-    { id = "fig9"; title = "Lookup traffic vs system size"; run = Fig9.run };
-    { id = "fig10"; title = "Speedup over traditional"; run = Fig10.run };
-    { id = "fig11"; title = "Speedup over traditional-file"; run = Fig11.run };
-    { id = "fig12"; title = "Per-user speedup"; run = Fig12.run };
-    { id = "fig13"; title = "Lookup cache miss rate"; run = Fig13.run };
-    { id = "fig14"; title = "Latency scatter vs traditional"; run = Fig14.run };
-    { id = "fig15"; title = "Latency scatter vs traditional-file"; run = Fig15.run };
-    { id = "fig16"; title = "Load imbalance (Harvard)"; run = Fig16.run };
-    { id = "fig17"; title = "Load imbalance (Webcache)"; run = Fig17.run };
-    { id = "table3"; title = "Daily churn ratios"; run = Table3.run };
-    { id = "table4"; title = "Write vs migration traffic"; run = Table4.run };
-    { id = "ablation_pointers"; title = "Block pointers on/off"; run = Ablations.pointers };
-    { id = "ablation_routing"; title = "Routing hop counts"; run = Ablations.routing };
-    { id = "ablation_cache_ttl"; title = "Cache TTL sweep"; run = Ablations.cache_ttl };
-    { id = "ablation_replicas"; title = "Replication factor"; run = Ablations.replicas };
-    { id = "ablation_hybrid"; title = "Hybrid replica placement (§11)"; run = Ablations.hybrid };
-    { id = "ablation_erasure"; title = "Replication vs erasure coding (§3)"; run = Ablations.erasure };
-    { id = "ablation_stp"; title = "TCP vs STP-style transport (§9.3)"; run = Ablations.stp };
-    { id = "ablation_hotspot"; title = "Retrieval caches vs hot spots (§6)"; run = Ablations.hotspot };
+    entry "table1" "Workloads analyzed" Table1.run ~cells:Table1.cells;
+    entry "fig3" "Locality of key orderings" Fig3.run ~cells:Fig3.cells;
+    entry "table2" "Objects and nodes per task" Table2.run ~cells:Table2.cells;
+    entry "fig7" "Task unavailability vs inter" Fig7.run ~cells:Fig7.cells;
+    entry "fig8" "Per-user unavailability" Fig8.run ~cells:Fig8.cells;
+    entry "fig9" "Lookup traffic vs system size" Fig9.run ~cells:Fig9.cells;
+    entry "fig10" "Speedup over traditional" Fig10.run ~cells:Fig10.cells;
+    entry "fig11" "Speedup over traditional-file" Fig11.run ~cells:Fig11.cells;
+    entry "fig12" "Per-user speedup" Fig12.run ~cells:Fig12.cells;
+    entry "fig13" "Lookup cache miss rate" Fig13.run ~cells:Fig13.cells;
+    entry "fig14" "Latency scatter vs traditional" Fig14.run ~cells:Fig14.cells;
+    entry "fig15" "Latency scatter vs traditional-file" Fig15.run ~cells:Fig15.cells;
+    entry "fig16" "Load imbalance (Harvard)" Fig16.run ~cells:Fig16.cells;
+    entry "fig17" "Load imbalance (Webcache)" Fig17.run ~cells:Fig17.cells;
+    entry "table3" "Daily churn ratios" Table3.run ~cells:Table3.cells;
+    entry "table4" "Write vs migration traffic" Table4.run ~cells:Table4.cells;
+    entry "ablation_pointers" "Block pointers on/off" Ablations.pointers;
+    entry "ablation_routing" "Routing hop counts" Ablations.routing;
+    entry "ablation_cache_ttl" "Cache TTL sweep" Ablations.cache_ttl;
+    entry "ablation_replicas" "Replication factor" Ablations.replicas;
+    entry "ablation_hybrid" "Hybrid replica placement (§11)" Ablations.hybrid;
+    entry "ablation_erasure" "Replication vs erasure coding (§3)" Ablations.erasure;
+    entry "ablation_stp" "TCP vs STP-style transport (§9.3)" Ablations.stp;
+    entry "ablation_hotspot" "Retrieval caches vs hot spots (§6)" Ablations.hotspot;
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all
 
 type outcome = { o_entry : entry; output : string; logs : string; wall : float }
 
-let render_entry scale entry =
-  let t0 = Unix.gettimeofday () in
-  let reports = entry.run scale in
-  let wall = Unix.gettimeofday () -. t0 in
-  (String.concat "" (List.map Report.render reports), wall)
-
 (* Worker domains must not write through whatever Logs reporter is
    installed (formatters are not domain-safe, and interleaved lines
-   would defeat deterministic output).  While a parallel run is in
-   flight, log records are redirected into a per-running-entry buffer
-   looked up by the reporting domain's id; each entry's captured log
-   text is emitted with its outcome, in registry order. *)
+   would defeat deterministic output).  While a run is in flight, log
+   records are redirected into per-cell / per-render buffers looked up
+   by the reporting domain's id; each entry's captured log text is
+   emitted with its outcome, in registry order. *)
 let buffering_reporter ~find_buf =
   let report src level ~over k msgf =
     match find_buf () with
@@ -74,52 +71,146 @@ let buffering_reporter ~find_buf =
   in
   { Logs.report }
 
-let run_parallel ~jobs scale entries =
-  let saved_reporter = Logs.reporter () in
-  let mu = Mutex.create () in
-  let bufs : (int, Buffer.t) Hashtbl.t = Hashtbl.create 8 in
-  let find_buf () =
-    let did = (Domain.self () :> int) in
-    Mutex.lock mu;
-    let b = Hashtbl.find_opt bufs did in
-    Mutex.unlock mu;
-    b
-  in
-  Logs.set_reporter (buffering_reporter ~find_buf);
-  let pool = Pool.create ~jobs () in
+(* One datapoint task: a deduplicated cell owned by the first entry
+   that listed it.  [c_start] is its wall-clock start (-1 until it
+   runs); its log records accumulate in [c_buf]. *)
+type cell_task = {
+  c_label : string;
+  c_thunk : unit -> unit;
+  c_buf : Buffer.t;
+  mutable c_start : float;
+}
+
+(* Split the entries into (entry, owned datapoint cells).  Dedup is by
+   label across the whole run: a cell shared by several entries is
+   computed (and its logs attributed) under the first entry that lists
+   it; later entries hit the warm memo inside their render. *)
+let prepare scale entries =
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  List.map
+    (fun e ->
+      let owned =
+        List.filter_map
+          (fun (label, thunk) ->
+            if Hashtbl.mem seen label then None
+            else begin
+              Hashtbl.add seen label ();
+              Some
+                {
+                  c_label = label;
+                  c_thunk = thunk;
+                  c_buf = Buffer.create 64;
+                  c_start = -1.0;
+                }
+            end)
+          (e.cells scale)
+      in
+      (e, owned))
+    entries
+
+let with_buf ~mu ~bufs buf f =
+  let did = (Domain.self () :> int) in
+  Mutex.lock mu;
+  Hashtbl.replace bufs did buf;
+  Mutex.unlock mu;
   Fun.protect
     ~finally:(fun () ->
-      Pool.shutdown pool;
-      Logs.set_reporter saved_reporter)
+      Mutex.lock mu;
+      Hashtbl.remove bufs did;
+      Mutex.unlock mu)
+    f
+
+let run_cell ~mu ~bufs c =
+  c.c_start <- Unix.gettimeofday ();
+  with_buf ~mu ~bufs c.c_buf c.c_thunk
+
+(* Render an entry's tables (its datapoint cells have at least started
+   by now — the memos block on in-flight builds).  The reported wall
+   is the honest elapsed span of this entry's work: from its earliest
+   owned cell's start (or the render's own start when it owns none) to
+   render end. *)
+let render ~mu ~bufs scale (e, owned) =
+  let rbuf = Buffer.create 256 in
+  let t0 = Unix.gettimeofday () in
+  let output =
+    with_buf ~mu ~bufs rbuf (fun () ->
+        String.concat "" (List.map Report.render (e.run scale)))
+  in
+  let t1 = Unix.gettimeofday () in
+  let first_start =
+    List.fold_left
+      (fun acc c -> if c.c_start >= 0.0 then Float.min acc c.c_start else acc)
+      t0 owned
+  in
+  let logs =
+    String.concat "" (List.map (fun c -> Buffer.contents c.c_buf) owned)
+    ^ Buffer.contents rbuf
+  in
+  { o_entry = e; output; logs; wall = t1 -. first_start }
+
+let run_sequential ~mu ~bufs scale prepared =
+  List.map
+    (fun (e, owned) ->
+      List.iter (run_cell ~mu ~bufs) owned;
+      render ~mu ~bufs scale (e, owned))
+    prepared
+
+(* Every cell is submitted before any render, so the pool's FIFO queue
+   guarantees that when a render task is popped, each cell has at
+   least started on some worker — a render never waits on a cell that
+   is still queued behind it, and memo waits therefore cannot
+   deadlock. *)
+let run_parallel ~jobs ~mu ~bufs scale prepared =
+  let pool = Pool.create ~jobs () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
     (fun () ->
-      Pool.map pool
-        (fun e ->
-          let buf = Buffer.create 256 in
-          let did = (Domain.self () :> int) in
-          Mutex.lock mu;
-          Hashtbl.replace bufs did buf;
-          Mutex.unlock mu;
-          Fun.protect
-            ~finally:(fun () ->
-              Mutex.lock mu;
-              Hashtbl.remove bufs did;
-              Mutex.unlock mu)
-            (fun () ->
-              let output, wall = render_entry scale e in
-              { o_entry = e; output; logs = Buffer.contents buf; wall }))
-        entries)
+      let cell_promises =
+        List.concat_map
+          (fun (_, owned) ->
+            List.map
+              (fun c -> Pool.submit pool (fun () -> run_cell ~mu ~bufs c))
+              owned)
+          prepared
+      in
+      let render_promises =
+        List.map
+          (fun eo -> Pool.submit pool (fun () -> render ~mu ~bufs scale eo))
+          prepared
+      in
+      let outcomes = List.map Pool.await render_promises in
+      (* Renders retry a failed cell's memo build themselves, so cell
+         failures usually surface above; await anyway so none is
+         silently dropped. *)
+      List.iter Pool.await cell_promises;
+      outcomes)
 
 let run_entries ?jobs scale entries =
   let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
   match entries with
   | [] -> []
-  | _ when jobs <= 1 || List.compare_length_with entries 1 <= 0 ->
-      List.map
-        (fun e ->
-          let output, wall = render_entry scale e in
-          { o_entry = e; output; logs = ""; wall })
-        entries
-  | _ -> run_parallel ~jobs scale entries
+  | _ ->
+      let saved_reporter = Logs.reporter () in
+      let mu = Mutex.create () in
+      let bufs : (int, Buffer.t) Hashtbl.t = Hashtbl.create 8 in
+      let find_buf () =
+        let did = (Domain.self () :> int) in
+        Mutex.lock mu;
+        let b = Hashtbl.find_opt bufs did in
+        Mutex.unlock mu;
+        b
+      in
+      Logs.set_reporter (buffering_reporter ~find_buf);
+      Fun.protect
+        ~finally:(fun () -> Logs.set_reporter saved_reporter)
+        (fun () ->
+          let prepared = prepare scale entries in
+          (* One effective worker means no parallelism to win: skip the
+             pool entirely rather than pay domain spawn + stop-the-world
+             rendezvous for a second live domain. *)
+          if Pool.effective_jobs jobs <= 1 then
+            run_sequential ~mu ~bufs scale prepared
+          else run_parallel ~jobs ~mu ~bufs scale prepared)
 
 let print_outcome o =
   print_string o.output;

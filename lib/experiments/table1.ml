@@ -33,3 +33,6 @@ let run scale =
       string_of_int wc.Op.users;
     ];
   [ r ]
+
+let cells scale =
+  List.map (Suites.trace_cell scale) [ `Harvard; `Hp; `Web; `Webcache ]

@@ -1,3 +1,6 @@
 (** Table 1: the workloads analyzed — our synthetic equivalents' sizes. *)
 
 val run : Config.scale -> D2_util.Report.t list
+
+val cells : Config.scale -> Suites.cell list
+(** Datapoint dependencies of {!run}, for {!Registry.run_entries}. *)

@@ -33,3 +33,7 @@ let run scale =
         ])
     Config.avail_inters;
   [ r ]
+
+let cells scale =
+  Suites.trace_cell scale `Harvard
+  :: List.map (fun mode -> Suites.avail_cell scale ~mode ~trial:0) Suites.all_modes

@@ -1,3 +1,6 @@
 (** Table 2: mean blocks, files and nodes accessed per task (§8.2). *)
 
 val run : Config.scale -> D2_util.Report.t list
+
+val cells : Config.scale -> Suites.cell list
+(** Datapoint dependencies of {!run}, for {!Registry.run_entries}. *)

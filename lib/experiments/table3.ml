@@ -33,3 +33,12 @@ let run scale =
   rows r "Harvard" harvard;
   rows r "Webcache" webcache;
   [ r ]
+
+let cells scale =
+  [
+    Suites.trace_cell scale `Harvard;
+    Suites.trace_cell scale `Web;
+    Suites.trace_cell scale `Webcache;
+    Suites.balance_cell scale ~trace:`Harvard ~setup:Balance_sim.D2;
+    Suites.balance_cell scale ~trace:`Webcache ~setup:Balance_sim.D2;
+  ]

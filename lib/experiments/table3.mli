@@ -1,3 +1,6 @@
 (** Table 3: daily churn ratios W_i/T_i and R_i/T_i (§10). *)
 
 val run : Config.scale -> D2_util.Report.t list
+
+val cells : Config.scale -> Suites.cell list
+(** Datapoint dependencies of {!run}, for {!Registry.run_entries}. *)

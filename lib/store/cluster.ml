@@ -134,18 +134,22 @@ let regeneration_bytes t = t.regenerated
    skipped — that skip is what triggers regeneration onto farther
    successors, and its reversal on recovery is what trims them). *)
 let up_successors t key want ~excluding =
-  let candidates =
-    Ring.successors t.ring key (min (Ring.size t.ring) ((want + 2) * 8))
-  in
-  let rec take acc count = function
-    | [] -> List.rev acc
-    | _ when count = want -> List.rev acc
-    | n :: rest ->
-        if t.nodes.(n).up && not (List.mem n excluding) then
-          take (n :: acc) (count + 1) rest
-        else take acc count rest
-  in
-  take [] 0 candidates
+  if want <= 0 then []
+  else begin
+    (* Same candidate window as before ((want+2)*8 clockwise nodes),
+       but walked in place with early exit instead of materializing a
+       40-element list per call — this runs on every [desired]. *)
+    let limit = min (Ring.size t.ring) ((want + 2) * 8) in
+    let acc = ref [] in
+    let count = ref 0 in
+    Ring.iter_successors t.ring key ~limit (fun n ->
+        if t.nodes.(n).up && not (List.mem n excluding) then begin
+          acc := n :: !acc;
+          incr count
+        end;
+        !count < want);
+    List.rev !acc
+  end
 
 (* The desired replica set of a key.  Normally the first [replicas] up
    successors.  With [hybrid_replicas] (the paper's §11 future-work

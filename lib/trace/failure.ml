@@ -62,7 +62,7 @@ let generate ~rng ~n ~duration ?(params = default_params) () =
       if recover < duration then Vec.push events { time = recover; node; up = true }
     done
   done;
-  Vec.sort events ~cmp:(fun a b -> compare a.time b.time);
+  Vec.sort_by_float events ~key:(fun e -> e.time);
   (* Normalize: drop events that do not change the node's state (the
      independent process and correlated events can overlap). *)
   let state = Array.make n true in

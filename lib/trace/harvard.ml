@@ -326,7 +326,7 @@ let generate ~rng ?(params = default_params) () =
       end
     done
   done;
-  Vec.sort st.ops ~cmp:(fun a b -> compare a.Op.time b.Op.time);
+  Vec.sort_by_float st.ops ~key:(fun o -> o.Op.time);
   let ops = Vec.to_array st.ops in
   (* A burst that started near the end of the last session may run a
      little past the nominal horizon; extend the duration to cover it. *)

@@ -19,7 +19,21 @@ let default_params =
     write_fraction = 0.3;
   }
 
-let block_name b = Printf.sprintf "%012d" b
+(* Zero-padded 12-digit block path, written by hand: this runs once
+   per emitted op, and [Printf.sprintf "%012d"] was the generator's
+   single hottest call. *)
+let block_name_uncached b =
+  let buf = Bytes.make 12 '0' in
+  let rec go b i =
+    if b > 0 then begin
+      Bytes.unsafe_set buf i (Char.unsafe_chr (Char.code '0' + (b mod 10)));
+      go (b / 10) (i - 1)
+    end
+  in
+  go b 11;
+  Bytes.unsafe_to_string buf
+
+let block_name = block_name_uncached
 
 let day = 86400.0
 
@@ -30,6 +44,18 @@ let generate ~rng ?(params = default_params) () =
      application's working set is a handful of regions. *)
   let region_blocks = 512 in
   let nregions = max 1 (params.disk_blocks / region_blocks) in
+  (* Blocks are revisited constantly (zipf working sets), so paths are
+     interned per disk block and formatted at most once each. *)
+  let names = Array.make params.disk_blocks "" in
+  let block_name b =
+    let s = Array.unsafe_get names b in
+    if String.length s > 0 then s
+    else begin
+      let s = block_name_uncached b in
+      Array.unsafe_set names b s;
+      s
+    end
+  in
   let ops = Vec.create () in
   for app = 0 to params.apps - 1 do
     let app_rng = Rng.split rng in
@@ -68,7 +94,7 @@ let generate ~rng ?(params = default_params) () =
       t := !t +. Rng.exponential app_rng ~mean:(params.days *. day /. float_of_int total_runs)
     done
   done;
-  Vec.sort ops ~cmp:(fun a b -> compare a.Op.time b.Op.time);
+  Vec.sort_by_float ops ~key:(fun o -> o.Op.time);
   let arr = Vec.to_array ops in
   let duration =
     if Array.length arr = 0 then params.days *. day

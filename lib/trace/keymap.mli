@@ -26,7 +26,7 @@ val create : mode -> volume:string -> t
 val key_of : t -> path:string -> block:int -> Key.t
 (** Key of one 8 KB data block of the file at [path]. *)
 
-val key_of_op : t -> D2_trace.Op.op -> Key.t
+val key_of_op : t -> Op.op -> Key.t
 (** Convenience for replay: key of the block an op touches. *)
 
 val slot_path : t -> path:string -> int list

@@ -50,16 +50,29 @@ let next r =
 let fail r fmt = Printf.ksprintf (fun s ->
     invalid_arg (Printf.sprintf "Serialize.load: line %d: %s" r.line s)) fmt
 
+(* Split [line] on tabs into exactly [expected] fields.  This runs
+   once per op line when loading a trace, so it cuts substrings
+   directly out of the line instead of going through
+   [String.split_on_char] (which allocated a list cell per field and
+   then walked it again for [List.length]). *)
 let fields r expected line =
-  let fs = String.split_on_char '\t' line in
-  if List.length fs <> expected then fail r "expected %d fields, got %d" expected (List.length fs);
-  fs
+  let got = ref 1 in
+  String.iter (fun c -> if c = '\t' then incr got) line;
+  if !got <> expected then fail r "expected %d fields, got %d" expected !got;
+  let out = Array.make expected "" in
+  let start = ref 0 in
+  for i = 0 to expected - 2 do
+    let j = String.index_from line !start '\t' in
+    out.(i) <- String.sub line !start (j - !start);
+    start := j + 1
+  done;
+  out.(expected - 1) <- String.sub line !start (String.length line - !start);
+  out
 
 let tagged r tag =
-  match fields r 2 (next r) with
-  | [ t; v ] when t = tag -> v
-  | [ t; _ ] -> fail r "expected %S, got %S" tag t
-  | _ -> assert false
+  let fs = fields r 2 (next r) in
+  if fs.(0) <> tag then fail r "expected %S, got %S" tag fs.(0);
+  fs.(1)
 
 let int_of r s = match int_of_string_opt s with
   | Some v -> v
@@ -80,26 +93,26 @@ let load ic =
   let nfiles = int_of r (tagged r "files") in
   let initial_files =
     Array.init nfiles (fun _ ->
-        match fields r 3 (next r) with
-        | [ id; bytes; path ] ->
-            { Op.file_id = int_of r id; file_bytes = int_of r bytes; file_path = path }
-        | _ -> assert false)
+        let fs = fields r 3 (next r) in
+        {
+          Op.file_id = int_of r fs.(0);
+          file_bytes = int_of r fs.(1);
+          file_path = fs.(2);
+        })
   in
   let nops = int_of r (tagged r "ops") in
   let ops =
     Array.init nops (fun _ ->
-        match fields r 7 (next r) with
-        | [ time; user; kind; file; block; bytes; path ] ->
-            {
-              Op.time = float_of r time;
-              user = int_of r user;
-              kind = kind_of_string r.line kind;
-              file = int_of r file;
-              block = int_of r block;
-              bytes = int_of r bytes;
-              path;
-            }
-        | _ -> assert false)
+        let fs = fields r 7 (next r) in
+        {
+          Op.time = float_of r fs.(0);
+          user = int_of r fs.(1);
+          kind = kind_of_string r.line fs.(2);
+          file = int_of r fs.(3);
+          block = int_of r fs.(4);
+          bytes = int_of r fs.(5);
+          path = fs.(6);
+        })
   in
   let t = { Op.name; duration; users; ops; initial_files } in
   Op.validate t;

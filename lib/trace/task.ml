@@ -47,7 +47,7 @@ let cut (trace : Op.t) ~inter ~max_duration =
   for u = 0 to trace.Op.users - 1 do
     flush u
   done;
-  Vec.sort out ~cmp:(fun (a, _) (b, _) -> compare a.start b.start);
+  Vec.sort_by_float out ~key:(fun (a, _) -> a.start);
   let tasks = Array.map fst (Vec.to_array out) in
   Array.iteri
     (fun task_idx (_, op_indices) ->

@@ -120,7 +120,7 @@ let generate ~rng ?(params = default_params) () =
       done
     done
   done;
-  Vec.sort ops ~cmp:(fun a b -> compare a.Op.time b.Op.time);
+  Vec.sort_by_float ops ~key:(fun o -> o.Op.time);
   let arr = Vec.to_array ops in
   let duration =
     if Array.length arr = 0 then params.days *. day

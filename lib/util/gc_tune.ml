@@ -1,0 +1,19 @@
+(* The drivers are batch processes: they build multi-hundred-MB
+   simulation states and churn through millions of short-lived op
+   records, so we trade memory for throughput.  A larger minor heap
+   cuts minor-collection (and, under domains, stop-the-world
+   rendezvous) frequency; a higher space overhead makes the major GC
+   lazier about compacting long-lived tables. *)
+
+let minor_heap_words = 1024 * 1024
+let space_overhead = 200
+
+let apply () =
+  Gc.set
+    { (Gc.get ()) with Gc.minor_heap_size = minor_heap_words; space_overhead }
+
+type settings = { minor_heap_words : int; space_overhead : int }
+
+let current () =
+  let g = Gc.get () in
+  { minor_heap_words = g.Gc.minor_heap_size; space_overhead = g.Gc.space_overhead }

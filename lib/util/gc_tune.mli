@@ -1,0 +1,21 @@
+(** Throughput-oriented GC settings for the batch drivers (bench and
+    d2ctl).  The simulators allocate millions of short-lived op
+    records under OCaml 5's stop-the-world minor collector, so the
+    drivers enlarge the minor heap (fewer collections, fewer domain
+    rendezvous) and relax the major-heap space overhead.  Library code
+    never calls {!apply}; embedders keep their own policy. *)
+
+val minor_heap_words : int
+(** Minor heap size {!apply} installs, in words (1 Mword = 8 MB). *)
+
+val space_overhead : int
+(** Major-GC space overhead {!apply} installs (stdlib default: 120). *)
+
+val apply : unit -> unit
+(** Install the settings above via [Gc.set]. *)
+
+type settings = { minor_heap_words : int; space_overhead : int }
+
+val current : unit -> settings
+(** The live values from [Gc.get], for recording alongside benchmark
+    results. *)

@@ -23,6 +23,8 @@ let default_jobs () =
           Printf.eprintf "warning: ignoring invalid D2_JOBS=%S\n%!" s;
           fallback ())
 
+let effective_jobs jobs = min jobs (max 1 (Domain.recommended_domain_count ()))
+
 let rec worker_loop t =
   Mutex.lock t.mu;
   while Queue.is_empty t.tasks && not t.stopped do
@@ -39,6 +41,12 @@ let rec worker_loop t =
 let create ?jobs () =
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
   if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  (* Never spawn more domains than the runtime recommends for this
+     machine: every live domain joins each stop-the-world minor
+     collection, so oversubscribing cores turns the GC into a
+     rendezvous tax without adding any parallelism.  Results are
+     independent of worker count, so capping only changes speed. *)
+  let jobs = effective_jobs jobs in
   let t =
     {
       mu = Mutex.create ();

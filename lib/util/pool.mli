@@ -13,6 +13,14 @@
 
 type t
 
+val effective_jobs : int -> int
+(** [effective_jobs j] is the worker count a pool created with
+    [~jobs:j] actually spawns: [j] capped at
+    [Domain.recommended_domain_count ()] (and at least 1).  Callers
+    that can avoid spawning domains entirely (e.g. run the work
+    sequentially when only one worker would exist) should consult
+    this first. *)
+
 val default_jobs : unit -> int
 (** Worker count from the [D2_JOBS] environment variable when set to
     a positive integer, otherwise [Domain.recommended_domain_count () - 1],
@@ -20,10 +28,16 @@ val default_jobs : unit -> int
     falls back to the default. *)
 
 val create : ?jobs:int -> unit -> t
-(** Spawn a pool of [jobs] worker domains (default {!default_jobs}).
+(** Spawn a pool of [jobs] worker domains (default {!default_jobs}),
+    capped at [Domain.recommended_domain_count ()]: every live domain
+    must rendezvous at each stop-the-world minor collection, so
+    spawning more domains than the machine has cores makes every task
+    slower without adding parallelism.  Task results never depend on
+    the worker count.
     @raise Invalid_argument if [jobs < 1]. *)
 
 val jobs : t -> int
+(** Actual worker-domain count (after the core-count cap). *)
 
 type 'a promise
 

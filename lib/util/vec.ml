@@ -48,3 +48,53 @@ let sort ~cmp t =
   Array.sort cmp arr;
   t.data <- arr;
   t.size <- Array.length arr
+
+(* Sorting op records by timestamp through a polymorphic comparator
+   chases boxed floats across the heap for every comparison.  Instead:
+   project the keys once into an unboxed float array, mergesort an
+   index permutation (cache-friendly, key loads are direct), and apply
+   it.  Stable, so elements with equal keys keep their push order. *)
+let sort_by_float ~key t =
+  let n = t.size in
+  if n > 1 then begin
+    let ks = Array.make n 0.0 in
+    for i = 0 to n - 1 do
+      Array.unsafe_set ks i (key (Array.unsafe_get t.data i))
+    done;
+    let idx = Array.init n (fun i -> i) in
+    let tmp = Array.make n 0 in
+    (* Bottom-up mergesort of [idx] keyed by [ks]; [<=] keeps it
+       stable. *)
+    let merge lo mid hi =
+      Array.blit idx lo tmp lo (hi - lo);
+      let i = ref lo and j = ref mid in
+      for k = lo to hi - 1 do
+        if
+          !i < mid
+          && (!j >= hi
+             || Array.unsafe_get ks (Array.unsafe_get tmp !i)
+                <= Array.unsafe_get ks (Array.unsafe_get tmp !j))
+        then begin
+          Array.unsafe_set idx k (Array.unsafe_get tmp !i);
+          incr i
+        end
+        else begin
+          Array.unsafe_set idx k (Array.unsafe_get tmp !j);
+          incr j
+        end
+      done
+    in
+    let width = ref 1 in
+    while !width < n do
+      let lo = ref 0 in
+      while !lo + !width < n do
+        merge !lo (!lo + !width) (min (!lo + (2 * !width)) n);
+        lo := !lo + (2 * !width)
+      done;
+      width := 2 * !width
+    done;
+    let old = Array.sub t.data 0 n in
+    for i = 0 to n - 1 do
+      Array.unsafe_set t.data i (Array.unsafe_get old (Array.unsafe_get idx i))
+    done
+  end

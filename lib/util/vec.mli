@@ -21,3 +21,10 @@ val iter : ('a -> unit) -> 'a t -> unit
 val fold_left : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
 val clear : 'a t -> unit
 val sort : cmp:('a -> 'a -> int) -> 'a t -> unit
+
+val sort_by_float : key:('a -> float) -> 'a t -> unit
+(** Stable in-place sort by a float key.  The keys are projected once
+    into an unboxed array and an index permutation is merge-sorted, so
+    no comparison dereferences a boxed float — markedly faster than
+    {!sort} with a time comparator on large op vectors.  NaN keys are
+    not supported. *)

@@ -360,6 +360,44 @@ let test_balance_sim_webcache_empty_start () =
   Alcotest.(check bool) "migration happened" true
     (Array.fold_left ( +. ) 0.0 r.Balance_sim.daily_migrated_mb > 0.0)
 
+(* The plan-compiled replay (run) must be observationally identical to
+   the original per-op-record replay (run_reference) for every setup:
+   same samples, same traffic accounting, same balancer moves. *)
+let test_balance_plan_matches_reference () =
+  let trace = Lazy.force tiny_trace in
+  let params = Balance_sim.default_params ~nodes:20 ~seed:5 in
+  let exact = Alcotest.float 0.0 in
+  List.iter
+    (fun setup ->
+      let name = Balance_sim.setup_name setup in
+      let p = Balance_sim.run ~trace ~setup ~params in
+      let r = Balance_sim.run_reference ~trace ~setup ~params in
+      Alcotest.(check (list (pair exact exact)))
+        (name ^ " samples")
+        (Array.to_list r.Balance_sim.samples)
+        (Array.to_list p.Balance_sim.samples);
+      Alcotest.(check exact)
+        (name ^ " max/mean") r.Balance_sim.max_over_mean p.Balance_sim.max_over_mean;
+      Alcotest.(check (list exact))
+        (name ^ " written")
+        (Array.to_list r.Balance_sim.daily_written_mb)
+        (Array.to_list p.Balance_sim.daily_written_mb);
+      Alcotest.(check (list exact))
+        (name ^ " removed")
+        (Array.to_list r.Balance_sim.daily_removed_mb)
+        (Array.to_list p.Balance_sim.daily_removed_mb);
+      Alcotest.(check (list exact))
+        (name ^ " migrated")
+        (Array.to_list r.Balance_sim.daily_migrated_mb)
+        (Array.to_list p.Balance_sim.daily_migrated_mb);
+      Alcotest.(check (list exact))
+        (name ^ " day-start totals")
+        (Array.to_list r.Balance_sim.total_at_day_start_mb)
+        (Array.to_list p.Balance_sim.total_at_day_start_mb);
+      Alcotest.(check int)
+        (name ^ " moves") r.Balance_sim.balancer_moves p.Balance_sim.balancer_moves)
+    Balance_sim.all_setups
+
 let test_balance_sim_accounting () =
   let trace = Lazy.force tiny_trace in
   let params = Balance_sim.default_params ~nodes:20 ~seed:5 in
@@ -411,6 +449,7 @@ let () =
         [
           Alcotest.test_case "improves imbalance" `Quick test_balance_sim_improves_imbalance;
           Alcotest.test_case "webcache empty start" `Quick test_balance_sim_webcache_empty_start;
+          Alcotest.test_case "plan replay = reference" `Quick test_balance_plan_matches_reference;
           Alcotest.test_case "accounting" `Quick test_balance_sim_accounting;
         ] );
     ]

@@ -60,25 +60,34 @@ let run_cheap id =
 let test_cheap_experiments () =
   List.iter run_cheap [ "table1"; "fig3"; "ablation_routing"; "ablation_hotspot" ]
 
-(* Parallel runner: outcomes come back in input order with output
-   byte-identical to a sequential run (only wall times may differ). *)
+(* Parallel runner: outcomes come back in input order with output and
+   captured logs byte-identical to a sequential run regardless of the
+   job count (only wall times may differ).  Cells are memoized, so the
+   jobs=1 run warms every cache and the later runs must attribute the
+   same (possibly empty) logs to the same entries. *)
 let test_parallel_matches_sequential () =
   let entries =
     List.filter_map Registry.find [ "table1"; "fig3"; "ablation_routing"; "ablation_hotspot" ]
   in
   Alcotest.(check int) "entries resolved" 4 (List.length entries);
   let seq = Registry.run_entries ~jobs:1 Config.Quick entries in
-  let par = Registry.run_entries ~jobs:3 Config.Quick entries in
-  Alcotest.(check int) "same count" (List.length seq) (List.length par);
-  List.iter2
-    (fun (a : Registry.outcome) (b : Registry.outcome) ->
-      Alcotest.(check string) "registry order" a.Registry.o_entry.Registry.id
-        b.Registry.o_entry.Registry.id;
-      Alcotest.(check string)
-        (a.Registry.o_entry.Registry.id ^ " output identical")
-        a.Registry.output b.Registry.output;
-      Alcotest.(check bool) "wall time recorded" true (b.Registry.wall >= 0.0))
-    seq par
+  List.iter
+    (fun jobs ->
+      let par = Registry.run_entries ~jobs Config.Quick entries in
+      Alcotest.(check int) "same count" (List.length seq) (List.length par);
+      List.iter2
+        (fun (a : Registry.outcome) (b : Registry.outcome) ->
+          let id = a.Registry.o_entry.Registry.id in
+          Alcotest.(check string) "registry order" id b.Registry.o_entry.Registry.id;
+          Alcotest.(check string)
+            (Printf.sprintf "%s output identical at jobs=%d" id jobs)
+            a.Registry.output b.Registry.output;
+          Alcotest.(check string)
+            (Printf.sprintf "%s logs identical at jobs=%d" id jobs)
+            a.Registry.logs b.Registry.logs;
+          Alcotest.(check bool) "wall time recorded" true (b.Registry.wall >= 0.0))
+        seq par)
+    [ 3; 4 ]
 
 (* The balance pipeline end to end at quick scale (a few seconds):
    fig16/17 and tables 3/4 share memoized Balance_sim runs. *)

@@ -59,7 +59,8 @@ let test_invalid_jobs () =
 
 let test_jobs_accessor () =
   let pool = Pool.create ~jobs:3 () in
-  Alcotest.(check int) "jobs" 3 (Pool.jobs pool);
+  let expected = min 3 (max 1 (Domain.recommended_domain_count ())) in
+  Alcotest.(check int) "jobs (capped at core count)" expected (Pool.jobs pool);
   Pool.shutdown pool
 
 let test_memo_builds_once_under_concurrency () =

@@ -358,6 +358,100 @@ let test_access_groups_think () =
   let groups = Task.access_groups ~think:1.0 t in
   Alcotest.(check int) "think splits" 2 (Array.length groups)
 
+(* {1 Plan compilation} *)
+
+module Plan = D2_trace.Plan
+module Keymap = D2_trace.Keymap
+module Key = D2_keyspace.Key
+
+let test_plan_columns_match_trace () =
+  let t = Lazy.force small_harvard in
+  let plan = Plan.of_trace t in
+  Alcotest.(check bool) "of_trace cached" true (Plan.of_trace t == plan);
+  Alcotest.(check int) "length" (Array.length t.Op.ops) (Plan.length plan);
+  Array.iteri
+    (fun i (o : Op.op) ->
+      if o.Op.time <> plan.Plan.times.(i)
+         || o.Op.user <> plan.Plan.users.(i)
+         || o.Op.file <> plan.Plan.files.(i)
+         || o.Op.block <> plan.Plan.blocks.(i)
+         || o.Op.bytes <> plan.Plan.bytes.(i)
+         || o.Op.kind <> Plan.kind_of_code plan.Plan.kinds.(i)
+         || o.Op.path <> Plan.path plan i
+      then Alcotest.failf "column mismatch at op %d" i)
+    t.Op.ops;
+  List.iter
+    (fun k -> Alcotest.(check bool) "kind roundtrip" true (Plan.kind_of_code (Plan.kind_code k) = k))
+    [ Op.Read; Op.Write; Op.Create; Op.Delete ]
+
+let test_plan_init_grid () =
+  let t = Lazy.force small_harvard in
+  let plan = Plan.of_trace t in
+  let nf = Array.length t.Op.initial_files in
+  Alcotest.(check int) "offsets length" (nf + 1) (Array.length plan.Plan.init_offsets);
+  (* Per-block sizes follow the legacy load_initial formula: full
+     blocks except a last-block remainder (a full block when the size
+     divides evenly). *)
+  let expected_size bytes b =
+    let nblocks = Op.blocks_of_bytes bytes in
+    if b = nblocks - 1 then
+      let rem = bytes - (b * Op.block_size) in
+      if rem = 0 then Op.block_size else rem
+    else Op.block_size
+  in
+  Array.iteri
+    (fun fi (f : Op.file_info) ->
+      let off = plan.Plan.init_offsets.(fi) in
+      let nblocks = Op.blocks_of_bytes f.Op.file_bytes in
+      Alcotest.(check int) "block count" nblocks (plan.Plan.init_offsets.(fi + 1) - off);
+      for b = 0 to nblocks - 1 do
+        if plan.Plan.init_sizes.(off + b) <> expected_size f.Op.file_bytes b then
+          Alcotest.failf "init size mismatch file %d block %d" fi b
+      done)
+    t.Op.initial_files
+
+(* Precomputed keys must be exactly what a fresh keymap walk produces —
+   initial files first, then ops in trace order, reads keyed only under
+   Reads_and_writes (slot assignment is first-touch, so the policy
+   changes D2 keys, not just which ops get one). *)
+let test_plan_keys_match_keymap () =
+  let t = Lazy.force small_harvard in
+  let plan = Plan.of_trace t in
+  List.iter
+    (fun (mode, policy) ->
+      let keys = Plan.replay_keys plan ~mode ~policy in
+      let km = Keymap.create mode ~volume:"vol" in
+      Array.iteri
+        (fun fi (f : Op.file_info) ->
+          let off = plan.Plan.init_offsets.(fi) in
+          for b = 0 to Op.blocks_of_bytes f.Op.file_bytes - 1 do
+            let expect = Keymap.key_of km ~path:f.Op.file_path ~block:b in
+            if not (Key.equal keys.Plan.init_keys.(off + b) expect) then
+              Alcotest.failf "init key mismatch file %d block %d" fi b
+          done)
+        t.Op.initial_files;
+      Array.iteri
+        (fun i (o : Op.op) ->
+          let keyed =
+            match o.Op.kind with
+            | Op.Write | Op.Create -> true
+            | Op.Read -> policy = Plan.Reads_and_writes
+            | Op.Delete -> false
+          in
+          let expect =
+            if keyed then Keymap.key_of km ~path:o.Op.path ~block:o.Op.block
+            else Key.zero
+          in
+          if not (Key.equal keys.Plan.op_keys.(i) expect) then
+            Alcotest.failf "op key mismatch at %d" i)
+        t.Op.ops)
+    [
+      (Keymap.D2, Plan.Reads_and_writes);
+      (Keymap.D2, Plan.Writes_only);
+      (Keymap.Traditional, Plan.Reads_and_writes);
+      (Keymap.Traditional_file, Plan.Writes_only);
+    ]
+
 (* {1 Serialization} *)
 
 let test_serialize_roundtrip () =
@@ -461,6 +555,12 @@ let () =
         [
           Alcotest.test_case "valid" `Quick test_failure_valid;
           Alcotest.test_case "correlated dip" `Quick test_failure_correlated_dip;
+        ] );
+      ( "plan",
+        [
+          Alcotest.test_case "columns match trace" `Quick test_plan_columns_match_trace;
+          Alcotest.test_case "init grid" `Quick test_plan_init_grid;
+          Alcotest.test_case "keys match keymap" `Quick test_plan_keys_match_keymap;
         ] );
       ( "serialize",
         [
