@@ -27,6 +27,10 @@ module Lookup_cache = D2_cache.Lookup_cache
 module Op = D2_trace.Op
 module Plan = D2_trace.Plan
 module Keymap = D2_trace.Keymap
+module Failure = D2_trace.Failure
+module Engine = D2_simnet.Engine
+module Cluster = D2_store.Cluster
+module Availability = D2_core.Availability
 
 let run_experiments scale ids ~jobs =
   let entries =
@@ -99,6 +103,82 @@ let plan_tests () =
              ~mode:Keymap.D2 ~policy:Plan.Reads_and_writes)));
   ]
 
+(* Store / availability macro-micros: each run is one full simulated
+   scenario (small enough for the quick quota) over the block-arena
+   cluster store and timer-wheel engine, so their numbers track the
+   hot paths the tentpole optimized. *)
+
+(* One failure + regeneration + recovery + trim cycle on a 40-node,
+   512-block cluster, draining the engine between phases.  The cluster
+   persists across iterations (each cycle returns it to its steady
+   replica placement), rotating which node fails. *)
+let cluster_fail_recover_test () =
+  let open Bechamel in
+  let rng = Rng.create 7 in
+  let engine = Engine.create () in
+  let ids = Array.init 40 (fun _ -> Key.random rng) in
+  let cluster = Cluster.create ~engine ~config:Cluster.default_config ~ids in
+  for _ = 1 to 512 do
+    Cluster.put cluster ~key:(Key.random rng) ~size:8192 ()
+  done;
+  let node = ref 0 in
+  Test.make ~name:"cluster_fail_recover" (Staged.stage (fun () ->
+      let n = !node in
+      node := (n + 1) mod 40;
+      Cluster.fail cluster ~node:n;
+      Engine.run engine;
+      Cluster.recover cluster ~node:n;
+      Engine.run engine))
+
+(* A full availability replay of a ~1k-op synthetic trace with a
+   24-node failure schedule (no balancer, short warmup: the replay
+   loop, cluster reconciliation and wheel-driven transfers dominate). *)
+let availability_replay_1k_test () =
+  let open Bechamel in
+  let ops =
+    Array.init 1024 (fun i ->
+        {
+          Op.time = float_of_int i *. 60.0;
+          user = i mod 4;
+          path = Printf.sprintf "/f%d/b%d" (i mod 16) ((i / 16) mod 32);
+          file = i mod 16;
+          block = (i / 16) mod 32;
+          kind = (match i land 3 with 0 -> Op.Create | 1 -> Op.Write | _ -> Op.Read);
+          bytes = Op.block_size;
+        })
+  in
+  let trace =
+    {
+      Op.name = "avail_micro";
+      duration = (1024.0 *. 60.0) +. 600.0;
+      users = 4;
+      ops;
+      initial_files =
+        Array.init 16 (fun f ->
+            {
+              Op.file_id = f;
+              file_path = Printf.sprintf "/f%d" f;
+              file_bytes = 32 * Op.block_size;
+            });
+    }
+  in
+  let failures =
+    Failure.generate ~rng:(Rng.create 777) ~n:24 ~duration:(trace.Op.duration +. 600.0) ()
+  in
+  let params =
+    {
+      Availability.replicas = 3;
+      redundancy = Cluster.Replication;
+      warmup = 600.0;
+      use_balancer = false;
+      regen_hours_per_node = 3.0;
+      hybrid_replicas = false;
+    }
+  in
+  Test.make ~name:"availability_replay_1k" (Staged.stage (fun () ->
+      ignore
+        (Availability.replay ~trace ~failures ~mode:Keymap.D2 ~seed:11 ~params ())))
+
 let micro_tests ~full () =
   let open Bechamel in
   let rng = Rng.create 99 in
@@ -157,6 +237,8 @@ let micro_tests ~full () =
       (`Quick, Test.make ~name:"lookup_cache_probe_d2" (Staged.stage (fun () ->
            ignore (Lookup_cache.lookup d2_cache ~now:1.0 d2_keys.(!d2_idx));
            d2_idx := (!d2_idx + 1) land 1023)));
+      (`Quick, cluster_fail_recover_test ());
+      (`Quick, availability_replay_1k_test ());
     ]
   in
   List.filter_map
@@ -225,9 +307,9 @@ let write_results path ~scale ~jobs ~total ~outcomes ~micros =
   Printf.fprintf oc "  \"experiments\": [\n";
   List.iteri
     (fun i (o : Registry.outcome) ->
-      Printf.fprintf oc "    {\"id\": \"%s\", \"wall_s\": %.3f}%s\n"
+      Printf.fprintf oc "    {\"id\": \"%s\", \"wall_s\": %.3f, \"shared_wall_s\": %.3f}%s\n"
         (json_escape o.Registry.o_entry.Registry.id)
-        o.Registry.wall
+        o.Registry.wall o.Registry.shared_wall
         (if i = List.length outcomes - 1 then "" else ","))
     outcomes;
   Printf.fprintf oc "  ],\n";

@@ -118,15 +118,17 @@ let task_unavailability ~trace ~replay ~inter =
   let ntasks = Array.length tasks in
   let task_failed = Array.make ntasks false in
   let task_nodes = Array.make ntasks 0 in
-  let seen : (int * int, unit) Hashtbl.t = Hashtbl.create 4096 in
+  (* (task, node) pairs already counted, as unboxed [node * ntasks +
+     tsk] ints — no tuple allocation per op in this pass. *)
+  let seen : (int, unit) Hashtbl.t = Hashtbl.create 4096 in
   Array.iteri
     (fun i (o : Op.op) ->
       let tsk = labels.(i) in
       if tsk >= 0 then begin
         if (not replay.op_ok.(i)) && o.Op.kind = Op.Read then task_failed.(tsk) <- true;
         let node = replay.op_node.(i) in
-        if node >= 0 && not (Hashtbl.mem seen (tsk, node)) then begin
-          Hashtbl.add seen (tsk, node) ();
+        if node >= 0 && not (Hashtbl.mem seen ((node * ntasks) + tsk)) then begin
+          Hashtbl.add seen ((node * ntasks) + tsk) ();
           task_nodes.(tsk) <- task_nodes.(tsk) + 1
         end
       end)

@@ -179,6 +179,9 @@ let run_pass ~trace ~mode ~config:cfg =
   let misses = Array.make trace.Op.users 0 in
   let current_group = Array.make trace.Op.users (-1) in
   let server_rng = Rng.split mode_rng in
+  (* Scratch holder buffer: one per pass instead of a list plus an
+     array per read (same nodes, same order, same RNG draws). *)
+  let hbuf = Array.make cfg.nodes 0 in
   let finalize gid =
     match Hashtbl.find_opt accums gid with
     | None -> ()
@@ -217,15 +220,19 @@ let run_pass ~trace ~mode ~config:cfg =
           let client = clients.(u) in
           let warm_hit = Block_cache.touch warm_caches.(u) ~now key in
           if not warm_hit then begin
-            let holders = Cluster.physical_holders cluster ~key in
-            if holders <> [] then begin
+            let hcount = Cluster.physical_holders_into cluster ~key hbuf in
+            let holder_mem n =
+              let rec go i = i < hcount && (hbuf.(i) = n || go (i + 1)) in
+              go 0
+            in
+            if hcount > 0 then begin
               let cache = lookup_caches.(u) in
               (* Resolve the owner; decide whether a DHT lookup was
                  needed and what it cost. *)
               let cached = Lookup_cache.lookup cache ~now key in
               let stale =
                 match cached with
-                | Some n -> not (List.mem n holders)
+                | Some n -> not (holder_mem n)
                 | None -> false
               in
               let lookup_lat =
@@ -239,7 +246,7 @@ let run_pass ~trace ~mode ~config:cfg =
                     let owner =
                       match Cluster.owner_of cluster ~key with
                       | Some n -> n
-                      | None -> List.hd holders
+                      | None -> hbuf.(0)
                     in
                     let hops = Ring.route_hops ring ~src:client ~key in
                     if measured then lookup_msgs := !lookup_msgs + hops + 1;
@@ -257,8 +264,7 @@ let run_pass ~trace ~mode ~config:cfg =
                       base +. Topology.rtt topo client (Option.get cached)
                     else base
               in
-              let harr = Array.of_list holders in
-              let server = harr.(Rng.int server_rng (Array.length harr)) in
+              let server = hbuf.(Rng.int server_rng hcount) in
               if measured then begin
                 match Hashtbl.find_opt accums gid with
                 | None -> ()

@@ -6,6 +6,7 @@ type t = {
   mutable nodes : int array;  (** node handle at same index *)
   mutable n : int;
   mutable off : int;  (** common-prefix length of all ids, <= max_prefix_offset *)
+  mutable epoch : int;  (** bumped on every membership change *)
   by_node : (int, Key.t) Hashtbl.t;
 }
 
@@ -16,10 +17,13 @@ let create () =
     nodes = [||];
     n = 0;
     off = Key.max_prefix_offset;
+    epoch = 0;
     by_node = Hashtbl.create 64;
   }
 
 let size t = t.n
+
+let epoch t = t.epoch
 
 let mem t ~node = Hashtbl.mem t.by_node node
 
@@ -116,6 +120,7 @@ let add t ~id ~node =
   t.ids.(i) <- id;
   t.nodes.(i) <- node;
   t.n <- t.n + 1;
+  t.epoch <- t.epoch + 1;
   Hashtbl.replace t.by_node node id;
   sync_prefixes t ~fresh:i
 
@@ -125,6 +130,7 @@ let remove t ~node =
   Array.blit t.pfx (i + 1) t.pfx i (t.n - i - 1);
   Array.blit t.nodes (i + 1) t.nodes i (t.n - i - 1);
   t.n <- t.n - 1;
+  t.epoch <- t.epoch + 1;
   Hashtbl.remove t.by_node node;
   sync_prefixes t ~fresh:(-1)
 

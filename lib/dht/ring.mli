@@ -19,6 +19,12 @@ val create : unit -> t
 
 val size : t -> int
 
+val epoch : t -> int
+(** Monotonic membership-change counter: bumped by every {!add} and
+    {!remove} (so {!change_id} bumps it twice).  Consumers cache
+    ring-walk results ({!D2_store.Cluster}'s desired replica sets)
+    keyed by this value and revalidate with one [int] compare. *)
+
 val add : t -> id:D2_keyspace.Key.t -> node:int -> unit
 (** Join a node with the given ID.
     @raise Invalid_argument if the ID is taken or the node is already

@@ -40,7 +40,13 @@ let all =
 
 let find id = List.find_opt (fun e -> e.id = id) all
 
-type outcome = { o_entry : entry; output : string; logs : string; wall : float }
+type outcome = {
+  o_entry : entry;
+  output : string;
+  logs : string;
+  wall : float;
+  shared_wall : float;
+}
 
 (* Worker domains must not write through whatever Logs reporter is
    installed (formatters are not domain-safe, and interleaved lines
@@ -72,40 +78,46 @@ let buffering_reporter ~find_buf =
   { Logs.report }
 
 (* One datapoint task: a deduplicated cell owned by the first entry
-   that listed it.  [c_start] is its wall-clock start (-1 until it
-   runs); its log records accumulate in [c_buf]. *)
+   that listed it.  [c_start] / [c_stop] are its wall-clock span (-1
+   until it runs / finishes); its log records accumulate in [c_buf]. *)
 type cell_task = {
   c_label : string;
   c_thunk : unit -> unit;
   c_buf : Buffer.t;
   mutable c_start : float;
+  mutable c_stop : float;
 }
 
-(* Split the entries into (entry, owned datapoint cells).  Dedup is by
-   label across the whole run: a cell shared by several entries is
+(* Split the entries into (entry, owned cells, shared cells).  Dedup is
+   by label across the whole run: a cell shared by several entries is
    computed (and its logs attributed) under the first entry that lists
-   it; later entries hit the warm memo inside their render. *)
+   it; later entries hit the warm memo inside their render and record
+   the same cell_task as {e shared} so its cost still shows up in their
+   [shared_wall] attribution. *)
 let prepare scale entries =
-  let seen : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let seen : (string, cell_task) Hashtbl.t = Hashtbl.create 64 in
   List.map
     (fun e ->
-      let owned =
-        List.filter_map
-          (fun (label, thunk) ->
-            if Hashtbl.mem seen label then None
-            else begin
-              Hashtbl.add seen label ();
-              Some
+      let owned = ref [] in
+      let shared = ref [] in
+      List.iter
+        (fun (label, thunk) ->
+          match Hashtbl.find_opt seen label with
+          | Some c -> shared := c :: !shared
+          | None ->
+              let c =
                 {
                   c_label = label;
                   c_thunk = thunk;
                   c_buf = Buffer.create 64;
                   c_start = -1.0;
+                  c_stop = -1.0;
                 }
-            end)
-          (e.cells scale)
-      in
-      (e, owned))
+              in
+              Hashtbl.add seen label c;
+              owned := c :: !owned)
+        (e.cells scale);
+      (e, List.rev !owned, List.rev !shared))
     entries
 
 let with_buf ~mu ~bufs buf f =
@@ -122,14 +134,15 @@ let with_buf ~mu ~bufs buf f =
 
 let run_cell ~mu ~bufs c =
   c.c_start <- Unix.gettimeofday ();
-  with_buf ~mu ~bufs c.c_buf c.c_thunk
+  with_buf ~mu ~bufs c.c_buf c.c_thunk;
+  c.c_stop <- Unix.gettimeofday ()
 
 (* Render an entry's tables (its datapoint cells have at least started
    by now — the memos block on in-flight builds).  The reported wall
    is the honest elapsed span of this entry's work: from its earliest
    owned cell's start (or the render's own start when it owns none) to
    render end. *)
-let render ~mu ~bufs scale (e, owned) =
+let render ~mu ~bufs scale (e, owned, _shared) =
   let rbuf = Buffer.create 256 in
   let t0 = Unix.gettimeofday () in
   let output =
@@ -146,13 +159,27 @@ let render ~mu ~bufs scale (e, owned) =
     String.concat "" (List.map (fun c -> Buffer.contents c.c_buf) owned)
     ^ Buffer.contents rbuf
   in
-  { o_entry = e; output; logs; wall = t1 -. first_start }
+  { o_entry = e; output; logs; wall = t1 -. first_start; shared_wall = 0.0 }
+
+(* Fill in each outcome's [shared_wall]: the summed spans of the cells
+   this entry consumed but another entry owned (and whose cost is
+   therefore inside that other entry's [wall]).  Must run only after
+   every cell has finished — spans of unfinished or failed cells read
+   as 0. *)
+let attach_shared prepared outcomes =
+  let span c =
+    if c.c_start >= 0.0 && c.c_stop >= 0.0 then c.c_stop -. c.c_start else 0.0
+  in
+  List.map2
+    (fun (_, _, shared) o ->
+      { o with shared_wall = List.fold_left (fun acc c -> acc +. span c) 0.0 shared })
+    prepared outcomes
 
 let run_sequential ~mu ~bufs scale prepared =
   List.map
-    (fun (e, owned) ->
+    (fun ((_, owned, _) as eo) ->
       List.iter (run_cell ~mu ~bufs) owned;
-      render ~mu ~bufs scale (e, owned))
+      render ~mu ~bufs scale eo)
     prepared
 
 (* Every cell is submitted before any render, so the pool's FIFO queue
@@ -167,7 +194,7 @@ let run_parallel ~jobs ~mu ~bufs scale prepared =
     (fun () ->
       let cell_promises =
         List.concat_map
-          (fun (_, owned) ->
+          (fun (_, owned, _) ->
             List.map
               (fun c -> Pool.submit pool (fun () -> run_cell ~mu ~bufs c))
               owned)
@@ -208,9 +235,14 @@ let run_entries ?jobs scale entries =
           (* One effective worker means no parallelism to win: skip the
              pool entirely rather than pay domain spawn + stop-the-world
              rendezvous for a second live domain. *)
-          if Pool.effective_jobs jobs <= 1 then
-            run_sequential ~mu ~bufs scale prepared
-          else run_parallel ~jobs ~mu ~bufs scale prepared)
+          let outcomes =
+            if Pool.effective_jobs jobs <= 1 then
+              run_sequential ~mu ~bufs scale prepared
+            else run_parallel ~jobs ~mu ~bufs scale prepared
+          in
+          (* Both paths have awaited every cell by now, so shared
+             spans are final. *)
+          attach_shared prepared outcomes)
 
 let print_outcome o =
   print_string o.output;

@@ -38,7 +38,14 @@ type outcome = {
   logs : string;  (** log records captured while running this entry *)
   wall : float;
       (** elapsed seconds from this entry's earliest owned datapoint
-          cell's start (or its render's start) to render end *)
+          cell's start (or its render's start) to render end — the
+          cost of the work {e attributed} to this entry *)
+  shared_wall : float;
+      (** summed spans of the datapoint cells this entry consumed that
+          an earlier entry owned (their cost is inside that entry's
+          [wall]; an entry reusing only warm memos has [wall] ≈ render
+          time and the real compute here).  Fixes the 0.000-wall
+          artifact datapoint scheduling gave memo-only entries. *)
 }
 
 val run_entries : ?jobs:int -> Config.scale -> entry list -> outcome list

@@ -4,18 +4,99 @@ type handle = { mutable cancelled : bool }
 
 type event = { time : float; seq : int; fn : unit -> unit; h : handle }
 
+(* {1 Timer-wheel cells}
+
+   Closure events (above) pay one heap entry plus a closure allocation
+   each.  The block store schedules hundreds of thousands of uniform
+   timers per simulation — expiries, pointer-stabilization fetches,
+   bandwidth-paced arrivals — so those are posted as {e cells}: an
+   unboxed (time, seq, tag, payload, sink) row in a struct-of-arrays
+   pool, filed into a 3-level hierarchical timer wheel (256 slots per
+   level, [granularity] seconds per tick; [D2_WHEEL_G] overrides).
+   Timers beyond the wheel's 2^24-tick range fall back to the closure
+   heap, so range never limits correctness.
+
+   Determinism: cells draw their [seq] from the same counter as
+   closure events, and the run loop merges the wheel's due cells with
+   the heap by exact (time, seq) — a cell and a closure scheduled for
+   the same instant fire in scheduling order, exactly as two closures
+   would.  The wheel only buckets by coarse tick; due cells are
+   re-ordered precisely through a small ready-heap before firing. *)
+
+type sink = int
+
 type t = {
   queue : event Heap.t;
   mutable clock : float;
   mutable next_seq : int;
+  granularity : float;
+  mutable cursor : int;  (* last tick fully surfaced into [ready] *)
+  (* cell pool columns; [c_next] doubles as slot chain and free list *)
+  mutable c_time : float array;
+  mutable c_seq : int array;
+  mutable c_tag : int array;
+  mutable c_payload : int array;
+  mutable c_sink : int array;
+  mutable c_next : int array;
+  mutable c_tick : int array;
+  mutable pool_used : int;  (* high-water mark of the pool *)
+  mutable free_cell : int;  (* free-list head, -1 when empty *)
+  (* wheel levels: head cell of each slot's chain, -1 when empty *)
+  l0 : int array;
+  l1 : int array;
+  l2 : int array;
+  mutable n0 : int;
+  mutable n1 : int;
+  mutable n2 : int;
+  (* cells whose tick has been reached, as a binary min-heap of pool
+     ids ordered by (time, seq) *)
+  mutable ready : int array;
+  mutable nready : int;
+  mutable sinks : (int -> int -> unit) array;
+  mutable nsinks : int;
 }
 
 let compare_events a b =
   let c = compare a.time b.time in
   if c <> 0 then c else compare a.seq b.seq
 
+let default_granularity () =
+  match Sys.getenv_opt "D2_WHEEL_G" with
+  | Some s -> (
+      match float_of_string_opt s with
+      | Some g when g > 0.0 -> g
+      | _ -> invalid_arg "D2_WHEEL_G: expected a positive number")
+  | None -> 1.0
+
+let no_sink : int -> int -> unit = fun _ _ -> ()
+
 let create () =
-  { queue = Heap.create ~cmp:compare_events; clock = 0.0; next_seq = 0 }
+  {
+    queue = Heap.create ~cmp:compare_events;
+    clock = 0.0;
+    next_seq = 0;
+    granularity = default_granularity ();
+    cursor = 0;
+    c_time = [||];
+    c_seq = [||];
+    c_tag = [||];
+    c_payload = [||];
+    c_sink = [||];
+    c_next = [||];
+    c_tick = [||];
+    pool_used = 0;
+    free_cell = -1;
+    l0 = Array.make 256 (-1);
+    l1 = Array.make 256 (-1);
+    l2 = Array.make 256 (-1);
+    n0 = 0;
+    n1 = 0;
+    n2 = 0;
+    ready = [||];
+    nready = 0;
+    sinks = Array.make 4 no_sink;
+    nsinks = 0;
+  }
 
 let now t = t.clock
 
@@ -34,16 +115,274 @@ let schedule_in t ~delay fn =
 
 let cancel h = h.cancelled <- true
 
-let pending t = Heap.length t.queue
+(* {1 Cell pool and ready-heap plumbing} *)
+
+let register_sink t fn =
+  if t.nsinks = Array.length t.sinks then begin
+    let ns = Array.make (2 * t.nsinks) no_sink in
+    Array.blit t.sinks 0 ns 0 t.nsinks;
+    t.sinks <- ns
+  end;
+  let id = t.nsinks in
+  t.sinks.(id) <- fn;
+  t.nsinks <- id + 1;
+  id
+
+let grow_pool t =
+  let cap = Array.length t.c_time in
+  let ncap = max 64 (2 * cap) in
+  let gf a = let n = Array.make ncap 0.0 in Array.blit a 0 n 0 cap; n in
+  let gi a = let n = Array.make ncap 0 in Array.blit a 0 n 0 cap; n in
+  t.c_time <- gf t.c_time;
+  t.c_seq <- gi t.c_seq;
+  t.c_tag <- gi t.c_tag;
+  t.c_payload <- gi t.c_payload;
+  t.c_sink <- gi t.c_sink;
+  t.c_next <- gi t.c_next;
+  t.c_tick <- gi t.c_tick
+
+let alloc_cell t =
+  if t.free_cell >= 0 then begin
+    let c = t.free_cell in
+    t.free_cell <- t.c_next.(c);
+    c
+  end
+  else begin
+    if t.pool_used = Array.length t.c_time then grow_pool t;
+    let c = t.pool_used in
+    t.pool_used <- c + 1;
+    c
+  end
+
+let free_cell t c =
+  t.c_next.(c) <- t.free_cell;
+  t.free_cell <- c
+
+(* Ready-heap: pool ids ordered by (c_time, c_seq). *)
+
+let cell_before t a b =
+  let ta = t.c_time.(a) and tb = t.c_time.(b) in
+  if ta < tb then true
+  else if ta > tb then false
+  else t.c_seq.(a) < t.c_seq.(b)
+
+let ready_push t c =
+  if t.nready = Array.length t.ready then begin
+    let ncap = max 32 (2 * t.nready) in
+    let nr = Array.make ncap 0 in
+    Array.blit t.ready 0 nr 0 t.nready;
+    t.ready <- nr
+  end;
+  let i = ref t.nready in
+  t.nready <- t.nready + 1;
+  t.ready.(!i) <- c;
+  let continue_ = ref true in
+  while !continue_ && !i > 0 do
+    let parent = (!i - 1) lsr 1 in
+    if cell_before t t.ready.(!i) t.ready.(parent) then begin
+      let tmp = t.ready.(parent) in
+      t.ready.(parent) <- t.ready.(!i);
+      t.ready.(!i) <- tmp;
+      i := parent
+    end
+    else continue_ := false
+  done
+
+let ready_pop t =
+  let root = t.ready.(0) in
+  t.nready <- t.nready - 1;
+  if t.nready > 0 then begin
+    t.ready.(0) <- t.ready.(t.nready);
+    let i = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < t.nready && cell_before t t.ready.(l) t.ready.(!smallest) then
+        smallest := l;
+      if r < t.nready && cell_before t t.ready.(r) t.ready.(!smallest) then
+        smallest := r;
+      if !smallest <> !i then begin
+        let tmp = t.ready.(!smallest) in
+        t.ready.(!smallest) <- t.ready.(!i);
+        t.ready.(!i) <- tmp;
+        i := !smallest
+      end
+      else continue_ := false
+    done
+  end;
+  root
+
+(* {1 The wheel}
+
+   Level l holds cells whose tick agrees with the cursor on all digit
+   positions above l (base 256) — so a slot is drained exactly when
+   the cursor's digit reaches it, and a cascaded cell always re-files
+   strictly below.  Inserts past level 2's horizon (2^24 ticks) fall
+   back to the closure heap at {!post}. *)
+
+let wheel_count t = t.n0 + t.n1 + t.n2
+
+let push_slot t (arr : int array) slot c =
+  t.c_next.(c) <- arr.(slot);
+  arr.(slot) <- c
+
+(* File a cell whose tick is already known; tick <= cursor goes
+   straight to ready.  Never called for out-of-range ticks (post
+   filters those to the heap; cascades only shorten the range). *)
+let insert_cell t c =
+  let tick = t.c_tick.(c) in
+  if tick <= t.cursor then ready_push t c
+  else if tick - t.cursor < 256 then begin
+    push_slot t t.l0 (tick land 255) c;
+    t.n0 <- t.n0 + 1
+  end
+  else if (tick lsr 8) - (t.cursor lsr 8) < 256 then begin
+    push_slot t t.l1 ((tick lsr 8) land 255) c;
+    t.n1 <- t.n1 + 1
+  end
+  else begin
+    push_slot t t.l2 ((tick lsr 16) land 255) c;
+    t.n2 <- t.n2 + 1
+  end
+
+(* Advance the cursor one tick: cascade upper levels at their digit
+   boundaries, then surface the current L0 slot into [ready]. *)
+let advance_one t =
+  t.cursor <- t.cursor + 1;
+  if t.cursor land 255 = 0 then begin
+    if t.cursor land 65535 = 0 then begin
+      let slot = (t.cursor lsr 16) land 255 in
+      let c = ref t.l2.(slot) in
+      t.l2.(slot) <- -1;
+      while !c >= 0 do
+        let nx = t.c_next.(!c) in
+        t.n2 <- t.n2 - 1;
+        insert_cell t !c;
+        c := nx
+      done
+    end;
+    let slot = (t.cursor lsr 8) land 255 in
+    let c = ref t.l1.(slot) in
+    t.l1.(slot) <- -1;
+    while !c >= 0 do
+      let nx = t.c_next.(!c) in
+      t.n1 <- t.n1 - 1;
+      insert_cell t !c;
+      c := nx
+    done
+  end;
+  let slot = t.cursor land 255 in
+  let c = ref t.l0.(slot) in
+  if !c >= 0 then begin
+    t.l0.(slot) <- -1;
+    while !c >= 0 do
+      let nx = t.c_next.(!c) in
+      t.n0 <- t.n0 - 1;
+      ready_push t !c;
+      c := nx
+    done
+  end
+
+(* Surface every cell with tick <= target into [ready].  Empty levels
+   let the cursor jump whole 256- or 65536-tick strides, so idle
+   stretches cost O(1) per cascade boundary rather than per tick. *)
+let advance_to t target =
+  while t.cursor < target && wheel_count t > 0 do
+    if t.n0 = 0 then begin
+      let next_boundary =
+        if t.n1 = 0 then ((t.cursor lsr 16) + 1) lsl 16
+        else ((t.cursor lsr 8) + 1) lsl 8
+      in
+      if target < next_boundary then t.cursor <- target
+      else begin
+        t.cursor <- next_boundary - 1;
+        advance_one t
+      end
+    end
+    else advance_one t
+  done;
+  if wheel_count t = 0 && t.cursor < target then t.cursor <- target
+
+(* Advance until some cell is due (wheel known non-empty). *)
+let surface_next t =
+  while t.nready = 0 && wheel_count t > 0 do
+    if t.n0 = 0 then begin
+      let next_boundary =
+        if t.n1 = 0 then ((t.cursor lsr 16) + 1) lsl 16
+        else ((t.cursor lsr 8) + 1) lsl 8
+      in
+      t.cursor <- next_boundary - 1;
+      advance_one t
+    end
+    else advance_one t
+  done
+
+let tick_of t at = int_of_float (at /. t.granularity)
+
+let post t ~sink ~at ~tag ~payload =
+  if at < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.post: time %g is before now (%g)" at t.clock);
+  if sink < 0 || sink >= t.nsinks then invalid_arg "Engine.post: unknown sink";
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let tick = tick_of t at in
+  if tick - t.cursor >= 1 lsl 24 then begin
+    (* Beyond the wheel's horizon: fall back to a closure event.  Same
+       seq draw, so ordering is unchanged. *)
+    let fire = t.sinks.(sink) in
+    let h = { cancelled = false } in
+    Heap.push t.queue { time = at; seq; fn = (fun () -> fire tag payload); h }
+  end
+  else begin
+    let c = alloc_cell t in
+    t.c_time.(c) <- at;
+    t.c_seq.(c) <- seq;
+    t.c_tag.(c) <- tag;
+    t.c_payload.(c) <- payload;
+    t.c_sink.(c) <- sink;
+    t.c_tick.(c) <- tick;
+    insert_cell t c
+  end
+
+let post_in t ~sink ~delay ~tag ~payload =
+  if delay < 0.0 then invalid_arg "Engine.post_in: negative delay";
+  post t ~sink ~at:(t.clock +. delay) ~tag ~payload
+
+let pending t = Heap.length t.queue + wheel_count t + t.nready
 
 let run ?until t =
   let continue = ref true in
   while !continue do
-    match Heap.peek t.queue with
-    | None ->
+    (* Surface wheel cells up to the earliest known candidate, so the
+       pick below sees every cell that could fire before it. *)
+    if wheel_count t > 0 then begin
+      let bound = ref infinity in
+      (match Heap.peek t.queue with Some e -> bound := e.time | None -> ());
+      if t.nready > 0 && t.c_time.(t.ready.(0)) < !bound then
+        bound := t.c_time.(t.ready.(0));
+      if !bound < infinity then advance_to t (tick_of t !bound)
+      else surface_next t
+    end;
+    let hm = Heap.peek t.queue in
+    let cm = if t.nready > 0 then t.ready.(0) else -1 in
+    let take_event =
+      match (hm, cm) with
+      | None, -1 -> `None
+      | Some _, -1 -> `Event
+      | None, _ -> `Cell
+      | Some e, c ->
+          if e.time < t.c_time.(c) || (e.time = t.c_time.(c) && e.seq < t.c_seq.(c))
+          then `Event
+          else `Cell
+    in
+    match take_event with
+    | `None ->
         (match until with Some u when u > t.clock -> t.clock <- u | _ -> ());
         continue := false
-    | Some ev -> (
+    | `Event -> (
+        let ev = Option.get hm in
         match until with
         | Some u when ev.time > u ->
             t.clock <- u;
@@ -52,6 +391,18 @@ let run ?until t =
             ignore (Heap.pop t.queue);
             t.clock <- ev.time;
             if not ev.h.cancelled then ev.fn ())
+    | `Cell -> (
+        match until with
+        | Some u when t.c_time.(cm) > u ->
+            t.clock <- u;
+            continue := false
+        | _ ->
+            let c = ready_pop t in
+            t.clock <- t.c_time.(c);
+            let fire = t.sinks.(t.c_sink.(c)) in
+            let tag = t.c_tag.(c) and payload = t.c_payload.(c) in
+            free_cell t c;
+            fire tag payload)
   done
 
 let every t ~period ?until fn =

@@ -28,7 +28,37 @@ val cancel : handle -> unit
 
 val pending : t -> int
 (** Number of events still queued (including cancelled ones not yet
-    reaped). *)
+    reaped, and posted cells not yet fired). *)
+
+(** {1 Timer-wheel cells}
+
+    High-volume schedulers (the block store's expiry, stabilization
+    and transfer timers) avoid one closure + heap entry per timer by
+    {e posting cells}: unboxed [(tag, payload)] pairs delivered to a
+    pre-registered sink callback.  Cells are filed in a hierarchical
+    timer wheel (3 levels × 256 slots of [D2_WHEEL_G] seconds each,
+    default 1.0; timers beyond the wheel's 2^24-tick horizon fall back
+    to the event heap transparently).
+
+    Cells interleave deterministically with closure events: both draw
+    sequence numbers from the same counter, and {!run} fires the
+    merged streams in exact (time, scheduling-order) order.  Cells
+    cannot be cancelled — encode revocation in the payload (the block
+    store uses generation counters). *)
+
+type sink
+(** A registered cell-delivery callback. *)
+
+val register_sink : t -> (int -> int -> unit) -> sink
+(** [register_sink t f] registers [f] to receive this engine's cells:
+    a cell posted with [~tag ~payload] fires as [f tag payload]. *)
+
+val post : t -> sink:sink -> at:float -> tag:int -> payload:int -> unit
+(** Fire a cell at an absolute time.
+    @raise Invalid_argument if [at] is in the past. *)
+
+val post_in : t -> sink:sink -> delay:float -> tag:int -> payload:int -> unit
+(** Fire a cell [delay] seconds from now ([delay] ≥ 0). *)
 
 val run : ?until:float -> t -> unit
 (** Process events in time order.  With [until], stops once the clock

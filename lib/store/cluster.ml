@@ -43,27 +43,6 @@ let unit_size cfg size =
 
 type why = Migration | Regen
 
-type holder = { hnode : int; mutable physical : bool }
-
-type block = {
-  key : Key.t;
-  size : int;
-  mutable data : string option;
-  mutable holders : holder list;
-  mutable owner : int;  (* current primary, for load accounting *)
-  mutable expires : float;  (* infinity when stored without a TTL *)
-  mutable dead : bool;
-}
-
-type node = {
-  mutable up : bool;
-  held : block KTbl.t;
-  mutable physical_bytes : int;
-  mutable primary_bytes : int;
-  mutable pointer_count : int;
-  mutable busy_until : float;  (* migration/regeneration link pacing *)
-}
-
 type node_stats = {
   up : bool;
   physical_bytes : int;
@@ -71,84 +50,214 @@ type node_stats = {
   pointer_count : int;
 }
 
+(* {1 The block arena}
+
+   Blocks live in a struct-of-arrays arena: a block is a dense integer
+   id indexing unboxed columns (key, size, owner, expiry, liveness,
+   holder set).  The [index] table interns a key to its id once at
+   [put]; every event afterwards — expiry, pointer stabilization,
+   paced fetch arrival, delayed delete — carries just [(action tag,
+   id, generation)] through the engine's timer wheel instead of a
+   closure over a boxed record.
+
+   Slots are recycled through a free list; [gens.(id)] is bumped every
+   time a slot is freed, and every posted cell embeds the generation
+   it was created under.  A cell whose generation no longer matches
+   targets a deleted (possibly re-used) slot and is dropped — the
+   arena equivalent of the old closures finding [block.dead] set.
+
+   A block's holder set is a small int array ([(node lsl 1) lor
+   physical] per entry) kept in newest-first insertion order — the
+   exact order the previous holder {e list} had, which is observable
+   through {!physical_holders}. *)
+
 type t = {
   cfg : config;
   engine : Engine.t;
   ring : Ring.t;
-  nodes : node array;
-  index : block KTbl.t;
+  (* node columns *)
+  up : bool array;
+  phys_b : int array;
+  prim_b : int array;
+  ptr_c : int array;
+  busy_until : float array;
+  held : int KTbl.t array;  (* key -> block id, one table per node *)
+  (* block columns *)
+  mutable keys : Key.t array;
+  mutable sizes : int array;
+  mutable owners : int array;
+  mutable expires : float array;  (* infinity when stored without a TTL *)
+  mutable alive : Bytes.t;
+  mutable gens : int array;
+  mutable hold : int array array;  (* (node lsl 1) lor physical, newest first *)
+  mutable hn : int array;  (* holder entries in use *)
+  mutable datas : string option array;
+  mutable hyb : Key.t array;  (* hybrid hash point, when cfg.hybrid_replicas *)
+  (* epoch-cached desired replica sets *)
+  mutable des : int array array;
+  mutable des_epoch : int array;
+  mutable up_epoch : int;  (* bumped on fail/recover, like Ring.epoch *)
+  (* slot recycling *)
+  mutable hiwater : int;
+  mutable free : int array;
+  mutable nfree : int;
+  index : int KTbl.t;
+  sink : Engine.sink;
+  (* scratch for desired-set computation (no per-call allocation) *)
+  scr1 : int array;
+  scr2 : int array;
   mutable written : float;
   mutable removed : float;
   mutable migrated : float;
   mutable regenerated : float;
 }
 
-let create ~engine ~config ~ids =
-  let n = Array.length ids in
-  if n = 0 then invalid_arg "Cluster.create: need at least one node";
-  let ring = Ring.create () in
-  Array.iteri (fun i id -> Ring.add ring ~id ~node:i) ids;
-  {
-    cfg = config;
-    engine;
-    ring;
-    nodes =
-      Array.init n (fun _ ->
-          {
-            up = true;
-            held = KTbl.create 64;
-            physical_bytes = 0;
-            primary_bytes = 0;
-            pointer_count = 0;
-            busy_until = 0.0;
-          });
-    index = KTbl.create 4096;
-    written = 0.0;
-    removed = 0.0;
-    migrated = 0.0;
-    regenerated = 0.0;
-  }
-
 let ring t = t.ring
 let engine t = t.engine
 let config t = t.cfg
-let node_count t = Array.length t.nodes
+let node_count t = Array.length t.up
 
 let node_stats t i =
-  let n = t.nodes.(i) in
   {
-    up = n.up;
-    physical_bytes = n.physical_bytes;
-    primary_bytes = n.primary_bytes;
-    pointer_count = n.pointer_count;
+    up = t.up.(i);
+    physical_bytes = t.phys_b.(i);
+    primary_bytes = t.prim_b.(i);
+    pointer_count = t.ptr_c.(i);
   }
 
 let block_count t = KTbl.length t.index
-let is_up t ~node = t.nodes.(node).up
+let is_up t ~node = t.up.(node)
 let written_bytes t = t.written
 let removed_bytes t = t.removed
 let migration_bytes t = t.migrated
 let regeneration_bytes t = t.regenerated
 
+let is_alive t bid = Bytes.unsafe_get t.alive bid <> '\000'
+
+(* {2 Arena slots} *)
+
+let grow_arena t =
+  let cap = Array.length t.sizes in
+  let ncap = max 1024 (2 * cap) in
+  let gi a = let n = Array.make ncap 0 in Array.blit a 0 n 0 cap; n in
+  let gf a = let n = Array.make ncap 0.0 in Array.blit a 0 n 0 cap; n in
+  let gk a = let n = Array.make ncap Key.zero in Array.blit a 0 n 0 cap; n in
+  t.keys <- gk t.keys;
+  t.sizes <- gi t.sizes;
+  t.owners <- gi t.owners;
+  t.expires <- gf t.expires;
+  (let n = Bytes.make ncap '\000' in
+   Bytes.blit t.alive 0 n 0 cap;
+   t.alive <- n);
+  t.gens <- gi t.gens;
+  (let n = Array.make ncap [||] in Array.blit t.hold 0 n 0 cap; t.hold <- n);
+  t.hn <- gi t.hn;
+  (let n = Array.make ncap None in Array.blit t.datas 0 n 0 cap; t.datas <- n);
+  t.hyb <- gk t.hyb;
+  (let n = Array.make ncap [||] in Array.blit t.des 0 n 0 cap; t.des <- n);
+  t.des_epoch <- gi t.des_epoch
+
+let alloc_block t ~key ~size ~data ~expires =
+  let bid =
+    if t.nfree > 0 then begin
+      t.nfree <- t.nfree - 1;
+      t.free.(t.nfree)
+    end
+    else begin
+      if t.hiwater = Array.length t.sizes then grow_arena t;
+      let b = t.hiwater in
+      t.hiwater <- b + 1;
+      b
+    end
+  in
+  t.keys.(bid) <- key;
+  t.sizes.(bid) <- size;
+  t.owners.(bid) <- 0;
+  t.expires.(bid) <- expires;
+  Bytes.unsafe_set t.alive bid '\001';
+  t.hn.(bid) <- 0;
+  t.datas.(bid) <- data;
+  (* Stale cached sets from a previous tenant must never match. *)
+  t.des_epoch.(bid) <- min_int;
+  if t.cfg.hybrid_replicas then
+    t.hyb.(bid) <- D2_keyspace.Hashing.uniform_key ("hybrid|" ^ Key.to_string key);
+  bid
+
+let free_block t bid =
+  Bytes.unsafe_set t.alive bid '\000';
+  (* Invalidate every cell already posted against this slot. *)
+  t.gens.(bid) <- t.gens.(bid) + 1;
+  t.datas.(bid) <- None;
+  t.keys.(bid) <- Key.zero;
+  t.des.(bid) <- [||];
+  t.hn.(bid) <- 0;
+  if t.nfree = Array.length t.free then begin
+    let ncap = max 64 (2 * t.nfree) in
+    let nf = Array.make ncap 0 in
+    Array.blit t.free 0 nf 0 t.nfree;
+    t.free <- nf
+  end;
+  t.free.(t.nfree) <- bid;
+  t.nfree <- t.nfree + 1
+
+(* {2 Holder sets} *)
+
+let find_hidx t bid n =
+  let a = t.hold.(bid) in
+  let m = t.hn.(bid) in
+  let rec go i =
+    if i >= m then -1 else if Array.unsafe_get a i lsr 1 = n then i else go (i + 1)
+  in
+  go 0
+
+let prepend_holder t bid enc =
+  let a = t.hold.(bid) in
+  let m = t.hn.(bid) in
+  let a =
+    if m = Array.length a then begin
+      let na = Array.make (max 4 (2 * m)) 0 in
+      Array.blit a 0 na 0 m;
+      t.hold.(bid) <- na;
+      na
+    end
+    else a
+  in
+  Array.blit a 0 a 1 m;
+  a.(0) <- enc;
+  t.hn.(bid) <- m + 1
+
+let remove_hidx t bid i =
+  let a = t.hold.(bid) in
+  let m = t.hn.(bid) in
+  Array.blit a (i + 1) a i (m - i - 1);
+  t.hn.(bid) <- m - 1
+
+(* {2 Desired replica sets, cached per ring/liveness epoch} *)
+
 (* The first [want] *up* nodes clockwise of a key (down nodes are
    skipped — that skip is what triggers regeneration onto farther
-   successors, and its reversal on recovery is what trims them). *)
-let up_successors t key want ~excluding =
-  if want <= 0 then []
+   successors, and its reversal on recovery is what trims them).
+   Results land in [out]; the count is returned. *)
+let up_succ_into t key want ~excl ~excl_n out =
+  if want <= 0 then 0
   else begin
-    (* Same candidate window as before ((want+2)*8 clockwise nodes),
-       but walked in place with early exit instead of materializing a
-       40-element list per call — this runs on every [desired]. *)
+    (* Candidate window: (want+2)*8 clockwise nodes, walked in place
+       with early exit. *)
     let limit = min (Ring.size t.ring) ((want + 2) * 8) in
-    let acc = ref [] in
     let count = ref 0 in
     Ring.iter_successors t.ring key ~limit (fun n ->
-        if t.nodes.(n).up && not (List.mem n excluding) then begin
-          acc := n :: !acc;
-          incr count
-        end;
+        (if t.up.(n) then begin
+           let skip = ref false in
+           for j = 0 to excl_n - 1 do
+             if Array.unsafe_get excl j = n then skip := true
+           done;
+           if not !skip then begin
+             out.(!count) <- n;
+             incr count
+           end
+         end);
         !count < want);
-    List.rev !acc
+    !count
   end
 
 (* The desired replica set of a key.  Normally the first [replicas] up
@@ -157,63 +266,90 @@ let up_successors t key want ~excluding =
    ring position: a consistent-hashing safety copy that survives
    targeted takeover of a key-space region and spreads large-file read
    load. *)
-let desired t key =
+let compute_desired t bid =
+  let key = t.keys.(bid) in
   let r = t.cfg.replicas in
-  let chosen =
+  let chosen_n =
     if t.cfg.hybrid_replicas && r > 1 then begin
-      let local = up_successors t key (r - 1) ~excluding:[] in
-      let hash_point = D2_keyspace.Hashing.uniform_key ("hybrid|" ^ Key.to_string key) in
-      match up_successors t hash_point 1 ~excluding:local with
-      | [ h ] -> local @ [ h ]
-      | _ ->
-          (* Hashed point collides with the locality set or no distinct
-             up node exists: fall back to one more locality successor. *)
-          up_successors t key r ~excluding:[]
-    end
-    else up_successors t key r ~excluding:[]
-  in
-  (* Pathological case: fewer than r nodes up — replicate on what we have. *)
-  if chosen = [] then
-    (match Ring.successors t.ring key 1 with [] -> [] | n :: _ -> [ n ])
-  else chosen
-
-let find_holder block n = List.find_opt (fun h -> h.hnode = n) block.holders
-
-let set_owner t block =
-  match desired t block.key with
-  | [] -> ()
-  | o :: _ ->
-      if o <> block.owner then begin
-        let u = unit_size t.cfg block.size in
-        t.nodes.(block.owner).primary_bytes <- t.nodes.(block.owner).primary_bytes - u;
-        t.nodes.(o).primary_bytes <- t.nodes.(o).primary_bytes + u;
-        block.owner <- o
+      let ln = up_succ_into t key (r - 1) ~excl:t.scr1 ~excl_n:0 t.scr1 in
+      let hn = up_succ_into t t.hyb.(bid) 1 ~excl:t.scr1 ~excl_n:ln t.scr2 in
+      if hn = 1 then begin
+        t.scr1.(ln) <- t.scr2.(0);
+        ln + 1
       end
+      else
+        (* Hashed point collides with the locality set or no distinct
+           up node exists: fall back to one more locality successor. *)
+        up_succ_into t key r ~excl:t.scr1 ~excl_n:0 t.scr1
+    end
+    else up_succ_into t key r ~excl:t.scr1 ~excl_n:0 t.scr1
+  in
+  if chosen_n = 0 then begin
+    (* Pathological case: fewer than r nodes up — replicate on what we
+       have (the key's successor, even if down). *)
+    if Ring.size t.ring = 0 then [||] else [| Ring.successor t.ring key |]
+  end
+  else Array.sub t.scr1 0 chosen_n
 
-let drop_holder t block (h : holder) =
-  block.holders <- List.filter (fun x -> x != h) block.holders;
-  let node = t.nodes.(h.hnode) in
-  KTbl.remove node.held block.key;
-  if h.physical then node.physical_bytes <- node.physical_bytes - unit_size t.cfg block.size
-  else node.pointer_count <- node.pointer_count - 1
+let stamp t = Ring.epoch t.ring + t.up_epoch
+
+let desired t bid =
+  let s = stamp t in
+  if t.des_epoch.(bid) = s then t.des.(bid)
+  else begin
+    let d = compute_desired t bid in
+    t.des.(bid) <- d;
+    t.des_epoch.(bid) <- s;
+    d
+  end
+
+let arr_mem n (a : int array) =
+  let rec go i = i < Array.length a && (Array.unsafe_get a i = n || go (i + 1)) in
+  go 0
+
+(* {1 Reconciliation} *)
+
+let set_owner t bid =
+  let d = desired t bid in
+  if Array.length d > 0 then begin
+    let o = d.(0) in
+    if o <> t.owners.(bid) then begin
+      let u = unit_size t.cfg t.sizes.(bid) in
+      t.prim_b.(t.owners.(bid)) <- t.prim_b.(t.owners.(bid)) - u;
+      t.prim_b.(o) <- t.prim_b.(o) + u;
+      t.owners.(bid) <- o
+    end
+  end
+
+let drop_holder t bid i =
+  let enc = t.hold.(bid).(i) in
+  let n = enc lsr 1 in
+  remove_hidx t bid i;
+  KTbl.remove t.held.(n) t.keys.(bid);
+  if enc land 1 = 1 then t.phys_b.(n) <- t.phys_b.(n) - unit_size t.cfg t.sizes.(bid)
+  else t.ptr_c.(n) <- t.ptr_c.(n) - 1
 
 (* Drop holders that are up and no longer desired, once every desired
    holder physically has the bytes. *)
-let try_trim t block =
-  if not block.dead then begin
-    let des = desired t block.key in
+let try_trim t bid =
+  if is_alive t bid then begin
+    let d = desired t bid in
     let have_all =
-      List.for_all
-        (fun d -> match find_holder block d with Some h -> h.physical | None -> false)
-        des
+      let rec go i =
+        i >= Array.length d
+        ||
+        let j = find_hidx t bid d.(i) in
+        j >= 0 && t.hold.(bid).(j) land 1 = 1 && go (i + 1)
+      in
+      go 0
     in
     if have_all then begin
-      let extras =
-        List.filter
-          (fun h -> t.nodes.(h.hnode).up && not (List.mem h.hnode des))
-          block.holders
-      in
-      List.iter (drop_holder t block) extras
+      let i = ref 0 in
+      while !i < t.hn.(bid) do
+        let enc = t.hold.(bid).(!i) in
+        let n = enc lsr 1 in
+        if t.up.(n) && not (arr_mem n d) then drop_holder t bid !i else incr i
+      done
     end
   end
 
@@ -222,112 +358,196 @@ let account t why size =
   | Migration -> t.migrated <- t.migrated +. float_of_int size
   | Regen -> t.regenerated <- t.regenerated +. float_of_int size
 
+(* Wheel-cell encoding: the low 3 tag bits select the action, the rest
+   carry the node; the payload packs (generation, block id). *)
+let tag_fetch_mig = 0
+let tag_fetch_reg = 1
+let tag_arrive_mig = 2
+let tag_arrive_reg = 3
+let tag_expiry = 4
+let tag_delete = 5
+
+let fetch_tag why = match why with Migration -> tag_fetch_mig | Regen -> tag_fetch_reg
+let arrive_tag why = match why with Migration -> tag_arrive_mig | Regen -> tag_arrive_reg
+
+let post_cell t ~at ~action ~node bid =
+  Engine.post t.engine ~sink:t.sink ~at
+    ~tag:(action lor (node lsl 3))
+    ~payload:((t.gens.(bid) lsl 32) lor bid)
+
+let post_cell_in t ~delay ~action ~node bid =
+  Engine.post_in t.engine ~sink:t.sink ~delay
+    ~tag:(action lor (node lsl 3))
+    ~payload:((t.gens.(bid) lsl 32) lor bid)
+
 (* Second phase of a fetch: the bytes arrive after bandwidth pacing. *)
-let rec arrive t block n why =
-  match find_holder block n with
-  | None -> ()
-  | Some h when h.physical -> ()
-  | Some h ->
-      if block.dead then drop_holder t block h
-      else begin
-        let node = t.nodes.(n) in
-        h.physical <- true;
-        node.pointer_count <- node.pointer_count - 1;
-        node.physical_bytes <- node.physical_bytes + unit_size t.cfg block.size;
-        account t why (unit_size t.cfg block.size);
-        try_trim t block
-      end
+let arrive t bid n why =
+  let i = find_hidx t bid n in
+  if i >= 0 && t.hold.(bid).(i) land 1 = 0 then begin
+    t.hold.(bid).(i) <- t.hold.(bid).(i) lor 1;
+    t.ptr_c.(n) <- t.ptr_c.(n) - 1;
+    let u = unit_size t.cfg t.sizes.(bid) in
+    t.phys_b.(n) <- t.phys_b.(n) + u;
+    account t why u;
+    try_trim t bid
+  end
 
 (* First phase: the pointer has stabilized; decide whether the fetch
    is still needed, then pace it through the node's migration link. *)
-and fetch t block n why =
-  match find_holder block n with
-  | None -> ()
-  | Some h when h.physical -> ()
-  | Some h ->
-      if block.dead then drop_holder t block h
-      else if not (List.mem n (desired t block.key)) then
-        (* Desired set moved on while we waited: drop the pointer
-           without moving any data — the §6 double-move saving. *)
-        drop_holder t block h
+let fetch t bid n why =
+  let i = find_hidx t bid n in
+  if i >= 0 && t.hold.(bid).(i) land 1 = 0 then begin
+    if not (arr_mem n (desired t bid)) then
+      (* Desired set moved on while we waited: drop the pointer
+         without moving any data — the §6 double-move saving. *)
+      drop_holder t bid i
+    else begin
+      let has_source =
+        let a = t.hold.(bid) in
+        let m = t.hn.(bid) in
+        let live = ref 0 in
+        for j = 0 to m - 1 do
+          let enc = Array.unsafe_get a j in
+          if enc land 1 = 1 && t.up.(enc lsr 1) then incr live
+        done;
+        !live >= units_needed t.cfg
+      in
+      if not has_source then
+        (* No live copy to fetch from; retry after a delay. *)
+        post_cell_in t ~delay:60.0 ~action:(fetch_tag why) ~node:n bid
       else begin
-        let has_source =
-          List.length
-            (List.filter (fun x -> x.physical && t.nodes.(x.hnode).up) block.holders)
-          >= units_needed t.cfg
+        let now = Engine.now t.engine in
+        let start = Float.max now t.busy_until.(n) in
+        let xfer =
+          float_of_int (unit_size t.cfg t.sizes.(bid) * 8) /. t.cfg.migration_bandwidth
         in
-        if not has_source then
-          (* No live copy to fetch from; retry after a delay. *)
-          ignore
-            (Engine.schedule_in t.engine ~delay:60.0 (fun () -> fetch t block n why))
-        else begin
-          let node = t.nodes.(n) in
-          let now = Engine.now t.engine in
-          let start = Float.max now node.busy_until in
-          let xfer =
-            float_of_int (unit_size t.cfg block.size * 8) /. t.cfg.migration_bandwidth
-          in
-          node.busy_until <- start +. xfer;
-          ignore
-            (Engine.schedule t.engine ~at:node.busy_until (fun () ->
-                 arrive t block n why))
-        end
+        t.busy_until.(n) <- start +. xfer;
+        post_cell t ~at:t.busy_until.(n) ~action:(arrive_tag why) ~node:n bid
       end
+    end
+  end
 
-let ensure_holder t block n why =
-  if find_holder block n = None then begin
-    let h = { hnode = n; physical = false } in
-    block.holders <- h :: block.holders;
-    let node = t.nodes.(n) in
-    KTbl.replace node.held block.key block;
-    node.pointer_count <- node.pointer_count + 1;
+let ensure_holder t bid n why =
+  if find_hidx t bid n < 0 then begin
+    prepend_holder t bid (n lsl 1);
+    KTbl.replace t.held.(n) t.keys.(bid) bid;
+    t.ptr_c.(n) <- t.ptr_c.(n) + 1;
     let delay =
       match why with
       | Regen -> 0.0
       | Migration -> if t.cfg.use_pointers then t.cfg.pointer_stabilization else 0.0
     in
-    ignore (Engine.schedule_in t.engine ~delay (fun () -> fetch t block n why))
+    post_cell_in t ~delay ~action:(fetch_tag why) ~node:n bid
   end
 
-let reconcile t block why =
-  if not block.dead then begin
-    set_owner t block;
-    let des = desired t block.key in
-    List.iter (fun n -> ensure_holder t block n why) des;
-    try_trim t block
+let reconcile t bid why =
+  if is_alive t bid then begin
+    set_owner t bid;
+    let d = desired t bid in
+    Array.iter (fun n -> ensure_holder t bid n why) d;
+    try_trim t bid
   end
 
 (* {1 Client operations} *)
 
-let delete_block t block =
-  if not block.dead then begin
-    block.dead <- true;
-    List.iter
-      (fun (h : holder) ->
-        let node = t.nodes.(h.hnode) in
-        KTbl.remove node.held block.key;
-        if h.physical then
-          node.physical_bytes <- node.physical_bytes - unit_size t.cfg block.size
-        else node.pointer_count <- node.pointer_count - 1)
-      block.holders;
-    block.holders <- [];
-    t.nodes.(block.owner).primary_bytes <-
-      t.nodes.(block.owner).primary_bytes - unit_size t.cfg block.size;
-    KTbl.remove t.index block.key;
-    t.removed <- t.removed +. float_of_int block.size
+let delete_block t bid =
+  if is_alive t bid then begin
+    let key = t.keys.(bid) in
+    let u = unit_size t.cfg t.sizes.(bid) in
+    let a = t.hold.(bid) in
+    for i = 0 to t.hn.(bid) - 1 do
+      let enc = Array.unsafe_get a i in
+      let n = enc lsr 1 in
+      KTbl.remove t.held.(n) key;
+      if enc land 1 = 1 then t.phys_b.(n) <- t.phys_b.(n) - u
+      else t.ptr_c.(n) <- t.ptr_c.(n) - 1
+    done;
+    t.prim_b.(t.owners.(bid)) <- t.prim_b.(t.owners.(bid)) - u;
+    KTbl.remove t.index key;
+    t.removed <- t.removed +. float_of_int t.sizes.(bid);
+    free_block t bid
   end
 
 (* Lazy TTL sweep: fires at the recorded expiry; if a refresh pushed
    it out, re-arms instead of removing. *)
-let rec arm_expiry t block =
-  if block.expires < infinity then
-    ignore
-      (Engine.schedule t.engine ~at:(Float.max (Engine.now t.engine) block.expires)
-         (fun () ->
-           if not block.dead then begin
-             if Engine.now t.engine >= block.expires then delete_block t block
-             else arm_expiry t block
-           end))
+let arm_expiry t bid =
+  if t.expires.(bid) < infinity then
+    post_cell t
+      ~at:(Float.max (Engine.now t.engine) t.expires.(bid))
+      ~action:tag_expiry ~node:0 bid
+
+let expire t bid =
+  if is_alive t bid then begin
+    if Engine.now t.engine >= t.expires.(bid) then delete_block t bid
+    else arm_expiry t bid
+  end
+
+let dispatch t tag payload =
+  let bid = payload land 0xFFFFFFFF in
+  let gen = payload lsr 32 in
+  (* A stale generation means the slot was freed (and possibly reused)
+     after this cell was posted: the action's target is gone. *)
+  if t.gens.(bid) = gen then begin
+    let node = tag lsr 3 in
+    match tag land 7 with
+    | 0 (* tag_fetch_mig *) -> fetch t bid node Migration
+    | 1 (* tag_fetch_reg *) -> fetch t bid node Regen
+    | 2 (* tag_arrive_mig *) -> arrive t bid node Migration
+    | 3 (* tag_arrive_reg *) -> arrive t bid node Regen
+    | 4 (* tag_expiry *) -> expire t bid
+    | _ (* tag_delete *) -> delete_block t bid
+  end
+
+let create ~engine ~config ~ids =
+  let n = Array.length ids in
+  if n = 0 then invalid_arg "Cluster.create: need at least one node";
+  let ring = Ring.create () in
+  Array.iteri (fun i id -> Ring.add ring ~id ~node:i) ids;
+  let tref = ref None in
+  let sink =
+    Engine.register_sink engine (fun tag payload ->
+        match !tref with Some t -> dispatch t tag payload | None -> ())
+  in
+  let cap = 1024 in
+  let t =
+    {
+      cfg = config;
+      engine;
+      ring;
+      up = Array.make n true;
+      phys_b = Array.make n 0;
+      prim_b = Array.make n 0;
+      ptr_c = Array.make n 0;
+      busy_until = Array.make n 0.0;
+      held = Array.init n (fun _ -> KTbl.create 64);
+      keys = Array.make cap Key.zero;
+      sizes = Array.make cap 0;
+      owners = Array.make cap 0;
+      expires = Array.make cap infinity;
+      alive = Bytes.make cap '\000';
+      gens = Array.make cap 0;
+      hold = Array.make cap [||];
+      hn = Array.make cap 0;
+      datas = Array.make cap None;
+      hyb = Array.make cap Key.zero;
+      des = Array.make cap [||];
+      des_epoch = Array.make cap min_int;
+      up_epoch = 0;
+      hiwater = 0;
+      free = [||];
+      nfree = 0;
+      index = KTbl.create 4096;
+      sink;
+      scr1 = Array.make (config.replicas + 1) 0;
+      scr2 = Array.make 1 0;
+      written = 0.0;
+      removed = 0.0;
+      migrated = 0.0;
+      regenerated = 0.0;
+    }
+  in
+  tref := Some t;
+  t
 
 let put t ~key ~size ?data ?ttl () =
   if size < 0 then invalid_arg "Cluster.put: negative size";
@@ -337,72 +557,100 @@ let put t ~key ~size ?data ?ttl () =
   (match KTbl.find_opt t.index key with
   | Some old -> delete_block t old
   | None -> ());
-  let des = desired t key in
-  let owner = match des with o :: _ -> o | [] -> invalid_arg "Cluster.put: empty ring" in
   let expires =
     match ttl with Some v -> Engine.now t.engine +. v | None -> infinity
   in
-  let block = { key; size; data; holders = []; owner; expires; dead = false } in
-  List.iter
+  let bid = alloc_block t ~key ~size ~data ~expires in
+  let d = desired t bid in
+  if Array.length d = 0 then begin
+    free_block t bid;
+    invalid_arg "Cluster.put: empty ring"
+  end;
+  let owner = d.(0) in
+  t.owners.(bid) <- owner;
+  let u = unit_size t.cfg size in
+  Array.iter
     (fun n ->
-      block.holders <- { hnode = n; physical = true } :: block.holders;
-      let node = t.nodes.(n) in
-      KTbl.replace node.held key block;
-      node.physical_bytes <- node.physical_bytes + unit_size t.cfg size)
-    des;
-  t.nodes.(owner).primary_bytes <- t.nodes.(owner).primary_bytes + unit_size t.cfg size;
-  KTbl.replace t.index key block;
-  arm_expiry t block;
+      prepend_holder t bid ((n lsl 1) lor 1);
+      KTbl.replace t.held.(n) key bid;
+      t.phys_b.(n) <- t.phys_b.(n) + u)
+    d;
+  t.prim_b.(owner) <- t.prim_b.(owner) + u;
+  KTbl.replace t.index key bid;
+  arm_expiry t bid;
   t.written <- t.written +. float_of_int size
 
 let refresh t ~key ~ttl =
   if ttl <= 0.0 then invalid_arg "Cluster.refresh: ttl must be positive";
   match KTbl.find_opt t.index key with
-  | Some b when (not b.dead) && b.expires < infinity ->
-      b.expires <- Engine.now t.engine +. ttl
+  | Some bid when t.expires.(bid) < infinity ->
+      t.expires.(bid) <- Engine.now t.engine +. ttl
   | Some _ | None -> ()
 
 let get t ~key =
   match KTbl.find_opt t.index key with
-  | Some b when not b.dead -> Some b.data
-  | Some _ | None -> None
+  | Some bid -> Some t.datas.(bid)
+  | None -> None
 
-let mem t ~key =
-  match KTbl.find_opt t.index key with
-  | Some b -> not b.dead
-  | None -> false
+let mem t ~key = KTbl.mem t.index key
 
 let remove t ~key ?delay () =
   let delay = match delay with Some d -> d | None -> t.cfg.remove_delay in
   match KTbl.find_opt t.index key with
   | None -> ()
-  | Some block ->
-      ignore (Engine.schedule_in t.engine ~delay (fun () -> delete_block t block))
+  | Some bid -> post_cell_in t ~delay ~action:tag_delete ~node:0 bid
 
 let available t ~key =
   match KTbl.find_opt t.index key with
   | None -> false
-  | Some b ->
-      let live =
-        List.length (List.filter (fun h -> h.physical && t.nodes.(h.hnode).up) b.holders)
-      in
-      (not b.dead) && live >= units_needed t.cfg
+  | Some bid ->
+      let a = t.hold.(bid) in
+      let m = t.hn.(bid) in
+      let live = ref 0 in
+      for i = 0 to m - 1 do
+        let enc = Array.unsafe_get a i in
+        if enc land 1 = 1 && t.up.(enc lsr 1) then incr live
+      done;
+      !live >= units_needed t.cfg
 
 let owner_of t ~key =
   match KTbl.find_opt t.index key with
-  | Some b when not b.dead -> Some b.owner
-  | Some _ | None -> None
+  | Some bid -> Some t.owners.(bid)
+  | None -> None
 
 let physical_holders t ~key =
   match KTbl.find_opt t.index key with
   | None -> []
-  | Some b ->
-      List.filter_map (fun h -> if h.physical then Some h.hnode else None) b.holders
+  | Some bid ->
+      let a = t.hold.(bid) in
+      let rec go i acc =
+        if i < 0 then acc
+        else
+          go (i - 1)
+            (let enc = a.(i) in
+             if enc land 1 = 1 then (enc lsr 1) :: acc else acc)
+      in
+      go (t.hn.(bid) - 1) []
+
+let physical_holders_into t ~key out =
+  match KTbl.find_opt t.index key with
+  | None -> 0
+  | Some bid ->
+      let a = t.hold.(bid) in
+      let m = t.hn.(bid) in
+      let count = ref 0 in
+      for i = 0 to m - 1 do
+        let enc = Array.unsafe_get a i in
+        if enc land 1 = 1 then begin
+          out.(!count) <- enc lsr 1;
+          incr count
+        end
+      done;
+      !count
 
 (* {1 Membership events} *)
 
-let blocks_held t n =
-  KTbl.fold (fun _ b acc -> b :: acc) t.nodes.(n).held []
+let blocks_held t n = KTbl.fold (fun _ bid acc -> bid :: acc) t.held.(n) []
 
 let neighborhood_blocks t ~node =
   (* Blocks whose replica window an ID change of [node] can affect:
@@ -410,7 +658,7 @@ let neighborhood_blocks t ~node =
   let r = t.cfg.replicas in
   let tbl = KTbl.create 256 in
   let add_node_blocks i =
-    KTbl.iter (fun k b -> KTbl.replace tbl k b) t.nodes.(i).held
+    KTbl.iter (fun k bid -> KTbl.replace tbl k bid) t.held.(i)
   in
   add_node_blocks node;
   for k = 1 to min r (Ring.size t.ring - 1) do
@@ -422,35 +670,40 @@ let change_id t ~node ~id =
   let before = neighborhood_blocks t ~node in
   Ring.change_id t.ring ~node ~id;
   let after = neighborhood_blocks t ~node in
-  KTbl.iter (fun k b -> KTbl.replace before k b) after;
-  KTbl.iter (fun _ b -> reconcile t b Migration) before
+  KTbl.iter (fun k bid -> KTbl.replace before k bid) after;
+  KTbl.iter (fun _ bid -> reconcile t bid Migration) before
 
+(* A liveness flip invalidates every cached desired set (the stamp
+   moves on), so the batched sweep below recomputes each touched
+   block's placement exactly once and every later fetch/trim/arrival
+   this epoch reads the cache. *)
 let fail t ~node =
-  let n = t.nodes.(node) in
-  if n.up then begin
-    n.up <- false;
+  if t.up.(node) then begin
+    t.up.(node) <- false;
+    t.up_epoch <- t.up_epoch + 1;
     Log.debug (fun m ->
         m "t=%.0f node %d failed (%d bytes held); regenerating" (Engine.now t.engine)
-          node n.physical_bytes);
+          node t.phys_b.(node));
     (* Regenerate under-replicated blocks onto farther successors. *)
-    List.iter (fun b -> reconcile t b Regen) (blocks_held t node)
+    List.iter (fun bid -> reconcile t bid Regen) (blocks_held t node)
   end
 
 let recover t ~node =
-  let n = t.nodes.(node) in
-  if not n.up then begin
-    n.up <- true;
+  if not t.up.(node) then begin
+    t.up.(node) <- true;
+    t.up_epoch <- t.up_epoch + 1;
     Log.debug (fun m -> m "t=%.0f node %d recovered" (Engine.now t.engine) node);
     (* The node returns with its disk intact: re-desire its blocks and
        trim the regenerated surplus. *)
-    List.iter (fun b -> reconcile t b Migration) (blocks_held t node)
+    List.iter (fun bid -> reconcile t bid Migration) (blocks_held t node)
   end
 
 let median_primary_key t ~node =
   let keys =
     KTbl.fold
-      (fun _ b acc -> if b.owner = node && not b.dead then (b.key, b.size) :: acc else acc)
-      t.nodes.(node).held []
+      (fun k bid acc ->
+        if t.owners.(bid) = node then (k, t.sizes.(bid)) :: acc else acc)
+      t.held.(node) []
   in
   match keys with
   | [] -> None
@@ -468,36 +721,53 @@ let median_primary_key t ~node =
 
 let check_invariants t =
   Ring.check_invariants t.ring;
-  let phys = Array.make (Array.length t.nodes) 0 in
-  let prim = Array.make (Array.length t.nodes) 0 in
-  let ptrs = Array.make (Array.length t.nodes) 0 in
+  let nn = Array.length t.up in
+  let phys = Array.make nn 0 in
+  let prim = Array.make nn 0 in
+  let ptrs = Array.make nn 0 in
   KTbl.iter
-    (fun key b ->
-      if b.dead then invalid_arg "Cluster.check_invariants: dead block in index";
-      if not (Key.equal key b.key) then
+    (fun key bid ->
+      if not (is_alive t bid) then
+        invalid_arg "Cluster.check_invariants: dead block in index";
+      if not (Key.equal key t.keys.(bid)) then
         invalid_arg "Cluster.check_invariants: index key mismatch";
-      prim.(b.owner) <- prim.(b.owner) + unit_size t.cfg b.size;
-      List.iter
-        (fun (h : holder) ->
-          (match KTbl.find_opt t.nodes.(h.hnode).held key with
-          | Some b' when b' == b -> ()
-          | _ -> invalid_arg "Cluster.check_invariants: holder missing held entry");
-          if h.physical then phys.(h.hnode) <- phys.(h.hnode) + unit_size t.cfg b.size
-          else ptrs.(h.hnode) <- ptrs.(h.hnode) + 1)
-        b.holders)
+      prim.(t.owners.(bid)) <- prim.(t.owners.(bid)) + unit_size t.cfg t.sizes.(bid);
+      let a = t.hold.(bid) in
+      for i = 0 to t.hn.(bid) - 1 do
+        let enc = a.(i) in
+        let n = enc lsr 1 in
+        (match KTbl.find_opt t.held.(n) key with
+        | Some bid' when bid' = bid -> ()
+        | _ -> invalid_arg "Cluster.check_invariants: holder missing held entry");
+        if enc land 1 = 1 then phys.(n) <- phys.(n) + unit_size t.cfg t.sizes.(bid)
+        else ptrs.(n) <- ptrs.(n) + 1
+      done)
     t.index;
-  Array.iteri
-    (fun i (n : node) ->
-      if n.physical_bytes <> phys.(i) then
-        invalid_arg
-          (Printf.sprintf "Cluster.check_invariants: node %d physical bytes %d <> %d"
-             i n.physical_bytes phys.(i));
-      if n.primary_bytes <> prim.(i) then
-        invalid_arg
-          (Printf.sprintf "Cluster.check_invariants: node %d primary bytes %d <> %d"
-             i n.primary_bytes prim.(i));
-      if n.pointer_count <> ptrs.(i) then
-        invalid_arg
-          (Printf.sprintf "Cluster.check_invariants: node %d pointer count %d <> %d"
-             i n.pointer_count ptrs.(i)))
-    t.nodes
+  for i = 0 to nn - 1 do
+    if t.phys_b.(i) <> phys.(i) then
+      invalid_arg
+        (Printf.sprintf "Cluster.check_invariants: node %d physical bytes %d <> %d"
+           i t.phys_b.(i) phys.(i));
+    if t.prim_b.(i) <> prim.(i) then
+      invalid_arg
+        (Printf.sprintf "Cluster.check_invariants: node %d primary bytes %d <> %d"
+           i t.prim_b.(i) prim.(i));
+    if t.ptr_c.(i) <> ptrs.(i) then
+      invalid_arg
+        (Printf.sprintf "Cluster.check_invariants: node %d pointer count %d <> %d"
+           i t.ptr_c.(i) ptrs.(i))
+  done;
+  (* Arena bookkeeping: every held entry references a live slot, and
+     free slots are genuinely dead. *)
+  Array.iter
+    (fun held ->
+      KTbl.iter
+        (fun _ bid ->
+          if not (is_alive t bid) then
+            invalid_arg "Cluster.check_invariants: held entry references freed slot")
+        held)
+    t.held;
+  for i = 0 to t.nfree - 1 do
+    if is_alive t t.free.(i) then
+      invalid_arg "Cluster.check_invariants: live slot on the free list"
+  done

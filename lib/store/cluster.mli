@@ -113,6 +113,12 @@ val physical_holders : t -> key:Key.t -> int list
 (** Up-or-down nodes currently holding the bytes (for tests and for
     the performance simulator's placement queries). *)
 
+val physical_holders_into : t -> key:Key.t -> int array -> int
+(** Allocation-free {!physical_holders}: writes the same nodes in the
+    same order into the scratch array and returns how many there are.
+    The array must have at least {!node_count} slots.  This is the
+    performance simulator's per-read hot path. *)
+
 (** {1 Membership events} *)
 
 val change_id : t -> node:int -> id:Key.t -> unit

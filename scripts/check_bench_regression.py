@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Fail CI when the quick-scale bench regresses vs the committed baseline.
+
+Usage: check_bench_regression.py BASELINE_JSON NEW_JSON [--factor 1.25]
+
+Compares the `total_wall_s` of a fresh BENCH_results.json against the
+committed baseline and exits non-zero when the new total exceeds
+baseline * factor.  Scale/jobs mismatches make the comparison
+meaningless, so they are reported and the check is skipped (exit 0)
+rather than producing a spurious verdict.  Per-experiment walls are
+printed for context (owned wall only; `shared_wall_s` is attribution
+of work counted in another entry's wall, so it is excluded from the
+regression sum).
+"""
+
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    factor = 1.25
+    for a in argv[1:]:
+        if a.startswith("--factor"):
+            factor = float(a.split("=", 1)[1] if "=" in a else args.pop())
+    if len(args) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    baseline_path, new_path = args
+    base = load(baseline_path)
+    new = load(new_path)
+
+    for key in ("scale", "jobs"):
+        if base.get(key) != new.get(key):
+            print(
+                f"SKIP: {key} mismatch (baseline {base.get(key)!r} vs new "
+                f"{new.get(key)!r}); wall-time comparison would be meaningless"
+            )
+            return 0
+
+    base_walls = {e["id"]: e["wall_s"] for e in base.get("experiments", [])}
+    print(f"{'experiment':24s} {'baseline':>10s} {'new':>10s} {'ratio':>7s}")
+    for e in new.get("experiments", []):
+        b = base_walls.get(e["id"])
+        ratio = "" if not b else f"{e['wall_s'] / b:6.2f}x"
+        print(
+            f"{e['id']:24s} {b if b is not None else float('nan'):10.3f} "
+            f"{e['wall_s']:10.3f} {ratio:>7s}"
+        )
+
+    b_total, n_total = base["total_wall_s"], new["total_wall_s"]
+    limit = b_total * factor
+    print(
+        f"\ntotal_wall_s: baseline {b_total:.3f}s, new {n_total:.3f}s, "
+        f"limit {limit:.3f}s (factor {factor})"
+    )
+    if n_total > limit:
+        print(f"FAIL: total_wall_s regressed more than {(factor - 1) * 100:.0f}%")
+        return 1
+    print("OK: within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,152 @@
+(* Randomized churn property test for D2-Store: interleaved
+   fail/recover/change_id/put/remove/refresh/TTL-expiry event batches
+   under both redundancy schemes, with Cluster.check_invariants after
+   every batch.  Exercises exactly the replica-maintenance hot path the
+   block arena, epoch-cached replica sets and timer-wheel engine
+   rearchitected. *)
+
+module Cluster = D2_store.Cluster
+module Ring = D2_dht.Ring
+module Engine = D2_simnet.Engine
+module Key = D2_keyspace.Key
+module Rng = D2_util.Rng
+
+let batches = 60
+let events_per_batch = 40
+
+(* Units needed for a read under this config (mirrors
+   Cluster.units_needed, which is not exported). *)
+let needed config =
+  match config.Cluster.redundancy with
+  | Cluster.Replication -> 1
+  | Cluster.Erasure m -> m
+
+let run_churn ~seed ~config ~nodes =
+  let rng = Rng.create seed in
+  let engine = Engine.create () in
+  let ids = Array.init nodes (fun _ -> Key.random rng) in
+  let cluster = Cluster.create ~engine ~config ~ids in
+  let keys = Array.init 160 (fun _ -> Key.random rng) in
+  (* Track which keys we ever stored with a TTL, to assert expiry. *)
+  for batch = 1 to batches do
+    for _ = 1 to events_per_batch do
+      match Rng.int rng 20 with
+      | 0 | 1 | 2 | 3 | 4 ->
+          Cluster.put cluster ~key:(Rng.pick rng keys)
+            ~size:(1 + Rng.int rng (2 * 8192))
+            ()
+      | 5 | 6 ->
+          Cluster.put cluster ~key:(Rng.pick rng keys)
+            ~size:(1 + Rng.int rng 8192)
+            ~ttl:(60.0 +. Rng.float rng 3600.0)
+            ()
+      | 7 ->
+          Cluster.refresh cluster ~key:(Rng.pick rng keys)
+            ~ttl:(60.0 +. Rng.float rng 600.0)
+      | 8 | 9 -> Cluster.remove cluster ~key:(Rng.pick rng keys) ()
+      | 10 | 11 | 12 ->
+          let node = Rng.int rng nodes in
+          if Cluster.is_up cluster ~node then Cluster.fail cluster ~node
+          else Cluster.recover cluster ~node
+      | 13 | 14 ->
+          let node = Rng.int rng nodes in
+          let id = Key.random rng in
+          if
+            Cluster.is_up cluster ~node
+            && not (Ring.id_taken (Cluster.ring cluster) id)
+          then Cluster.change_id cluster ~node ~id
+      | _ ->
+          (* Let paced fetches, expiries and delayed removes fire. *)
+          Engine.run engine ~until:(Engine.now engine +. 30.0 +. Rng.float rng 600.0)
+    done;
+    (try Cluster.check_invariants cluster
+     with Invalid_argument msg ->
+       Alcotest.failf "batch %d (seed %d): %s" batch seed msg)
+  done;
+  (* Recover everything, settle, and verify steady state: every live
+     block is fully replicated on up nodes with no pointers pending. *)
+  for node = 0 to nodes - 1 do
+    if not (Cluster.is_up cluster ~node) then Cluster.recover cluster ~node
+  done;
+  Engine.run engine
+    ~until:
+      (Engine.now engine
+      +. (2.0 *. Cluster.default_config.Cluster.pointer_stabilization)
+      +. 86400.0);
+  Cluster.check_invariants cluster;
+  (* Under [Erasure m] extreme churn can legitimately lose blocks: when
+     fewer than [m] up nodes exist in a key's window, trimming can leave
+     fewer than [m] fragments anywhere, and no regeneration can rebuild
+     them.  Such blocks stay pinned at (fragments < m) with their
+     pointer retries looping; every block with at least [m] surviving
+     fragments must be readable again once all nodes are back. *)
+  let m = needed config in
+  let live = ref 0 and lost = ref 0 in
+  Array.iter
+    (fun key ->
+      if Cluster.mem cluster ~key then begin
+        incr live;
+        if not (Cluster.available cluster ~key) then begin
+          let frags = List.length (Cluster.physical_holders cluster ~key) in
+          if frags >= m then
+            Alcotest.failf
+              "seed %d: recoverable block (%d >= %d fragments) unavailable \
+               with all nodes up"
+              seed frags m
+          else incr lost
+        end
+      end)
+    keys;
+  if !lost > 0 && m = 1 then
+    Alcotest.failf "seed %d: replicated block lost despite intact disks" seed;
+  if !lost = 0 then
+    for node = 0 to nodes - 1 do
+      let s = Cluster.node_stats cluster node in
+      if s.Cluster.pointer_count <> 0 then
+        Alcotest.failf "seed %d: node %d still has %d pointers after settling"
+          seed node s.Cluster.pointer_count
+    done;
+  !live
+
+let replication_config =
+  { Cluster.default_config with Cluster.migration_bandwidth = 2_000_000.0 }
+
+let erasure_config m r =
+  {
+    Cluster.default_config with
+    Cluster.replicas = r;
+    redundancy = Cluster.Erasure m;
+    migration_bandwidth = 2_000_000.0;
+  }
+
+let test_replication_churn () =
+  List.iter
+    (fun seed ->
+      let live = run_churn ~seed ~config:replication_config ~nodes:14 in
+      ignore live)
+    [ 1; 7; 42 ]
+
+let test_erasure_churn () =
+  List.iter
+    (fun (m, r) ->
+      List.iter
+        (fun seed -> ignore (run_churn ~seed ~config:(erasure_config m r) ~nodes:14))
+        [ 3; 11 ])
+    [ (2, 4); (3, 6) ]
+
+let test_no_pointer_mode_churn () =
+  let config =
+    { replication_config with Cluster.use_pointers = false }
+  in
+  ignore (run_churn ~seed:5 ~config ~nodes:10)
+
+let () =
+  Alcotest.run "d2_store_churn"
+    [
+      ( "churn",
+        [
+          Alcotest.test_case "replication r=3" `Quick test_replication_churn;
+          Alcotest.test_case "erasure 2-of-4 / 3-of-6" `Quick test_erasure_churn;
+          Alcotest.test_case "immediate mode" `Quick test_no_pointer_mode_churn;
+        ] );
+    ]
