@@ -25,6 +25,16 @@ val lookup : t -> now:float -> Key.t -> int option
 (** Cached owner of the key, if any; counts a hit or a miss, and
     lazily evicts expired entries it encounters. *)
 
+val find : t -> now:float -> Key.t -> int
+(** [lookup] as an allocation-free kernel: the cached owner or -1.
+    Identical accounting and eviction behaviour. *)
+
+val resolve_into : t -> now:float -> Key.t array -> int array -> unit
+(** Batched [find] over a key column: [out.(i)] receives the cached
+    owner of [keys.(i)] or -1, probing in index order with exactly the
+    sequential semantics (hit/miss counts, evictions, purges included).
+    @raise Invalid_argument if [out] is shorter than [keys]. *)
+
 val insert : t -> now:float -> lo:Key.t -> hi:Key.t -> node:int -> unit
 (** Record a lookup result: [node] owns [(lo, hi]]. [lo = hi] (the
     whole ring, single-node case) and wrapping ranges are accepted. *)
@@ -41,3 +51,20 @@ val reset_stats : t -> unit
 
 val clear : t -> unit
 (** Drop entries and statistics. *)
+
+(** The original [Map]-based implementation, kept as the oracle for
+    the randomized equivalence test: same observable behaviour as the
+    flat arena, entry for entry and count for count. *)
+module Reference : sig
+  type t
+
+  val create : ?ttl:float -> unit -> t
+  val lookup : t -> now:float -> Key.t -> int option
+  val insert : t -> now:float -> lo:Key.t -> hi:Key.t -> node:int -> unit
+  val hits : t -> int
+  val misses : t -> int
+  val miss_rate : t -> float
+  val entry_count : t -> int
+  val reset_stats : t -> unit
+  val clear : t -> unit
+end

@@ -91,16 +91,12 @@ let replay ~trace ~failures ~mode ~seed ?params () =
       (* A block that no longer exists (rare trace-edge races with
          delayed removal) is not a node-unavailability failure. *)
       op_ok.(i) <- Cluster.available cluster ~key || not (Cluster.mem cluster ~key);
-      match Cluster.owner_of cluster ~key with
-      | Some node -> op_node.(i) <- node
-      | None -> op_node.(i) <- -1
+      op_node.(i) <- Cluster.find_owner cluster ~key
     end
     else begin
       System.apply_plan_op system plan keys i;
       if k = Plan.kind_write || k = Plan.kind_create then
-        match Cluster.owner_of cluster ~key:op_keys.(i) with
-        | Some node -> op_node.(i) <- node
-        | None -> op_node.(i) <- -1
+        op_node.(i) <- Cluster.find_owner cluster ~key:op_keys.(i)
     end
   done;
   { op_ok; op_node; trials_mode = mode }

@@ -56,6 +56,8 @@ type pass = {
   p_config : config;
   lookup_msgs_per_node : float;
   miss_rate : float;
+  window_hits : int;
+  window_misses : int;
   groups : (int, group_perf) Hashtbl.t;
 }
 
@@ -229,24 +231,19 @@ let run_pass ~trace ~mode ~config:cfg =
               let cache = lookup_caches.(u) in
               (* Resolve the owner; decide whether a DHT lookup was
                  needed and what it cost. *)
-              let cached = Lookup_cache.lookup cache ~now key in
-              let stale =
-                match cached with
-                | Some n -> not (holder_mem n)
-                | None -> false
-              in
+              let cached = Lookup_cache.find cache ~now key in
+              let stale = cached >= 0 && not (holder_mem cached) in
               let lookup_lat =
-                match cached with
-                | Some n when not stale ->
-                    if measured then hits.(u) <- hits.(u) + 1;
-                    ignore n;
-                    0.0
-                | _ ->
+                if cached >= 0 && not stale then begin
+                  if measured then hits.(u) <- hits.(u) + 1;
+                  0.0
+                end
+                else begin
                     if measured then misses.(u) <- misses.(u) + 1;
                     let owner =
-                      match Cluster.owner_of cluster ~key with
-                      | Some n -> n
-                      | None -> hbuf.(0)
+                      match Cluster.find_owner cluster ~key with
+                      | -1 -> hbuf.(0)
+                      | n -> n
                     in
                     let hops = Ring.route_hops ring ~src:client ~key in
                     if measured then lookup_msgs := !lookup_msgs + hops + 1;
@@ -260,9 +257,9 @@ let run_pass ~trace ~mode ~config:cfg =
                     in
                     (* A stale cache entry costs a wasted round trip
                        before falling back to the lookup (§5). *)
-                    if stale then
-                      base +. Topology.rtt topo client (Option.get cached)
+                    if stale then base +. Topology.rtt topo client cached
                     else base
+                end
               in
               let server = hbuf.(Rng.int server_rng hcount) in
               if measured then begin
@@ -306,6 +303,8 @@ let run_pass ~trace ~mode ~config:cfg =
     p_config = cfg;
     lookup_msgs_per_node = float_of_int !lookup_msgs /. float_of_int cfg.nodes;
     miss_rate = Stats.mean (Array.of_list !user_rates);
+    window_hits = Array.fold_left ( + ) 0 hits;
+    window_misses = Array.fold_left ( + ) 0 misses;
     groups = results;
   }
 

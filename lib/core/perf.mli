@@ -64,6 +64,8 @@ type pass = {
   p_config : config;
   lookup_msgs_per_node : float;  (** Fig. 9 metric *)
   miss_rate : float;  (** mean per-user lookup cache miss rate, Fig. 13 *)
+  window_hits : int;  (** total in-window lookup-cache hits, all users *)
+  window_misses : int;  (** total in-window lookup-cache misses *)
   groups : (int, group_perf) Hashtbl.t;  (** stable group id -> latencies *)
 }
 

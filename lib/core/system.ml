@@ -114,6 +114,19 @@ let apply_plan_op t (plan : Plan.t) (keys : Plan.keyset) i =
       ~size:plan.Plan.bytes.(i) ~key:keys.Plan.op_keys.(i)
   else if k = Plan.kind_delete then delete_file t ~file:plan.Plan.files.(i)
 
+(* Batched owner resolution over a Plan key column: one pass, one
+   unboxed int write per key, -1 for blocks that do not exist.  The
+   cluster-level counterpart of {!D2_cache.Lookup_cache.resolve_into}:
+   simulators resolving a whole task's keys call this once instead of
+   allocating an option per [owner_of] probe. *)
+let resolve_owners_into t keys out =
+  let len = Array.length keys in
+  if Array.length out < len then
+    invalid_arg "System.resolve_owners_into: output shorter than input";
+  for i = 0 to len - 1 do
+    out.(i) <- Cluster.find_owner t.cluster ~key:(Array.unsafe_get keys i)
+  done
+
 let file_blocks t ~file =
   match Hashtbl.find_opt t.files file with
   | None -> []

@@ -52,6 +52,12 @@ val apply_plan_op : t -> D2_trace.Plan.t -> D2_trace.Plan.keyset -> int -> unit
 
 val key_of_op : t -> D2_trace.Op.op -> Key.t
 
+val resolve_owners_into : t -> Key.t array -> int array -> unit
+(** Batched owner resolution over a Plan key column: [out.(i)]
+    receives the current primary owner of [keys.(i)], or -1 when the
+    block does not exist.  Allocation-free; one pass.
+    @raise Invalid_argument if [out] is shorter than [keys]. *)
+
 val file_blocks : t -> file:int -> (int * int) list
 (** Live (block index, size) pairs for a replayed file id, or [] —
     test/inspection hook. *)

@@ -8,12 +8,18 @@ let policy_name = function
   | Harmonic k -> Printf.sprintf "harmonic-%d" k
   | Successor_only -> "successor-only"
 
+(* Link tables compiled to one dense jump-table array: rank [r]'s
+   sorted outgoing rank-offsets live in [jt.(jidx.(r)) ..
+   jt.(jidx.(r+1) - 1)].  The greedy kernel walks it iteratively — a
+   binary search for the farthest non-overshooting link per hop, no
+   cons cell, no closure — so hop counting allocates nothing. *)
 type t = {
   ring : Ring.t;
   pol : policy;
   rng : Rng.t;
-  mutable offsets : int array array;
-  (** per rank: sorted outgoing link rank-offsets (all ≥ 1) *)
+  mutable jt : int array;  (** concatenated per-rank offsets, each run sorted *)
+  mutable jidx : int array;  (** length [built_n + 1]: run boundaries *)
+  mutable built_n : int;  (** ring size the tables were built for *)
 }
 
 (* Sample a rank offset in [1, n) with P(d) ∝ 1/d. *)
@@ -24,7 +30,10 @@ let harmonic_offset rng n =
 
 let build_tables t =
   let n = Ring.size t.ring in
-  let table rank =
+  let jidx = Array.make (n + 1) 0 in
+  let buf = ref (Array.make (max 16 (4 * n)) 0) in
+  let len = ref 0 in
+  for rank = 0 to n - 1 do
     let offs =
       match t.pol with
       | Successor_only -> [ 1 ]
@@ -36,13 +45,25 @@ let build_tables t =
           1 :: List.init (max 0 k) (fun _ -> harmonic_offset t.rng n)
     in
     let offs = List.sort_uniq compare (List.filter (fun d -> d >= 1 && d < n) offs) in
-    Array.of_list offs
-  in
-  t.offsets <- Array.init n table
+    List.iter
+      (fun d ->
+        if !len = Array.length !buf then begin
+          let b = Array.make (2 * !len) 0 in
+          Array.blit !buf 0 b 0 !len;
+          buf := b
+        end;
+        !buf.(!len) <- d;
+        incr len)
+      offs;
+    jidx.(rank + 1) <- !len
+  done;
+  t.jt <- Array.sub !buf 0 !len;
+  t.jidx <- jidx;
+  t.built_n <- n
 
 let create ~ring ~policy ~rng =
   if Ring.size ring = 0 then invalid_arg "Router.create: empty ring";
-  let t = { ring; pol = policy; rng; offsets = [||] } in
+  let t = { ring; pol = policy; rng; jt = [||]; jidx = [||]; built_n = 0 } in
   build_tables t;
   t
 
@@ -53,12 +74,61 @@ let policy t = t.pol
 let links_of t ~node =
   let n = Ring.size t.ring in
   let rank = Ring.rank_of t.ring ~node in
-  Array.to_list (Array.map (fun d -> Ring.node_at t.ring ((rank + d) mod n)) t.offsets.(rank))
+  List.init
+    (t.jidx.(rank + 1) - t.jidx.(rank))
+    (fun i -> Ring.node_at t.ring ((rank + t.jt.(t.jidx.(rank) + i)) mod n))
+
+let check_current t n =
+  if n <> t.built_n then
+    invalid_arg "Router.route: ring changed since build; call rebuild"
+
+(* Farthest offset of [rank] that does not exceed [d]: the runs are
+   sorted and always start with offset 1, so this is the predecessor
+   of [d+1] by binary search. *)
+let best_offset t rank d =
+  let jt = t.jt in
+  let lo = ref t.jidx.(rank) and hi = ref t.jidx.(rank + 1) in
+  while !hi - !lo > 1 do
+    let mid = (!lo + !hi) lsr 1 in
+    if Array.unsafe_get jt mid <= d then lo := mid else hi := mid
+  done;
+  Array.unsafe_get jt !lo
+
+(* The iterative greedy kernel: advance [rank] toward [target], one
+   call to [visit] per hop.  [visit] is a known local function at both
+   call sites below, so the loop runs unboxed and cons-free. *)
+let walk t ~src ~key visit =
+  let n = Ring.size t.ring in
+  check_current t n;
+  let owner = Ring.successor t.ring key in
+  let target = Ring.rank_of t.ring ~node:owner in
+  let rank = ref (Ring.rank_of t.ring ~node:src) in
+  let steps = ref 0 in
+  while ((target - !rank) mod n + n) mod n <> 0 do
+    if !steps > 2 * n then invalid_arg "Router.route: routing did not converge";
+    let d = ((target - !rank) mod n + n) mod n in
+    rank := (!rank + best_offset t !rank d) mod n;
+    visit !rank;
+    incr steps
+  done
 
 let route t ~src ~key =
+  let acc = ref [] in
+  walk t ~src ~key (fun rank -> acc := Ring.node_at t.ring rank :: !acc);
+  List.rev !acc
+
+let hops t ~src ~key =
+  let count = ref 0 in
+  walk t ~src ~key (fun _ -> incr count);
+  !count
+
+(* The original recursive list-building implementation (per-hop cons,
+   linear best-link scan), retained verbatim in shape as the oracle
+   for the equivalence test: the compiled kernel must produce the same
+   hop sequence on any ring the tables were built for. *)
+let route_reference t ~src ~key =
   let n = Ring.size t.ring in
-  if n <> Array.length t.offsets then
-    invalid_arg "Router.route: ring changed since build; call rebuild";
+  check_current t n;
   let owner = Ring.successor t.ring key in
   let target = Ring.rank_of t.ring ~node:owner in
   let rec go rank acc steps =
@@ -69,12 +139,13 @@ let route t ~src ~key =
       else begin
         (* Farthest link that does not overshoot the owner. *)
         let best = ref 1 in
-        Array.iter (fun off -> if off <= d && off > !best then best := off) t.offsets.(rank);
+        for i = t.jidx.(rank) to t.jidx.(rank + 1) - 1 do
+          let off = t.jt.(i) in
+          if off <= d && off > !best then best := off
+        done;
         let next = (rank + !best) mod n in
         go next (Ring.node_at t.ring next :: acc) (steps + 1)
       end
     end
   in
   go (Ring.rank_of t.ring ~node:src) [] 0
-
-let hops t ~src ~key = List.length (route t ~src ~key)

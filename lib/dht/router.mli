@@ -43,4 +43,9 @@ val route : t -> src:int -> key:D2_keyspace.Key.t -> int list
     messages for a recursive lookup = path length + 1 reply. *)
 
 val hops : t -> src:int -> key:D2_keyspace.Key.t -> int
-(** [List.length (route t ~src ~key)]. *)
+(** Length of [route t ~src ~key], counted by the same iterative
+    kernel without building the path — allocation-free. *)
+
+val route_reference : t -> src:int -> key:D2_keyspace.Key.t -> int list
+(** The original recursive list-building implementation, retained as
+    the oracle for the equivalence test; same answers as {!route}. *)

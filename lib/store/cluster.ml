@@ -613,10 +613,13 @@ let available t ~key =
       done;
       !live >= units_needed t.cfg
 
-let owner_of t ~key =
+let find_owner t ~key =
   match KTbl.find_opt t.index key with
-  | Some bid -> Some t.owners.(bid)
-  | None -> None
+  | Some bid -> t.owners.(bid)
+  | None -> -1
+
+let owner_of t ~key =
+  match find_owner t ~key with -1 -> None | n -> Some n
 
 let physical_holders t ~key =
   match KTbl.find_opt t.index key with
@@ -666,12 +669,53 @@ let neighborhood_blocks t ~node =
   done;
   tbl
 
+(* ID of the node [m] ranks counterclockwise (its own ID when m=0). *)
+let pred_id_m t ~node m =
+  Ring.id_of t.ring ~node:(Ring.node_at t.ring (Ring.rank_of t.ring ~node - m))
+
+let all_up t =
+  let rec go i = i >= Array.length t.up || (Array.unsafe_get t.up i && go (i + 1)) in
+  go 0
+
+(* An ID move of one node leaves the desired replica set of every key
+   outside the node's replica reach untouched: with all nodes up, the
+   node sits in the first [r] successors of [key] only when [key] lies
+   in [(pred_r, id]], so only keys in that interval around the old or
+   the new position (and, under [hybrid_replicas], keys whose hashed
+   point does) can see their placement change.  For every other block
+   [reconcile] is a proven no-op — owner already [desired.(0)], every
+   desired node already a holder, surplus trimmed when its replacement
+   arrived — so skipping it preserves the replay byte for byte while
+   cutting the per-move sweep from the whole neighborhood to the
+   handful of blocks actually in reach.  [r+1] predecessors give one
+   rank of safety margin; any down node reintroduces candidate-window
+   truncation, so that case keeps the full sweep. *)
 let change_id t ~node ~id =
   let before = neighborhood_blocks t ~node in
+  let r = t.cfg.replicas in
+  let narrow =
+    if Ring.size t.ring > r + 2 && all_up t then
+      Some (Ring.id_of t.ring ~node, pred_id_m t ~node (r + 1))
+    else None
+  in
   Ring.change_id t.ring ~node ~id;
   let after = neighborhood_blocks t ~node in
   KTbl.iter (fun k bid -> KTbl.replace before k bid) after;
-  KTbl.iter (fun _ bid -> reconcile t bid Migration) before
+  match narrow with
+  | None -> KTbl.iter (fun _ bid -> reconcile t bid Migration) before
+  | Some (old_id, old_lo) ->
+      let new_lo = pred_id_m t ~node (r + 1) in
+      let in_reach k =
+        Key.in_interval k ~lo:old_lo ~hi:old_id
+        || Key.in_interval k ~lo:new_lo ~hi:id
+      in
+      KTbl.iter
+        (fun k bid ->
+          if
+            in_reach k
+            || (t.cfg.hybrid_replicas && in_reach t.hyb.(bid))
+          then reconcile t bid Migration)
+        before
 
 (* A liveness flip invalidates every cached desired set (the stamp
    moves on), so the batched sweep below recomputes each touched

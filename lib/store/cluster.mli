@@ -109,6 +109,10 @@ val owner_of : t -> key:Key.t -> int option
 (** Current primary owner of a live block (the node a reader contacts
     first), or [None] if the block does not exist. *)
 
+val find_owner : t -> key:Key.t -> int
+(** [owner_of] as an allocation-free kernel: the owner or -1.  The
+    simulators' hot paths and batched column resolution use this. *)
+
 val physical_holders : t -> key:Key.t -> int list
 (** Up-or-down nodes currently holding the bytes (for tests and for
     the performance simulator's placement queries). *)

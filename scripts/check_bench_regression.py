@@ -2,19 +2,43 @@
 """Fail CI when the quick-scale bench regresses vs the committed baseline.
 
 Usage: check_bench_regression.py BASELINE_JSON NEW_JSON [--factor 1.25]
+                                 [--micro-factor 2.0]
 
-Compares the `total_wall_s` of a fresh BENCH_results.json against the
-committed baseline and exits non-zero when the new total exceeds
-baseline * factor.  Scale/jobs mismatches make the comparison
-meaningless, so they are reported and the check is skipped (exit 0)
-rather than producing a spurious verdict.  Per-experiment walls are
-printed for context (owned wall only; `shared_wall_s` is attribution
-of work counted in another entry's wall, so it is excluded from the
-regression sum).
+Compares a fresh BENCH_results.json against the committed baseline:
+
+  * `total_wall_s` must not exceed baseline * factor.
+  * each micro's ns/op must not exceed its baseline * micro-factor
+    (only micros present in both files are compared; a micro may also
+    carry a tighter per-name limit in MICRO_LIMITS below).
+
+Scale/jobs mismatches make the comparison meaningless, so they are
+reported and the check is skipped (exit 0) rather than producing a
+spurious verdict.  Per-experiment walls are printed for context (owned
+wall only; `shared_wall_s` is attribution of work counted in another
+entry's wall, so it is excluded from the regression sum).
+
+Micro ns/op are normalized per operation by the harness (bench/main.ml
+divides each OLS estimate by the staged run's op count), so these
+thresholds gate true per-op cost.  The default micro factor is looser
+than the wall factor because micros measured after the experiment
+suite inherit some machine/GC state; hard ceilings for the hot-path
+kernels live in MICRO_LIMITS.
 """
 
 import json
 import sys
+
+# Absolute ns/op ceilings for kernels with an acceptance criterion, on
+# top of the relative micro factor.  Keep these loose enough for CI
+# noise (~2x what a loaded post-suite run reports) but tight enough to
+# catch an accidental return to boxed/allocating implementations.
+MICRO_LIMITS = {
+    "key_compare": 150.0,
+    "lookup_cache_probe_d2": 1450.0,
+    "cache_batch_resolve": 1450.0,
+    "ring_successor_1000": 1000.0,
+    "router_route": 8000.0,
+}
 
 
 def load(path):
@@ -25,9 +49,12 @@ def load(path):
 def main(argv):
     args = [a for a in argv[1:] if not a.startswith("--")]
     factor = 1.25
+    micro_factor = 2.0
     for a in argv[1:]:
         if a.startswith("--factor"):
             factor = float(a.split("=", 1)[1] if "=" in a else args.pop())
+        elif a.startswith("--micro-factor"):
+            micro_factor = float(a.split("=", 1)[1] if "=" in a else args.pop())
     if len(args) != 2:
         print(__doc__, file=sys.stderr)
         return 2
@@ -53,6 +80,35 @@ def main(argv):
             f"{e['wall_s']:10.3f} {ratio:>7s}"
         )
 
+    failures = []
+
+    base_micros = {
+        m["name"]: m["ns_per_op"]
+        for m in base.get("micro", [])
+        if m.get("ns_per_op") is not None
+    }
+    new_micros = [
+        m for m in new.get("micro", []) if m.get("ns_per_op") is not None
+    ]
+    if new_micros:
+        print(f"\n{'micro':24s} {'baseline':>12s} {'new':>12s} {'limit':>12s}")
+        for m in new_micros:
+            name, ns = m["name"], m["ns_per_op"]
+            b = base_micros.get(name)
+            limits = []
+            if b is not None:
+                limits.append(b * micro_factor)
+            if name in MICRO_LIMITS:
+                limits.append(MICRO_LIMITS[name])
+            limit = min(limits) if limits else None
+            b_s = f"{b:12.1f}" if b is not None else f"{'new':>12s}"
+            l_s = f"{limit:12.1f}" if limit is not None else f"{'-':>12s}"
+            print(f"{name:24s} {b_s} {ns:12.1f} {l_s}")
+            if limit is not None and ns > limit:
+                failures.append(
+                    f"micro {name}: {ns:.1f} ns/op exceeds limit {limit:.1f}"
+                )
+
     b_total, n_total = base["total_wall_s"], new["total_wall_s"]
     limit = b_total * factor
     print(
@@ -60,7 +116,12 @@ def main(argv):
         f"limit {limit:.3f}s (factor {factor})"
     )
     if n_total > limit:
-        print(f"FAIL: total_wall_s regressed more than {(factor - 1) * 100:.0f}%")
+        failures.append(
+            f"total_wall_s regressed more than {(factor - 1) * 100:.0f}%"
+        )
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}")
         return 1
     print("OK: within budget")
     return 0

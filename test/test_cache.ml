@@ -115,6 +115,97 @@ let test_lookup_mru_streak () =
   Alcotest.(check (option int)) "cleared" None
     (Lookup_cache.lookup c ~now:201.0 (k_of_byte 15))
 
+(* The arena must behave exactly like the retained Map oracle over
+   arbitrary insert/probe sequences: same answers, same hit/miss
+   counters, same live-entry counts (which pin the probe-time eviction
+   of expired candidates), under adversarial TTLs, duplicate-hi
+   replacement, wrapping ranges and time jumps big enough to trip the
+   4*ttl purge.  Keys share long volume prefixes so the search's
+   dynamic common-prefix offset is exercised, not just byte 0. *)
+let prop_arena_matches_reference =
+  let key_of (vol, a, b) =
+    let buf = Bytes.make Key.size '\000' in
+    Bytes.fill buf 0 16 (Char.chr (Char.code 'A' + (vol mod 3)));
+    Bytes.set buf 20 (Char.chr (a land 0xFF));
+    Bytes.set buf 40 (Char.chr (b land 0xFF));
+    Key.of_string (Bytes.to_string buf)
+  in
+  let gen_key = QCheck.(triple (int_bound 2) (int_bound 255) (int_bound 255)) in
+  let gen_op =
+    QCheck.(
+      oneof
+        [
+          map (fun (k, dt) -> `Probe (k, dt)) (pair gen_key (int_bound 400));
+          map
+            (fun (lo, hi, node, dt) -> `Insert (lo, hi, node, dt))
+            (quad gen_key gen_key (int_bound 31) (int_bound 400));
+          map (fun k -> `Jump k) (int_bound 3);
+        ])
+  in
+  QCheck.Test.make ~name:"arena matches Map reference" ~count:200
+    QCheck.(pair (oneofl [ 5.0; 97.0; 4500.0 ]) (list_of_size Gen.(0 -- 120) gen_op))
+    (fun (ttl, ops) ->
+      let arena = Lookup_cache.create ~ttl () in
+      let oracle = Lookup_cache.Reference.create ~ttl () in
+      let now = ref 0.0 in
+      let agreed = ref true in
+      let check_counters () =
+        agreed :=
+          !agreed
+          && Lookup_cache.hits arena = Lookup_cache.Reference.hits oracle
+          && Lookup_cache.misses arena = Lookup_cache.Reference.misses oracle
+          && Lookup_cache.entry_count arena
+             = Lookup_cache.Reference.entry_count oracle
+      in
+      List.iter
+        (fun op ->
+          match op with
+          | `Probe (k, dt) ->
+              now := !now +. float_of_int dt;
+              let key = key_of k in
+              let a = Lookup_cache.lookup arena ~now:!now key in
+              let o = Lookup_cache.Reference.lookup oracle ~now:!now key in
+              agreed := !agreed && a = o;
+              check_counters ()
+          | `Insert (lo, hi, node, dt) ->
+              now := !now +. float_of_int dt;
+              Lookup_cache.insert arena ~now:!now ~lo:(key_of lo) ~hi:(key_of hi)
+                ~node;
+              Lookup_cache.Reference.insert oracle ~now:!now ~lo:(key_of lo)
+                ~hi:(key_of hi) ~node;
+              check_counters ()
+          | `Jump k ->
+              (* Leap past k purge windows so lazy compaction fires. *)
+              now := !now +. (float_of_int k *. 4.0 *. ttl))
+        ops;
+      !agreed)
+
+let prop_resolve_into_matches_sequential =
+  let key_of b = k_of_byte (b land 0xFF) in
+  QCheck.Test.make ~name:"resolve_into equals sequential finds" ~count:100
+    QCheck.(
+      pair
+        (list_of_size Gen.(0 -- 10) (pair (int_bound 255) (int_bound 255)))
+        (list_of_size Gen.(0 -- 40) (int_bound 255)))
+    (fun (ranges, probes) ->
+      let mk () =
+        let c = Lookup_cache.create ~ttl:50.0 () in
+        List.iteri
+          (fun i (lo, hi) ->
+            Lookup_cache.insert c ~now:(float_of_int i) ~lo:(key_of lo)
+              ~hi:(key_of hi) ~node:i)
+          ranges;
+        c
+      in
+      let keys = Array.of_list (List.map key_of probes) in
+      let batched = mk () and seq = mk () in
+      let out = Array.make (Array.length keys) min_int in
+      Lookup_cache.resolve_into batched ~now:60.0 keys out;
+      let expected = Array.map (Lookup_cache.find seq ~now:60.0) keys in
+      out = expected
+      && Lookup_cache.hits batched = Lookup_cache.hits seq
+      && Lookup_cache.misses batched = Lookup_cache.misses seq)
+
 (* {1 Block cache} *)
 
 let test_block_warmth () =
@@ -221,7 +312,12 @@ let () =
         :: Alcotest.test_case "multiple ranges" `Quick test_multiple_ranges
         :: Alcotest.test_case "miss rate + reset" `Quick test_miss_rate_and_reset
         :: Alcotest.test_case "mru fast path" `Quick test_lookup_mru_streak
-        :: qcheck [ prop_cached_lookup_agrees_with_interval ] );
+        :: qcheck
+             [
+               prop_cached_lookup_agrees_with_interval;
+               prop_arena_matches_reference;
+               prop_resolve_into_matches_sequential;
+             ] );
       ( "retrieval_cache",
         [
           Alcotest.test_case "basics" `Quick test_lru_basics;

@@ -104,6 +104,32 @@ let test_system_load_and_ops () =
   Alcotest.(check (list (pair int int))) "untracked" []
     (System.file_blocks sys ~file:999_999)
 
+let test_system_resolve_owners_batch () =
+  let engine = Engine.create () in
+  let trace = Lazy.force tiny_trace in
+  let sys = System.create ~engine ~mode:Keymap.D2 ~rng:(Rng.create 1) ~nodes:10 () in
+  System.load_initial sys trace;
+  let cluster = System.cluster sys in
+  let km = System.keymap sys in
+  (* A column of existing keys plus one key that was never stored. *)
+  let keys =
+    Array.init 8 (fun b ->
+        if b = 5 then Keymap.key_of km ~path:"/no/such" ~block:0
+        else
+          Keymap.key_of km ~path:trace.Op.initial_files.(b).Op.file_path ~block:0)
+  in
+  let out = Array.make 8 min_int in
+  System.resolve_owners_into sys keys out;
+  Array.iteri
+    (fun i k ->
+      let expected = match Cluster.owner_of cluster ~key:k with Some n -> n | None -> -1 in
+      Alcotest.(check int) (Printf.sprintf "column slot %d" i) expected out.(i))
+    keys;
+  Alcotest.(check int) "absent key resolves to -1" (-1) out.(5);
+  Alcotest.check_raises "short output rejected"
+    (Invalid_argument "System.resolve_owners_into: output shorter than input")
+    (fun () -> System.resolve_owners_into sys keys (Array.make 3 0))
+
 let test_system_imbalance_metric () =
   let engine = Engine.create () in
   let sys = System.create ~engine ~mode:Keymap.D2 ~rng:(Rng.create 1) ~nodes:10 () in
@@ -424,6 +450,7 @@ let () =
       ( "system",
         [
           Alcotest.test_case "load + ops" `Quick test_system_load_and_ops;
+          Alcotest.test_case "batched owner column" `Quick test_system_resolve_owners_batch;
           Alcotest.test_case "imbalance metric" `Quick test_system_imbalance_metric;
         ] );
       ( "locality",

@@ -340,6 +340,45 @@ let test_router_rebuild_after_change () =
   let final = match List.rev path with [] -> 0 | last :: _ -> last in
   Alcotest.(check int) "works after rebuild" (Ring.successor ring key) final
 
+let test_router_kernel_matches_reference () =
+  (* The compiled jump-table kernel against the retained list-based
+     oracle: identical hop sequences (and counts) for every policy,
+     across rings perturbed by add/remove/change-id churn. *)
+  let rng = Rng.create 47 in
+  List.iter
+    (fun policy ->
+      let ring, _ = mk_random_ring 48 48 in
+      let next_node = ref 48 in
+      for round = 0 to 5 do
+        (if round > 0 then
+           match Rng.int rng 3 with
+           | 0 ->
+               Ring.add ring ~id:(Key.random rng) ~node:!next_node;
+               incr next_node
+           | 1 ->
+               if Ring.size ring > 8 then
+                 Ring.remove ring ~node:(Ring.node_at ring (Rng.int rng (Ring.size ring)))
+           | _ ->
+               let node = Ring.node_at ring (Rng.int rng (Ring.size ring)) in
+               let id = Key.random rng in
+               if not (Ring.id_taken ring id) then Ring.change_id ring ~node ~id);
+        let router = Router.create ~ring ~policy ~rng:(Rng.copy rng) in
+        for _ = 1 to 100 do
+          let src = Ring.node_at ring (Rng.int rng (Ring.size ring)) in
+          let key = Key.random rng in
+          let expected = Router.route_reference router ~src ~key in
+          Alcotest.(check (list int))
+            (Router.policy_name policy ^ " hop sequence")
+            expected
+            (Router.route router ~src ~key);
+          Alcotest.(check int)
+            (Router.policy_name policy ^ " hop count")
+            (List.length expected)
+            (Router.hops router ~src ~key)
+        done
+      done)
+    [ Router.Fingers; Router.Harmonic 6; Router.Successor_only ]
+
 let test_router_links_successor_first () =
   let ring, rng = mk_random_ring 16 46 in
   let router = Router.create ~ring ~policy:Router.Fingers ~rng in
@@ -386,6 +425,8 @@ let () =
             test_router_fingers_match_analytic_model;
           Alcotest.test_case "policy ordering" `Quick test_router_policy_ordering;
           Alcotest.test_case "rebuild after change" `Quick test_router_rebuild_after_change;
+          Alcotest.test_case "kernel = reference oracle" `Quick
+            test_router_kernel_matches_reference;
           Alcotest.test_case "links shape" `Quick test_router_links_successor_first;
         ] );
     ]

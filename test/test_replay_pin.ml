@@ -115,27 +115,33 @@ let test_availability_pins () =
       Alcotest.(check string) label expected got)
     expected_avail
 
-(* Fig-9-style pin: lookup messages per node and the cache miss rate of
-   a small performance pass, for all three key orderings. *)
+(* Fig-9-style pin: lookup messages per node, the cache miss rate and
+   the raw in-window hit/miss counts of a small performance pass, for
+   all three key orderings.  The hit/miss counts pin the lookup
+   cache's per-probe decisions exactly, so a cache rewrite cannot
+   silently shift the §5 curves while leaving the means plausible. *)
+let perf_pin_config ?(cache_ttl = 4500.0) () =
+  {
+    (Perf.default_config ~nodes:40 ~bandwidth:1_500_000.0) with
+    Perf.base_nodes = 40;
+    cache_ttl;
+    seed = 11;
+  }
+
 let perf_setup ~mode =
   let trace = Lazy.force pin_trace in
-  let config =
-    {
-      (Perf.default_config ~nodes:40 ~bandwidth:1_500_000.0) with
-      Perf.base_nodes = 40;
-      seed = 11;
-    }
-  in
-  let pass = Perf.run_pass ~trace ~mode ~config in
-  Printf.sprintf "lookups/node=%s miss=%s"
+  let pass = Perf.run_pass ~trace ~mode ~config:(perf_pin_config ()) in
+  Printf.sprintf "lookups/node=%s miss=%s hits=%d misses=%d"
     (fmt pass.Perf.lookup_msgs_per_node)
-    (fmt pass.Perf.miss_rate)
+    (fmt pass.Perf.miss_rate) pass.Perf.window_hits pass.Perf.window_misses
 
 let expected_perf =
   [
-    ("fig9 traditional", Keymap.Traditional, "lookups/node=4.35 miss=0.615277778");
-    ("fig9 traditional-file", Keymap.Traditional_file, "lookups/node=0.775 miss=0.170833333");
-    ("fig9 d2", Keymap.D2, "lookups/node=1.475 miss=0.284722222");
+    ("fig9 traditional", Keymap.Traditional,
+     "lookups/node=4.35 miss=0.615277778 hits=32 misses=50");
+    ("fig9 traditional-file", Keymap.Traditional_file,
+     "lookups/node=0.775 miss=0.170833333 hits=71 misses=11");
+    ("fig9 d2", Keymap.D2, "lookups/node=1.475 miss=0.284722222 hits=65 misses=17");
   ]
 
 let test_perf_pins () =
@@ -145,6 +151,33 @@ let test_perf_pins () =
       Alcotest.(check string) label expected got)
     expected_perf
 
+(* Ablation-cache-ttl-style pin: the TTL sweep's miss rates (plus raw
+   hit/miss counts) for the traditional and D2 orderings. *)
+let cache_ttl_setup ~ttl =
+  let trace = Lazy.force pin_trace in
+  let get mode =
+    let pass =
+      Perf.run_pass ~trace ~mode ~config:(perf_pin_config ~cache_ttl:ttl ())
+    in
+    Printf.sprintf "%s h=%d m=%d" (fmt pass.Perf.miss_rate) pass.Perf.window_hits
+      pass.Perf.window_misses
+  in
+  Printf.sprintf "trad[%s] d2[%s]" (get Keymap.Traditional) (get Keymap.D2)
+
+let expected_cache_ttl =
+  [
+    ("cache_ttl 600", 600.0, "trad[0.852777778 h=15 m=67] d2[0.298611111 h=63 m=19]");
+    ("cache_ttl 4500", 4500.0, "trad[0.615277778 h=32 m=50] d2[0.284722222 h=65 m=17]");
+    ("cache_ttl 24000", 24000.0, "trad[0.252777778 h=57 m=25] d2[0.343055556 h=63 m=19]");
+  ]
+
+let test_cache_ttl_pins () =
+  List.iter
+    (fun (label, ttl, expected) ->
+      let got = cache_ttl_setup ~ttl in
+      Alcotest.(check string) label expected got)
+    expected_cache_ttl
+
 let () =
   Alcotest.run "d2_replay_pin"
     [
@@ -152,5 +185,6 @@ let () =
         [
           Alcotest.test_case "availability four setups" `Quick test_availability_pins;
           Alcotest.test_case "fig9-style perf pass" `Quick test_perf_pins;
+          Alcotest.test_case "cache-ttl sweep" `Quick test_cache_ttl_pins;
         ] );
     ]
