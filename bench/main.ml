@@ -190,6 +190,73 @@ let availability_replay_1k_test () =
    reported number is the true marginal cost. *)
 let micro_batch = 1024
 
+(* Wire-codec throughput: encode a batch of representative frames
+   (lookup / owner / 256 B put / ack) into one preallocated buffer. *)
+let net_frame_encode_test () =
+  let open Bechamel in
+  let rng = Rng.create 0xd2f in
+  let keys = Array.init 64 (fun _ -> Key.random rng) in
+  let payload = String.make 256 'x' in
+  let buf = Bytes.create D2_net.Wire.max_frame in
+  let msgs =
+    Array.init micro_batch (fun i ->
+        match i land 3 with
+        | 0 -> D2_net.Wire.Lookup { key = keys.(i land 63) }
+        | 1 ->
+            D2_net.Wire.Owner
+              { node = i; lo = keys.(i land 63); hi = keys.((i + 1) land 63) }
+        | 2 -> D2_net.Wire.Put { key = keys.(i land 63); depth = 2; data = payload }
+        | _ -> D2_net.Wire.Put_ack { copies = 3 })
+  in
+  Test.make ~name:"net_frame_encode" (Staged.stage (fun () ->
+      let acc = ref 0 in
+      for i = 0 to micro_batch - 1 do
+        acc := !acc + D2_net.Wire.encode_into buf ~off:0 ~req:i msgs.(i)
+      done;
+      ignore (Sys.opaque_identity !acc)))
+
+(* One replicated put + one get through the full protocol stack
+   (client cache, linkset, wire codec, node runtime) over the
+   in-process transport on a 3-node virtual cluster. *)
+let net_mem_rpc_test () =
+  let open Bechamel in
+  let module Mem = D2_net.Transport_mem in
+  let module Node = D2_net.Node.Make (D2_net.Transport_mem) in
+  let module Client = D2_net.Client.Make (D2_net.Transport_mem) in
+  let engine = Engine.create () in
+  let topology =
+    D2_simnet.Topology.create ~rng:(Rng.create 0x6e6d) ~n:4 ()
+  in
+  let net = Mem.create_net ~engine ~topology ~loss:0.0 ~seed:0x2 () in
+  let peers = D2_net.Bootstrap.peers 3 in
+  let config =
+    { D2_net.Node.replicas = 3; probe_interval = 60.0; rpc_timeout = 5.0 }
+  in
+  let nodes =
+    List.map
+      (fun (i, id) -> Node.create (Mem.endpoint net ~node:i) ~config ~id ~peers)
+      peers
+  in
+  List.iter Node.serve nodes;
+  Engine.run engine ~until:2.0;
+  let client =
+    Client.create (Mem.endpoint net ~node:3) ~replicas:3 ~rpc_timeout:5.0
+      ~seeds:[ 0; 1; 2 ] ()
+  in
+  let krng = Rng.create 0x6b in
+  let keys = Array.init 64 (fun _ -> Key.random krng) in
+  let data = String.make 256 'd' in
+  let idx = ref 0 in
+  Test.make ~name:"net_mem_rpc" (Staged.stage (fun () ->
+      let key = keys.(!idx land 63) in
+      incr idx;
+      (match Client.put client ~key ~data with
+      | `Ok _ -> ()
+      | `Failed -> failwith "net_mem_rpc: put failed");
+      match Client.get client ~key with
+      | `Found _ -> ()
+      | `Missing | `Failed -> failwith "net_mem_rpc: get failed"))
+
 let micro_tests ~full () =
   let open Bechamel in
   let rng = Rng.create 99 in
@@ -275,6 +342,9 @@ let micro_tests ~full () =
            Lookup_cache.resolve_into d2_cache ~now:1.0 d2_keys resolved)));
       (`Quick, 1, cluster_fail_recover_test ());
       (`Quick, 1, availability_replay_1k_test ());
+      (`Quick, micro_batch, net_frame_encode_test ());
+      (* one put + one get per staged run *)
+      (`Quick, 2, net_mem_rpc_test ());
     ]
   in
   let selected =

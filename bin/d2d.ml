@@ -1,0 +1,97 @@
+(* d2d: one D2 storage node over real TCP.
+
+   A fixed-size loopback deployment: node [--node] of [--nodes] binds
+   127.0.0.1:port_base+node (D2_NET_PORT_BASE or --port-base), joins
+   the peers that are already up, and serves lookup/get/put/remove
+   until SIGINT/SIGTERM or --duration elapses. *)
+
+open Cmdliner
+module T = D2_net.Transport_unix
+module Node = D2_net.Node.Make (D2_net.Transport_unix)
+module Bootstrap = D2_net.Bootstrap
+
+let stop_flag = ref false
+
+let run node nodes port_base replicas probe_interval rpc_timeout duration =
+  if node < 0 || node >= nodes then (
+    Printf.eprintf "d2d: --node must be in [0, %d)\n" nodes;
+    exit 2);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop_flag := true));
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop_flag := true));
+  let ep = T.create ~node ~addr_of:(T.loopback ~port_base ~n:nodes) () in
+  let config = { D2_net.Node.replicas; probe_interval; rpc_timeout } in
+  let n =
+    Node.create ep ~config ~id:(Bootstrap.node_id node)
+      ~peers:(Bootstrap.peers nodes)
+  in
+  Node.serve n;
+  Printf.printf "d2d: node %d/%d listening on 127.0.0.1:%d (replicas=%d)\n%!"
+    node nodes (port_base + node) replicas;
+  let deadline =
+    if duration > 0.0 then Some (Unix.gettimeofday () +. duration) else None
+  in
+  let expired () =
+    match deadline with
+    | Some t -> Unix.gettimeofday () >= t
+    | None -> false
+  in
+  while (not !stop_flag) && not (expired ()) do
+    T.poll ep ~timeout:0.05
+  done;
+  Node.stop n;
+  T.shutdown ep;
+  Printf.printf "d2d: node %d served %d requests, %d blocks (%d bytes) stored\n%!"
+    node
+    (Node.requests_served n)
+    (D2_net.Shard.count (Node.shard n))
+    (D2_net.Shard.stored_bytes (Node.shard n))
+
+let node_term =
+  Arg.(
+    required
+    & opt (some int) None
+    & info [ "node" ] ~docv:"N" ~doc:"This node's index in the cluster.")
+
+let nodes_term =
+  Arg.(
+    value & opt int 3
+    & info [ "nodes" ] ~docv:"M" ~doc:"Cluster size (all processes must agree).")
+
+let port_base_term =
+  Arg.(
+    value
+    & opt int (T.default_port_base ())
+    & info [ "port-base" ] ~docv:"PORT"
+        ~doc:"Node $(i,i) listens on 127.0.0.1:PORT+$(i,i) (default from \
+              D2_NET_PORT_BASE, else 7000).")
+
+let replicas_term =
+  Arg.(
+    value & opt int 3
+    & info [ "replicas" ] ~docv:"R" ~doc:"Copies per block, owner included.")
+
+let probe_term =
+  Arg.(
+    value & opt float 0.5
+    & info [ "probe-interval" ] ~docv:"SECS" ~doc:"Liveness probe period.")
+
+let timeout_term =
+  Arg.(
+    value & opt float 0.25
+    & info [ "rpc-timeout" ] ~docv:"SECS" ~doc:"Per-RPC reply deadline.")
+
+let duration_term =
+  Arg.(
+    value & opt float 0.0
+    & info [ "duration" ] ~docv:"SECS"
+        ~doc:"Exit cleanly after SECS seconds (0 = run until a signal).")
+
+let cmd =
+  let doc = "run one D2 storage node over TCP" in
+  Cmd.v
+    (Cmd.info "d2d" ~doc)
+    Term.(
+      const run $ node_term $ nodes_term $ port_base_term $ replicas_term
+      $ probe_term $ timeout_term $ duration_term)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,157 @@
+(* d2load: replay a synthetic Harvard-trace segment against a live
+   d2d cluster and report throughput and latency percentiles.
+
+   Ops map onto the block protocol directly: Create/Write put the
+   block, Read gets it back and verifies the payload (a block the
+   trace reads before any write is first seeded with a put), Delete
+   removes the file's first block.  Every get is checked against what
+   this process stored, so a non-zero exit means real data loss, not
+   just noise. *)
+
+open Cmdliner
+module T = D2_net.Transport_unix
+module Client = D2_net.Client.Make (D2_net.Transport_unix)
+module Bootstrap = D2_net.Bootstrap
+module Key = D2_keyspace.Key
+module Rng = D2_util.Rng
+module Stats = D2_util.Stats
+module Op = D2_trace.Op
+module Harvard = D2_trace.Harvard
+module Keymap = D2_trace.Keymap
+
+let payload_of key bytes =
+  let n = max 1 (min bytes D2_net.Wire.max_payload) in
+  let tag = Key.to_string key in
+  String.init n (fun i -> tag.[i mod String.length tag])
+
+let run nodes port_base replicas duration users target_mb seed rpc_timeout =
+  let ep =
+    T.create
+      ~node:(Bootstrap.client_handle 0)
+      ~addr_of:(T.loopback ~port_base ~n:nodes)
+      ~listen:false ()
+  in
+  let client =
+    Client.create ep ~replicas ~rpc_timeout
+      ~seeds:(List.init nodes Fun.id)
+      ()
+  in
+  let params =
+    {
+      Harvard.default_params with
+      users;
+      days = 1.0;
+      target_bytes = target_mb * 1024 * 1024;
+    }
+  in
+  let trace = Harvard.generate ~rng:(Rng.create seed) ~params () in
+  let keymap = Keymap.create Keymap.D2 ~volume:"/d2load" in
+  let stored : (Key.t, string) Hashtbl.t = Hashtbl.create 4096 in
+  let lat = ref [] and ops = ref 0 and failed = ref 0 and verify_errors = ref 0 in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    lat := (Unix.gettimeofday () -. t0) :: !lat;
+    incr ops;
+    r
+  in
+  let put key data =
+    match timed (fun () -> Client.put client ~key ~data) with
+    | `Ok _ -> Hashtbl.replace stored key data
+    | `Failed -> incr failed
+  in
+  let do_op (op : Op.op) =
+    let key = Keymap.key_of_op keymap op in
+    match op.Op.kind with
+    | Op.Write | Op.Create -> put key (payload_of key op.Op.bytes)
+    | Op.Read -> (
+        match Hashtbl.find_opt stored key with
+        | None -> put key (payload_of key op.Op.bytes)
+        | Some expect -> (
+            match timed (fun () -> Client.get client ~key) with
+            | `Found data -> if not (String.equal data expect) then incr verify_errors
+            | `Missing -> incr verify_errors
+            | `Failed -> incr failed))
+    | Op.Delete -> (
+        if Hashtbl.mem stored key then
+          match timed (fun () -> Client.remove client ~key) with
+          | `Ok _ -> Hashtbl.remove stored key
+          | `Failed -> incr failed)
+  in
+  let n_ops = Array.length trace.Op.ops in
+  if n_ops = 0 then (
+    Printf.eprintf "d2load: empty trace\n";
+    exit 2);
+  let t_start = Unix.gettimeofday () in
+  let i = ref 0 in
+  while Unix.gettimeofday () -. t_start < duration do
+    do_op trace.Op.ops.(!i mod n_ops);
+    incr i
+  done;
+  let elapsed = Unix.gettimeofday () -. t_start in
+  T.shutdown ep;
+  let lats = Array.of_list !lat in
+  Array.sort compare lats;
+  let ms p = 1000.0 *. Stats.percentile lats p in
+  let cache = Client.cache client in
+  Printf.printf "d2load: %d ops in %.2f s (%.0f ops/s) against %d nodes\n" !ops
+    elapsed
+    (float_of_int !ops /. elapsed)
+    nodes;
+  Printf.printf "  latency ms: p50=%.2f p95=%.2f p99=%.2f max=%.2f\n" (ms 50.0)
+    (ms 95.0) (ms 99.0)
+    (1000.0 *. if Array.length lats = 0 then 0.0 else lats.(Array.length lats - 1));
+  Printf.printf "  lookups: %d rpcs, cache %d hits / %d misses\n"
+    (Client.lookup_rpcs client)
+    (D2_cache.Lookup_cache.hits cache)
+    (D2_cache.Lookup_cache.misses cache);
+  Printf.printf "  failed ops: %d, verify errors: %d\n%!" !failed !verify_errors;
+  if !failed > 0 || !verify_errors > 0 then exit 1
+
+let nodes_term =
+  Arg.(value & opt int 3 & info [ "nodes" ] ~docv:"M" ~doc:"Cluster size.")
+
+let port_base_term =
+  Arg.(
+    value
+    & opt int (T.default_port_base ())
+    & info [ "port-base" ] ~docv:"PORT"
+        ~doc:"Node $(i,i) of the cluster is at 127.0.0.1:PORT+$(i,i).")
+
+let replicas_term =
+  Arg.(
+    value & opt int 3
+    & info [ "replicas" ] ~docv:"R" ~doc:"Fan-out depth requested on puts.")
+
+let duration_term =
+  Arg.(
+    value & opt float 2.0
+    & info [ "duration" ] ~docv:"SECS" ~doc:"How long to replay.")
+
+let users_term =
+  Arg.(
+    value & opt int 6
+    & info [ "users" ] ~docv:"U" ~doc:"Synthetic-trace user count.")
+
+let target_mb_term =
+  Arg.(
+    value & opt int 4
+    & info [ "target-mb" ] ~docv:"MB" ~doc:"Synthetic-trace data-set size.")
+
+let seed_term =
+  Arg.(value & opt int 0xd21d & info [ "seed" ] ~docv:"SEED" ~doc:"Trace seed.")
+
+let timeout_term =
+  Arg.(
+    value & opt float 1.0
+    & info [ "rpc-timeout" ] ~docv:"SECS" ~doc:"Per-RPC reply deadline.")
+
+let cmd =
+  let doc = "replay a synthetic workload against a live d2d cluster" in
+  Cmd.v
+    (Cmd.info "d2load" ~doc)
+    Term.(
+      const run $ nodes_term $ port_base_term $ replicas_term $ duration_term
+      $ users_term $ target_mb_term $ seed_term $ timeout_term)
+
+let () = exit (Cmd.eval cmd)

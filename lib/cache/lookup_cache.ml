@@ -92,6 +92,17 @@ module Reference = struct
       insert_piece t ~lo:Key.max_key ~hi ~node ~expires
     end
 
+  let invalidate t key =
+    let target = (Key.prefix_at key 0, key) in
+    match
+      KeyMap.find_first_opt (fun hk -> HiKey.compare hk target >= 0) t.entries
+    with
+    | Some (((_, hi) as hk), e) when Key.in_interval key ~lo:e.lo ~hi ->
+        t.entries <- KeyMap.remove hk t.entries;
+        t.mru <- None;
+        true
+    | Some _ | None -> false
+
   let hits t = t.hits
   let misses t = t.misses
 
@@ -411,6 +422,19 @@ let insert t ~now ~lo ~hi ~node =
     insert_piece t ~lo ~hi:Key.max_key ~node ~expires;
     insert_piece t ~lo:Key.max_key ~hi ~node ~expires
   end
+
+(* Drop the entry whose range covers [key] (expired or not) without
+   touching the hit/miss counters — the client failure path: a lookup
+   result led to a dead or wrong owner, so the cached range must go
+   before the retry re-resolves. *)
+let invalidate t key =
+  let i = candidate_index t key in
+  if i >= 0 && Key.in_interval key ~lo:t.los.(i) ~hi:t.his.(i) then begin
+    tombstone t i;
+    invalidate_mru t;
+    true
+  end
+  else false
 
 let hits t = t.hits
 let misses t = t.misses

@@ -39,6 +39,12 @@ val insert : t -> now:float -> lo:Key.t -> hi:Key.t -> node:int -> unit
 (** Record a lookup result: [node] owns [(lo, hi]]. [lo = hi] (the
     whole ring, single-node case) and wrapping ranges are accepted. *)
 
+val invalidate : t -> Key.t -> bool
+(** Evict the entry whose range covers the key, if any (true when one
+    was dropped).  No effect on the hit/miss counters.  The networked
+    client calls this when a cached owner turns out dead or wrong
+    before re-resolving. *)
+
 val hits : t -> int
 val misses : t -> int
 
@@ -61,6 +67,7 @@ module Reference : sig
   val create : ?ttl:float -> unit -> t
   val lookup : t -> now:float -> Key.t -> int option
   val insert : t -> now:float -> lo:Key.t -> hi:Key.t -> node:int -> unit
+  val invalidate : t -> Key.t -> bool
   val hits : t -> int
   val misses : t -> int
   val miss_rate : t -> float

@@ -1,0 +1,10 @@
+module Key = D2_keyspace.Key
+module Rng = D2_util.Rng
+
+let node_id i =
+  if i < 0 then invalid_arg "Bootstrap.node_id: negative node";
+  Key.random (Rng.create (0xd2d0 + (i * 7919)))
+
+let peers n = List.init n (fun i -> (i, node_id i))
+
+let client_handle k = 0x10000 + k

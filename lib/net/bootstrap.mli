@@ -1,0 +1,19 @@
+(** Deterministic bootstrap membership for fixed-size clusters.
+
+    Every process of an [n]-node deployment (and every test) derives
+    the same node-id keys from the node handles alone, so a cluster
+    boots with a consistent ring view without any coordination
+    service. *)
+
+module Key = D2_keyspace.Key
+
+val node_id : int -> Key.t
+(** The ring ID of node [i]: a uniform key derived deterministically
+    from [i] (the traditional hashed-placement configuration). *)
+
+val peers : int -> (int * Key.t) list
+(** [(i, node_id i)] for the [n] nodes of a cluster. *)
+
+val client_handle : int -> int
+(** Transport handle for client [k]: out of the node-handle range, so
+    a client's hello never collides with a cluster member. *)

@@ -1,0 +1,136 @@
+module Key = D2_keyspace.Key
+module Lookup_cache = D2_cache.Lookup_cache
+
+module Make (T : Transport.S) = struct
+  module L = Linkset.Make (T)
+
+  type t = {
+    ls : L.t;
+    cache : Lookup_cache.t;
+    seeds : int array;
+    mutable seed_idx : int;
+    replicas : int;
+    rpc_timeout : float;
+    max_hops : int;
+    retries : int;
+    quantum : float;
+    mutable lookup_rpcs : int;
+    mutable failures : int;
+  }
+
+  let create ep ?ttl ?(replicas = 3) ?(rpc_timeout = 0.25) ?(max_hops = 32)
+      ?(retries = 3) ?(quantum = 0.01) ~seeds () =
+    if seeds = [] then invalid_arg "Client.create: seeds must be non-empty";
+    {
+      ls = L.create ep;
+      cache = Lookup_cache.create ?ttl ();
+      seeds = Array.of_list seeds;
+      seed_idx = 0;
+      replicas;
+      rpc_timeout;
+      max_hops;
+      retries;
+      quantum;
+      lookup_rpcs = 0;
+      failures = 0;
+    }
+
+  let cache t = t.cache
+  let lookup_rpcs t = t.lookup_rpcs
+  let failures t = t.failures
+
+  let rpc t dst msg =
+    L.rpc_sync t.ls ~dst ~timeout:t.rpc_timeout ~quantum:t.quantum msg
+
+  (* Iterative lookup from one entry node: follow redirects until an
+     owner answers with its range, which populates the cache exactly
+     as §5 describes. *)
+  let rec iterate t key cur hops_left =
+    t.lookup_rpcs <- t.lookup_rpcs + 1;
+    match rpc t cur (Wire.Lookup { key }) with
+    | Some (Wire.Owner { node; lo; hi }) ->
+        Lookup_cache.insert t.cache ~now:(T.now (L.endpoint t.ls)) ~lo ~hi ~node;
+        Some node
+    | Some (Wire.Redirect { next }) when hops_left > 0 ->
+        iterate t key next (hops_left - 1)
+    | _ ->
+        L.drop_link t.ls cur;
+        None
+
+  (* Owner of [key]: cached range when one covers it, else iterative
+     lookup starting from the seeds in round-robin order.  The bool
+     says whether the answer came from the cache (a [Missing] under a
+     cached range is then retried with a fresh lookup — the range may
+     be stale). *)
+  let resolve t key =
+    let now = T.now (L.endpoint t.ls) in
+    match Lookup_cache.find t.cache ~now key with
+    | node when node >= 0 -> Some (node, true)
+    | _ ->
+        let ns = Array.length t.seeds in
+        let start = t.seed_idx in
+        t.seed_idx <- (t.seed_idx + 1) mod ns;
+        let rec try_seed k =
+          if k >= ns then None
+          else
+            match iterate t key t.seeds.((start + k) mod ns) t.max_hops with
+            | Some node -> Some (node, false)
+            | None -> try_seed (k + 1)
+        in
+        try_seed 0
+
+  (* Run one operation against the key's owner with resolve-retry on
+     failure: a timeout invalidates the covering cache range and
+     resolves afresh through another seed; [`Stale outcome] is
+     authoritative only when the owner came from a fresh lookup (a
+     cached range may point at yesterday's owner). *)
+  let with_owner t key ~f =
+    let rec go attempts =
+      if attempts <= 0 then begin
+        t.failures <- t.failures + 1;
+        `Failed
+      end
+      else
+        match resolve t key with
+        | None ->
+            t.failures <- t.failures + 1;
+            `Failed
+        | Some (owner, from_cache) -> (
+            match f owner with
+            | `Done outcome -> outcome
+            | `Stale outcome ->
+                if from_cache then begin
+                  ignore (Lookup_cache.invalidate t.cache key);
+                  go (attempts - 1)
+                end
+                else outcome
+            | `Retry ->
+                ignore (Lookup_cache.invalidate t.cache key);
+                L.drop_link t.ls owner;
+                go (attempts - 1))
+    in
+    go t.retries
+
+  let put t ~key ~data =
+    if String.length data > Wire.max_payload then
+      invalid_arg "Client.put: data exceeds Wire.max_payload";
+    with_owner t key ~f:(fun owner ->
+        match
+          rpc t owner (Wire.Put { key; depth = t.replicas - 1; data })
+        with
+        | Some (Wire.Put_ack { copies }) -> `Done (`Ok copies)
+        | Some _ | None -> `Retry)
+
+  let get t ~key =
+    with_owner t key ~f:(fun owner ->
+        match rpc t owner (Wire.Get { key }) with
+        | Some (Wire.Found { data }) -> `Done (`Found data)
+        | Some Wire.Missing -> `Stale `Missing
+        | Some _ | None -> `Retry)
+
+  let remove t ~key =
+    with_owner t key ~f:(fun owner ->
+        match rpc t owner (Wire.Remove { key; depth = t.replicas - 1 }) with
+        | Some (Wire.Remove_ack { removed }) -> `Done (`Ok removed)
+        | Some _ | None -> `Retry)
+end

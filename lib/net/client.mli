@@ -1,0 +1,56 @@
+(** Client library: the §5 lookup cache on the request path.
+
+    Every operation first resolves the key's owner — from the range
+    cache when a cached, unexpired range covers the key, otherwise by
+    an iterative lookup (ask a seed node, follow [Redirect]s, cache
+    the final [(range, owner)]) — then speaks directly to the owner.
+    A dead or wrong owner (RPC timeout, [Missing] under a cached
+    range) invalidates the covering cache entry and the operation
+    retries through the next seed, so reads keep serving across node
+    failures as long as a replica survives.
+
+    With D2's locality-preserving keys, consecutive keys of a task
+    fall into the range just cached and the iterative lookup is
+    skipped almost always — the live-cluster counterpart of the
+    paper's up-to-95% lookup elimination. *)
+
+module Key = D2_keyspace.Key
+module Lookup_cache = D2_cache.Lookup_cache
+
+module Make (T : Transport.S) : sig
+  type t
+
+  val create :
+    T.t ->
+    ?ttl:float ->
+    ?replicas:int ->
+    ?rpc_timeout:float ->
+    ?max_hops:int ->
+    ?retries:int ->
+    ?quantum:float ->
+    seeds:int list ->
+    unit ->
+    t
+  (** [seeds] are nodes to start iterative lookups from (rotated
+      round-robin; must be non-empty).  [replicas] (default 3) is the
+      fan-out depth requested on puts; [quantum] bounds each poll step
+      while an operation waits.  [ttl] is the cache TTL (default
+      4500 s — virtual seconds under {!Transport_mem}). *)
+
+  val put : t -> key:Key.t -> data:string -> [ `Ok of int | `Failed ]
+  (** [`Ok copies]: the coordinator stored the block and [copies]
+      replicas (itself included) acked.
+      @raise Invalid_argument if [data] exceeds {!Wire.max_payload}. *)
+
+  val get : t -> key:Key.t -> [ `Found of string | `Missing | `Failed ]
+  val remove : t -> key:Key.t -> [ `Ok of bool | `Failed ]
+
+  val cache : t -> Lookup_cache.t
+  (** The range cache (hit/miss counters included). *)
+
+  val lookup_rpcs : t -> int
+  (** Iterative-lookup messages sent (redirect hops included). *)
+
+  val failures : t -> int
+  (** Operations that exhausted their retries. *)
+end

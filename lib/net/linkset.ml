@@ -1,0 +1,151 @@
+(* Shared per-connection machinery for the node runtime and the
+   client: frame reassembly on the receive path, request-id
+   correlation for outstanding RPCs, timeouts, and link reuse.  Both
+   directions of one stream are symmetrical — either side may issue
+   requests — so replies are told apart from requests by tag
+   ([Wire.is_request]), never by who connected. *)
+
+module Make (T : Transport.S) = struct
+  type link = {
+    lpeer : int;
+    conn : T.conn;
+    reader : Wire.Reader.t;
+    pending : (int, Wire.msg option -> unit) Hashtbl.t;
+    mutable next_req : int;
+  }
+
+  type t = {
+    ep : T.t;
+    links : (int, link) Hashtbl.t;  (** newest usable link per peer *)
+    mutable on_request : link -> int -> Wire.msg -> unit;
+    mutable on_peer_down : int -> unit;
+    mutable rpcs_sent : int;
+  }
+
+  let create ep =
+    {
+      ep;
+      links = Hashtbl.create 32;
+      on_request = (fun _ _ _ -> ());
+      on_peer_down = ignore;
+      rpcs_sent = 0;
+    }
+
+  let endpoint t = t.ep
+  let set_on_request t f = t.on_request <- f
+  let set_on_peer_down t f = t.on_peer_down <- f
+
+  let fail_pending l =
+    let cbs = Hashtbl.fold (fun _ cb acc -> cb :: acc) l.pending [] in
+    Hashtbl.reset l.pending;
+    List.iter (fun cb -> cb None) cbs
+
+  let unregister t l =
+    (match Hashtbl.find_opt t.links l.lpeer with
+    | Some cur when cur == l -> Hashtbl.remove t.links l.lpeer
+    | _ -> ());
+    fail_pending l
+
+  (* Read everything the transport has buffered into the frame
+     reassembler; [recv_into] writes straight into the reader's
+     buffer. *)
+  let drain_bytes l =
+    let continue = ref true in
+    while !continue do
+      let buf, off = Wire.Reader.reserve l.reader 4096 in
+      let n = T.recv_into l.conn buf ~off ~len:4096 in
+      if n > 0 then Wire.Reader.commit l.reader n else continue := false
+    done
+
+  let dispatch t l =
+    let continue = ref true in
+    while !continue do
+      match Wire.Reader.next l.reader with
+      | `Awaiting -> continue := false
+      | `Corrupt _why ->
+          continue := false;
+          T.close l.conn;
+          unregister t l
+      | `Msg (req, msg) ->
+          if Wire.is_request msg then t.on_request l req msg
+          else begin
+            match Hashtbl.find_opt l.pending req with
+            | Some cb ->
+                Hashtbl.remove l.pending req;
+                cb (Some msg)
+            | None -> ()  (* reply to a timed-out request: drop *)
+          end
+    done
+
+  let attach t conn =
+    let l =
+      {
+        lpeer = T.peer conn;
+        conn;
+        reader = Wire.Reader.create ();
+        pending = Hashtbl.create 8;
+        next_req = 1;
+      }
+    in
+    Hashtbl.replace t.links l.lpeer l;
+    T.on_readable conn (fun () ->
+        drain_bytes l;
+        dispatch t l);
+    T.on_close conn (fun () ->
+        unregister t l;
+        t.on_peer_down l.lpeer);
+    l
+
+  let link_to t dst =
+    match Hashtbl.find_opt t.links dst with
+    | Some l when T.is_open l.conn -> Some l
+    | _ -> (
+        match T.connect t.ep ~dst with
+        | None -> None
+        | Some conn -> Some (attach t conn))
+
+  let drop_link t dst =
+    match Hashtbl.find_opt t.links dst with
+    | Some l ->
+        T.close l.conn;
+        unregister t l
+    | None -> ()
+
+  let send_msg l ~req msg =
+    let frame = Wire.encode ~req msg in
+    T.send l.conn frame ~off:0 ~len:(Bytes.length frame)
+
+  let reply = send_msg
+
+  (* Fire-and-callback RPC.  The callback runs exactly once: with the
+     reply, or with [None] on timeout or link death. *)
+  let rpc t ~dst ~timeout msg cb =
+    match link_to t dst with
+    | None -> cb None
+    | Some l ->
+        let req = l.next_req in
+        l.next_req <- req + 1;
+        Hashtbl.replace l.pending req cb;
+        t.rpcs_sent <- t.rpcs_sent + 1;
+        T.schedule t.ep ~delay:timeout (fun () ->
+            match Hashtbl.find_opt l.pending req with
+            | Some cb ->
+                Hashtbl.remove l.pending req;
+                cb None
+            | None -> ());
+        send_msg l ~req msg
+
+  (* Synchronous RPC: drives the transport's poll loop until the
+     callback fires.  [quantum] bounds each poll step (and, on the
+     virtual-time transport, how far the clock may advance per step). *)
+  let rpc_sync t ~dst ~timeout ?(quantum = 0.01) msg =
+    let result = ref `Waiting in
+    rpc t ~dst ~timeout msg (fun r -> result := `Done r);
+    let deadline = T.now t.ep +. (2.0 *. timeout) in
+    while !result = `Waiting && T.now t.ep < deadline do
+      T.poll t.ep ~timeout:quantum
+    done;
+    match !result with `Done r -> r | `Waiting -> None
+
+  let rpcs_sent t = t.rpcs_sent
+end

@@ -1,0 +1,209 @@
+module Key = D2_keyspace.Key
+module Ring = D2_dht.Ring
+module Router = D2_dht.Router
+module Rng = D2_util.Rng
+
+type config = { replicas : int; probe_interval : float; rpc_timeout : float }
+
+let default_config = { replicas = 3; probe_interval = 0.5; rpc_timeout = 0.25 }
+
+let join_attempts = 5
+
+module Make (T : Transport.S) = struct
+  module L = Linkset.Make (T)
+
+  type t = {
+    ls : L.t;
+    cfg : config;
+    me : int;
+    my_id : Key.t;
+    ring : Ring.t;
+    router : Router.t;
+    shard : Shard.t;
+    mutable probe_rank : int;
+    mutable stopped : bool;
+    mutable served : int;
+  }
+
+  let ring t = t.ring
+  let shard t = t.shard
+  let id t = t.my_id
+  let requests_served t = t.served
+
+  let add_member t node id =
+    if node <> t.me && (not (Ring.mem t.ring ~node)) && not (Ring.id_taken t.ring id)
+    then begin
+      Ring.add t.ring ~id ~node;
+      Router.rebuild t.router
+    end
+
+  (* A peer stopped answering (probe or RPC timeout, broken stream):
+     drop it from the local view so lookups route around it.  Its
+     blocks keep serving from the remaining successor replicas; a
+     recovered peer re-enters via Join. *)
+  let suspect t peer =
+    if peer <> t.me && Ring.mem t.ring ~node:peer then begin
+      Ring.remove t.ring ~node:peer;
+      Router.rebuild t.router;
+      L.drop_link t.ls peer
+    end
+
+  let members t =
+    List.map (fun n -> (n, Ring.id_of t.ring ~node:n)) (Ring.members t.ring)
+
+  (* Fan a stored block out to the next [depth] distinct successors
+     and ack the originator once every forward has concluded. *)
+  let fan_out t l req ~key ~depth ~make_msg ~make_ack =
+    let targets =
+      Ring.successors t.ring key (depth + 1)
+      |> List.filter (fun n -> n <> t.me)
+      |> List.filteri (fun i _ -> i < depth)
+    in
+    match targets with
+    | [] -> L.reply l ~req (make_ack 1)
+    | _ ->
+        let remaining = ref (List.length targets) and copies = ref 1 in
+        List.iter
+          (fun dst ->
+            L.rpc t.ls ~dst ~timeout:t.cfg.rpc_timeout (make_msg ()) (fun r ->
+                (match r with
+                | Some (Wire.Put_ack _ | Wire.Remove_ack _) -> incr copies
+                | Some _ -> ()
+                | None -> suspect t dst);
+                decr remaining;
+                if !remaining = 0 then L.reply l ~req (make_ack !copies)))
+          targets
+
+  let handle t l req msg =
+    t.served <- t.served + 1;
+    match msg with
+    | Wire.Lookup { key } ->
+        let owner = Ring.successor t.ring key in
+        if owner = t.me then
+          L.reply l ~req
+            (Wire.Owner
+               { node = t.me; lo = Ring.predecessor_id t.ring ~node:t.me; hi = t.my_id })
+        else begin
+          match Router.route t.router ~src:t.me ~key with
+          | next :: _ -> L.reply l ~req (Wire.Redirect { next })
+          | [] ->
+              (* Route says we own it after all (stale successor read):
+                 answer with our own range. *)
+              L.reply l ~req
+                (Wire.Owner
+                   {
+                     node = t.me;
+                     lo = Ring.predecessor_id t.ring ~node:t.me;
+                     hi = t.my_id;
+                   })
+        end
+    | Wire.Get { key } -> (
+        match Shard.get t.shard ~key with
+        | Some data -> L.reply l ~req (Wire.Found { data })
+        | None -> L.reply l ~req Wire.Missing)
+    | Wire.Put { key; depth; data } ->
+        Shard.put t.shard ~key ~data;
+        if depth <= 0 then L.reply l ~req (Wire.Put_ack { copies = 1 })
+        else
+          fan_out t l req ~key ~depth
+            ~make_msg:(fun () -> Wire.Put { key; depth = 0; data })
+            ~make_ack:(fun copies -> Wire.Put_ack { copies })
+    | Wire.Remove { key; depth } ->
+        let removed = Shard.remove t.shard ~key in
+        if depth <= 0 then L.reply l ~req (Wire.Remove_ack { removed })
+        else
+          fan_out t l req ~key ~depth
+            ~make_msg:(fun () -> Wire.Remove { key; depth = 0 })
+            ~make_ack:(fun _ -> Wire.Remove_ack { removed })
+    | Wire.Join { node; id } ->
+        if node = t.me || Ring.id_taken t.ring id && not (Ring.mem t.ring ~node)
+        then L.reply l ~req (Wire.Error { code = 1; message = "id taken" })
+        else begin
+          add_member t node id;
+          L.reply l ~req (Wire.Join_ack { members = members t })
+        end
+    | Wire.Probe ->
+        L.reply l ~req (Wire.Probe_ack { node = t.me; epoch = Ring.epoch t.ring })
+    | _ ->
+        (* Replies never reach the request handler ([Wire.is_request]
+           dispatch); a peer sending one as a request is confused. *)
+        L.reply l ~req (Wire.Error { code = 2; message = "not a request" })
+
+  let create ep ~config ~id ~peers =
+    let me = T.node ep in
+    let ring = Ring.create () in
+    Ring.add ring ~id ~node:me;
+    List.iter
+      (fun (n, pid) ->
+        if n <> me && (not (Ring.mem ring ~node:n)) && not (Ring.id_taken ring pid)
+        then Ring.add ring ~id:pid ~node:n)
+      peers;
+    let router =
+      Router.create ~ring ~policy:Router.Fingers
+        ~rng:(Rng.create ((me * 0x9e3779b1) lor 1))
+    in
+    let t =
+      {
+        ls = L.create ep;
+        cfg = config;
+        me;
+        my_id = id;
+        ring;
+        router;
+        shard = Shard.create ();
+        probe_rank = 0;
+        stopped = false;
+        served = 0;
+      }
+    in
+    L.set_on_request t.ls (fun l req msg -> handle t l req msg);
+    L.set_on_peer_down t.ls (fun peer -> suspect t peer);
+    T.on_accept ep (fun conn -> ignore (L.attach t.ls conn));
+    t
+
+  let announce t dst =
+    let rec go attempts =
+      L.rpc t.ls ~dst ~timeout:t.cfg.rpc_timeout
+        (Wire.Join { node = t.me; id = t.my_id })
+        (fun r ->
+          match r with
+          | Some (Wire.Join_ack { members }) ->
+              List.iter (fun (n, nid) -> add_member t n nid) members
+          | _ ->
+              if attempts > 1 && not t.stopped then
+                T.schedule (L.endpoint t.ls) ~delay:t.cfg.rpc_timeout (fun () ->
+                    go (attempts - 1)))
+    in
+    go join_attempts
+
+  let probe t dst =
+    if dst <> t.me then
+      L.rpc t.ls ~dst ~timeout:t.cfg.rpc_timeout Wire.Probe (fun r ->
+          match r with Some _ -> () | None -> suspect t dst)
+
+  let probe_tick t =
+    (* Successor first (the replica chain depends on it), then one
+       rotating member so a dead node is eventually noticed by
+       everyone, not only its predecessor. *)
+    let succ = Ring.nth_successor_of_node t.ring ~node:t.me 1 in
+    probe t succ;
+    let size = Ring.size t.ring in
+    if size > 2 then begin
+      t.probe_rank <- (t.probe_rank + 1) mod size;
+      let other = Ring.node_at t.ring t.probe_rank in
+      if other <> succ then probe t other
+    end
+
+  let serve t =
+    List.iter (fun (n, _) -> if n <> t.me then announce t n) (members t);
+    let ep = L.endpoint t.ls in
+    let rec tick () =
+      if not t.stopped then begin
+        probe_tick t;
+        T.schedule ep ~delay:t.cfg.probe_interval tick
+      end
+    in
+    T.schedule ep ~delay:t.cfg.probe_interval tick
+
+  let stop t = t.stopped <- true
+end

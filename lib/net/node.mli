@@ -1,0 +1,58 @@
+(** The live node runtime: one D2 storage node behind a transport.
+
+    [Node.serve] wires together a membership ring view, a compiled
+    {!D2_dht.Router} for greedy forwarding, and a local {!Shard}
+    behind any {!Transport.S}:
+
+    - {b Lookups} are iterative (§5): a node that owns the key answers
+      [Owner (range, self)] — exactly what the client's range cache
+      stores — and otherwise answers [Redirect next] with the best
+      next hop from its own link table; the {e client} walks the path.
+    - {b Puts} fan out: the coordinator (normally the key's owner)
+      stores locally and forwards copies to the next [depth] distinct
+      successors, acking with the copy count once every forward has
+      acked or timed out.  Gets and removes serve from the shard.
+    - {b Join/probe}: a booting node announces itself to its bootstrap
+      peers and merges their membership; every [probe_interval] a node
+      probes its successor plus one rotating member, and an
+      unresponsive peer is removed from the local ring view (its
+      blocks keep serving from the surviving successor replicas).
+
+    The same functor body runs deterministically under
+    {!Transport_mem} (multi-node protocol tests) and over real TCP
+    under {!Transport_unix} (the [d2d] daemon). *)
+
+module Key = D2_keyspace.Key
+
+type config = {
+  replicas : int;  (** copies per block, owner included (paper: 3) *)
+  probe_interval : float;  (** seconds between liveness probes *)
+  rpc_timeout : float;  (** per-RPC reply deadline, seconds *)
+}
+
+val default_config : config
+(** 3 replicas, 0.5 s probes, 0.25 s RPC timeout. *)
+
+module Make (T : Transport.S) : sig
+  type t
+
+  val create :
+    T.t -> config:config -> id:Key.t -> peers:(int * Key.t) list -> t
+  (** Build the node for endpoint [T.node]: its ring view starts from
+      [peers] (self included automatically; duplicate or colliding
+      entries are skipped). *)
+
+  val serve : t -> unit
+  (** Start serving: install handlers, announce [Join] to every known
+      peer (with retries, so staggered process starts converge), and
+      begin the probe schedule.  Returns immediately; the caller owns
+      the poll loop. *)
+
+  val stop : t -> unit
+  (** Stop announcing and probing.  In-flight handlers finish. *)
+
+  val ring : t -> D2_dht.Ring.t
+  val shard : t -> Shard.t
+  val id : t -> Key.t
+  val requests_served : t -> int
+end

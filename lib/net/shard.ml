@@ -1,0 +1,27 @@
+module Key = D2_keyspace.Key
+
+type t = { tbl : string Key.Table.t; mutable bytes : int }
+
+let create () = { tbl = Key.Table.create 256; bytes = 0 }
+
+let put t ~key ~data =
+  (match Key.Table.find_opt t.tbl key with
+  | Some old -> t.bytes <- t.bytes - String.length old
+  | None -> ());
+  Key.Table.replace t.tbl key data;
+  t.bytes <- t.bytes + String.length data
+
+let get t ~key = Key.Table.find_opt t.tbl key
+let mem t ~key = Key.Table.mem t.tbl key
+
+let remove t ~key =
+  match Key.Table.find_opt t.tbl key with
+  | None -> false
+  | Some old ->
+      Key.Table.remove t.tbl key;
+      t.bytes <- t.bytes - String.length old;
+      true
+
+let count t = Key.Table.length t.tbl
+let stored_bytes t = t.bytes
+let iter t f = Key.Table.iter f t.tbl

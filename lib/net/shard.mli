@@ -1,0 +1,30 @@
+(** A node's local slice of the replicated block store.
+
+    Where {!D2_store.Cluster} simulates the {e whole} cluster's
+    placement analytically, a live node holds only its own shard: the
+    blocks it stores as primary or replica, indexed by key.  The node
+    runtime fills it from [Put] frames and drains it on [Remove];
+    placement policy (which r nodes hold a block) lives in
+    {!D2_net.Node}, which applies the same r-successor rule as
+    [Cluster]. *)
+
+module Key = D2_keyspace.Key
+
+type t
+
+val create : unit -> t
+
+val put : t -> key:Key.t -> data:string -> unit
+(** Insert or overwrite. *)
+
+val get : t -> key:Key.t -> string option
+val mem : t -> key:Key.t -> bool
+
+val remove : t -> key:Key.t -> bool
+(** True when a block was actually dropped. *)
+
+val count : t -> int
+val stored_bytes : t -> int
+
+val iter : t -> (Key.t -> string -> unit) -> unit
+(** Visit every held block (re-replication sweeps, tests). *)

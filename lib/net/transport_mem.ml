@@ -1,0 +1,198 @@
+module Engine = D2_simnet.Engine
+module Topology = D2_simnet.Topology
+module Rng = D2_util.Rng
+module Bytebuf = Transport.Bytebuf
+
+let env_loss () =
+  match Sys.getenv_opt "D2_NET_LOSS" with
+  | None -> 0.0
+  | Some s -> (
+      match float_of_string_opt s with
+      | Some f when f >= 0.0 && f < 1.0 -> f
+      | _ -> invalid_arg "D2_NET_LOSS: expected a probability in [0, 1)")
+
+type conn = {
+  cnet : net;
+  src : int;  (** local endpoint's node *)
+  dst : int;
+  inbox : Bytebuf.t;
+  mutable copen : bool;
+  mutable remote : conn option;
+  mutable readable_cb : unit -> unit;
+  mutable close_cb : unit -> unit;
+}
+
+and t = { net : net; enode : int; mutable up : bool; mutable accept_cb : conn -> unit }
+
+and net = {
+  eng : Engine.t;
+  topo : Topology.t;
+  loss : float;
+  lrng : Rng.t;
+  endpoints : t option array;
+  mutable conns : conn list;
+  mutable partition : (int -> int -> bool) option;
+}
+
+let create_net ~engine ~topology ?loss ?(seed = 0x6e67) () =
+  let loss = match loss with Some l -> l | None -> env_loss () in
+  if loss < 0.0 || loss >= 1.0 then
+    invalid_arg "Transport_mem.create_net: loss must be in [0, 1)";
+  {
+    eng = engine;
+    topo = topology;
+    loss;
+    lrng = Rng.create seed;
+    endpoints = Array.make (Topology.size topology) None;
+    conns = [];
+    partition = None;
+  }
+
+let engine net = net.eng
+
+let endpoint net ~node =
+  if node < 0 || node >= Array.length net.endpoints then
+    invalid_arg "Transport_mem.endpoint: node outside topology";
+  if net.endpoints.(node) <> None then
+    invalid_arg "Transport_mem.endpoint: node already bound";
+  let ep = { net; enode = node; up = true; accept_cb = ignore } in
+  net.endpoints.(node) <- Some ep;
+  ep
+
+let is_up net node =
+  match net.endpoints.(node) with Some ep -> ep.up | None -> false
+
+let set_partition net sep = net.partition <- sep
+
+let separated net a b =
+  match net.partition with None -> false | Some sep -> sep a b
+
+let node t = t.enode
+let now t = Engine.now t.net.eng
+let peer c = c.dst
+let is_open c = c.copen
+
+let on_accept t cb = t.accept_cb <- cb
+let on_readable c cb = c.readable_cb <- cb
+let on_close c cb = c.close_cb <- cb
+
+let schedule t ~delay f = ignore (Engine.schedule_in t.net.eng ~delay f)
+
+let delay_of net src dst = Topology.one_way net.topo src dst
+
+(* Deliver a close to [c]'s remote side one propagation delay later
+   (the FIN crossing the wire).  Droppable by partition like any other
+   delivery — the far side then lingers until its own sends time out. *)
+let shutdown_remote c =
+  match c.remote with
+  | None -> ()
+  | Some r ->
+      ignore
+        (Engine.schedule_in c.cnet.eng ~delay:(delay_of c.cnet c.src c.dst)
+           (fun () ->
+             if r.copen && not (separated c.cnet c.src c.dst) then begin
+               r.copen <- false;
+               r.close_cb ()
+             end))
+
+let close c =
+  if c.copen then begin
+    c.copen <- false;
+    shutdown_remote c
+  end
+
+(* A loss draw resets the stream: both directions break, the local
+   side hears about it asynchronously (as a real RST would arrive). *)
+let reset c =
+  if c.copen then begin
+    c.copen <- false;
+    shutdown_remote c;
+    ignore (Engine.schedule_in c.cnet.eng ~delay:0.0 (fun () -> c.close_cb ()))
+  end
+
+let send c buf ~off ~len =
+  if len < 0 || off < 0 || off + len > Bytes.length buf then
+    invalid_arg "Transport_mem.send: bad range";
+  if c.copen && is_up c.cnet c.src then begin
+    if c.cnet.loss > 0.0 && Rng.float c.cnet.lrng 1.0 < c.cnet.loss then reset c
+    else begin
+      let data = Bytes.sub buf off len in
+      let net = c.cnet in
+      ignore
+        (Engine.schedule_in net.eng ~delay:(delay_of net c.src c.dst) (fun () ->
+             match c.remote with
+             | Some r
+               when r.copen && is_up net c.dst && not (separated net c.src c.dst)
+               ->
+                 Bytebuf.write r.inbox data ~off:0 ~len:(Bytes.length data);
+                 r.readable_cb ()
+             | _ -> ()))
+    end
+  end
+
+let recv_into c buf ~off ~len = Bytebuf.read_into c.inbox buf ~off ~len
+
+let connect t ~dst =
+  if (not t.up) || dst < 0 || dst >= Array.length t.net.endpoints then None
+  else
+    match t.net.endpoints.(dst) with
+    | None -> None
+    | Some dep when not dep.up -> None
+    | Some dep ->
+        let net = t.net in
+        let a =
+          {
+            cnet = net;
+            src = t.enode;
+            dst;
+            inbox = Bytebuf.create ();
+            copen = true;
+            remote = None;
+            readable_cb = ignore;
+            close_cb = ignore;
+          }
+        in
+        let b =
+          {
+            cnet = net;
+            src = dst;
+            dst = t.enode;
+            inbox = Bytebuf.create ();
+            copen = true;
+            remote = Some a;
+            readable_cb = ignore;
+            close_cb = ignore;
+          }
+        in
+        a.remote <- Some b;
+        net.conns <- a :: b :: net.conns;
+        (* The SYN crosses the wire like any delivery: the server side
+           only comes alive if the path is clear and the peer still up
+           when it arrives. *)
+        ignore
+          (Engine.schedule_in net.eng ~delay:(delay_of net t.enode dst) (fun () ->
+               if b.copen then
+                 if dep.up && not (separated net t.enode dst) then dep.accept_cb b
+                 else b.copen <- false));
+        Some a
+
+let kill net n =
+  (match net.endpoints.(n) with
+  | Some ep when ep.up ->
+      ep.up <- false;
+      List.iter
+        (fun c ->
+          if c.copen then
+            if c.src = n then begin
+              (* The dying side just stops; its peers hear a break. *)
+              c.copen <- false;
+              shutdown_remote c
+            end)
+        net.conns
+  | _ -> ());
+  net.conns <- List.filter (fun c -> c.copen) net.conns
+
+let poll t ~timeout =
+  if timeout < 0.0 then invalid_arg "Transport_mem.poll: negative timeout";
+  let eng = t.net.eng in
+  Engine.run eng ~until:(Engine.now eng +. timeout)

@@ -1,0 +1,47 @@
+(** Deterministic in-process loopback transport.
+
+    All endpoints live in one {!D2_simnet.Engine} virtual-time world;
+    a [send] schedules delivery of the bytes one-way-RTT later (drawn
+    from the {!D2_simnet.Topology} embedding), so multi-node protocol
+    runs are byte-reproducible: same seeds, same event order, same
+    client cache counters, every time.
+
+    Fault injection:
+    - {!kill} takes an endpoint down: established streams deliver a
+      close to the other side, later {!connect}s to it refuse;
+    - {!set_partition} blackholes traffic between node pairs (messages
+      silently vanish; failures surface as RPC timeouts);
+    - a [loss] rate (or the [D2_NET_LOSS] environment knob) resets a
+      stream with that probability per send — modelling the broken
+      connections a lossy WAN path produces, while keeping each
+      surviving stream's framing intact. *)
+
+include Transport.S
+
+type net
+(** The shared world: engine + topology + fault state. *)
+
+val create_net :
+  engine:D2_simnet.Engine.t ->
+  topology:D2_simnet.Topology.t ->
+  ?loss:float ->
+  ?seed:int ->
+  unit ->
+  net
+(** [loss] defaults to [D2_NET_LOSS] (a probability) or [0.]; [seed]
+    (default 0x6e67) feeds the loss draws only. *)
+
+val engine : net -> D2_simnet.Engine.t
+
+val endpoint : net -> node:int -> t
+(** Bind the endpoint for [node] (a {!D2_simnet.Topology} index).
+    @raise Invalid_argument if out of range or already bound. *)
+
+val kill : net -> int -> unit
+(** Take a node's endpoint down, breaking all its streams.  Idempotent. *)
+
+val is_up : net -> int -> bool
+
+val set_partition : net -> (int -> int -> bool) option -> unit
+(** [Some sep] blackholes every delivery between pairs for which
+    [sep src dst] is true; [None] heals. *)

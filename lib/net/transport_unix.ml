@@ -1,0 +1,286 @@
+module Bytebuf = Transport.Bytebuf
+
+let hello_magic = "D2N1"
+let hello_len = 8
+
+let default_port_base () =
+  match Sys.getenv_opt "D2_NET_PORT_BASE" with
+  | None -> 7000
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some p when p > 0 && p < 65000 -> p
+      | _ -> invalid_arg "D2_NET_PORT_BASE: expected a port number")
+
+let loopback ~port_base ~n i =
+  if i < 0 || i >= n then None
+  else Some (Unix.ADDR_INET (Unix.inet_addr_loopback, port_base + i))
+
+type conn = {
+  fd : Unix.file_descr;
+  owner : t;
+  mutable cpeer : int;  (** -1 while an inbound hello is pending *)
+  mutable copen : bool;
+  mutable connecting : bool;
+  outq : Bytebuf.t;
+  hello_buf : Bytes.t;
+  mutable hello_got : int;
+  mutable accepted : bool;  (** [on_accept] delivered (inbound only) *)
+  mutable readable_cb : unit -> unit;
+  mutable close_cb : unit -> unit;
+}
+
+and t = {
+  unode : int;
+  addr_of : int -> Unix.sockaddr option;
+  listen_fd : Unix.file_descr option;
+  mutable accept_cb : conn -> unit;
+  mutable conns : conn list;
+  mutable timers : (float * (unit -> unit)) list;  (** sorted by deadline *)
+}
+
+let node t = t.unode
+let now _ = Unix.gettimeofday ()
+let peer c = c.cpeer
+let is_open c = c.copen
+let on_accept t cb = t.accept_cb <- cb
+let on_readable c cb = c.readable_cb <- cb
+let on_close c cb = c.close_cb <- cb
+
+let schedule t ~delay f =
+  if delay < 0.0 then invalid_arg "Transport_unix.schedule: negative delay";
+  let at = Unix.gettimeofday () +. delay in
+  let rec ins = function
+    | [] -> [ (at, f) ]
+    | (a, _) :: _ as rest when at < a -> (at, f) :: rest
+    | e :: rest -> e :: ins rest
+  in
+  t.timers <- ins t.timers
+
+let drop_conn t c = t.conns <- List.filter (fun x -> x != c) t.conns
+
+let teardown c =
+  if c.copen then begin
+    c.copen <- false;
+    (try Unix.close c.fd with Unix.Unix_error _ -> ());
+    drop_conn c.owner c
+  end
+
+(* The stream died under us: tear down and tell the owner. *)
+let break c =
+  if c.copen then begin
+    teardown c;
+    c.close_cb ()
+  end
+
+let close c = teardown c
+
+let flush c =
+  if c.copen && not c.connecting then begin
+    let continue = ref true in
+    while !continue && not (Bytebuf.is_empty c.outq) do
+      let buf, off, len = Bytebuf.peek c.outq in
+      match Unix.single_write c.fd buf off len with
+      | 0 -> continue := false
+      | n -> Bytebuf.consume c.outq n
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+          continue := false
+      | exception Unix.Unix_error _ ->
+          continue := false;
+          break c
+    done
+  end
+
+let send c buf ~off ~len =
+  if len < 0 || off < 0 || off + len > Bytes.length buf then
+    invalid_arg "Transport_unix.send: bad range";
+  if c.copen then begin
+    Bytebuf.write c.outq buf ~off ~len;
+    flush c
+  end
+
+let recv_into c buf ~off ~len =
+  if not c.copen then 0
+  else
+    match Unix.read c.fd buf off len with
+    | 0 ->
+        (* Orderly EOF from the peer. *)
+        break c;
+        0
+    | n -> n
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> 0
+    | exception Unix.Unix_error _ ->
+        break c;
+        0
+
+let mk_conn owner fd ~cpeer ~connecting =
+  {
+    fd;
+    owner;
+    cpeer;
+    copen = true;
+    connecting;
+    outq = Bytebuf.create ();
+    hello_buf = Bytes.create hello_len;
+    hello_got = (if cpeer >= 0 then hello_len else 0);
+    accepted = cpeer >= 0;
+    readable_cb = ignore;
+    close_cb = ignore;
+  }
+
+let hello_frame node =
+  let b = Bytes.create hello_len in
+  Bytes.blit_string hello_magic 0 b 0 4;
+  Bytes.set_int32_be b 4 (Int32.of_int node);
+  b
+
+let connect t ~dst =
+  match t.addr_of dst with
+  | None -> None
+  | Some addr -> (
+      let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+      Unix.set_nonblock fd;
+      (try Unix.setsockopt fd TCP_NODELAY true with Unix.Unix_error _ -> ());
+      match
+        try
+          Unix.connect fd addr;
+          `Done
+        with
+        | Unix.Unix_error ((EINPROGRESS | EWOULDBLOCK | EAGAIN), _, _) ->
+            `Pending
+        | Unix.Unix_error _ -> `Failed
+      with
+      | `Failed ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          None
+      | (`Done | `Pending) as st ->
+          let c = mk_conn t fd ~cpeer:dst ~connecting:(st = `Pending) in
+          t.conns <- c :: t.conns;
+          let hello = hello_frame t.unode in
+          Bytebuf.write c.outq hello ~off:0 ~len:hello_len;
+          if st = `Done then flush c;
+          Some c)
+
+let create ~node ~addr_of ?(listen = true) () =
+  (* Broken streams must surface as EPIPE, not kill the process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let listen_fd =
+    if not listen then None
+    else
+      match addr_of node with
+      | None -> invalid_arg "Transport_unix.create: no address for own node"
+      | Some addr ->
+          let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+          Unix.setsockopt fd SO_REUSEADDR true;
+          Unix.bind fd addr;
+          Unix.listen fd 64;
+          Unix.set_nonblock fd;
+          Some fd
+  in
+  { unode = node; addr_of; listen_fd; accept_cb = ignore; conns = []; timers = [] }
+
+let shutdown t =
+  (match t.listen_fd with
+  | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ());
+  List.iter close t.conns
+
+(* Consume the 8-byte identity hello that opens every inbound stream;
+   fires [accept_cb] once complete.  Any payload bytes that arrived in
+   the same segment stay in the socket buffer for [recv_into]. *)
+let pump_hello t c =
+  if c.copen && c.hello_got < hello_len then begin
+    match Unix.read c.fd c.hello_buf c.hello_got (hello_len - c.hello_got) with
+    | 0 -> break c
+    | n ->
+        c.hello_got <- c.hello_got + n;
+        if c.hello_got = hello_len then
+          if Bytes.sub_string c.hello_buf 0 4 <> hello_magic then break c
+          else begin
+            c.cpeer <-
+              Int32.to_int (Bytes.get_int32_be c.hello_buf 4) land 0xffff_ffff;
+            c.accepted <- true;
+            t.accept_cb c
+          end
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    | exception Unix.Unix_error _ -> break c
+  end
+
+let accept_ready t =
+  match t.listen_fd with
+  | None -> ()
+  | Some lfd ->
+      let continue = ref true in
+      while !continue do
+        match Unix.accept lfd with
+        | fd, _addr ->
+            Unix.set_nonblock fd;
+            (try Unix.setsockopt fd TCP_NODELAY true
+             with Unix.Unix_error _ -> ());
+            let c = mk_conn t fd ~cpeer:(-1) ~connecting:false in
+            c.hello_got <- 0;
+            c.accepted <- false;
+            t.conns <- c :: t.conns
+        | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+            continue := false
+        | exception Unix.Unix_error _ -> continue := false
+      done
+
+let run_timers t =
+  let rec loop () =
+    match t.timers with
+    | (at, f) :: rest when at <= Unix.gettimeofday () ->
+        t.timers <- rest;
+        f ();
+        loop ()
+    | _ -> ()
+  in
+  loop ()
+
+let poll t ~timeout =
+  if timeout < 0.0 then invalid_arg "Transport_unix.poll: negative timeout";
+  let now_ = Unix.gettimeofday () in
+  let sel_timeout =
+    match t.timers with
+    | (at, _) :: _ -> max 0.0 (min timeout (at -. now_))
+    | [] -> timeout
+  in
+  let conns = t.conns in
+  let reads =
+    (match t.listen_fd with Some fd -> [ fd ] | None -> [])
+    @ List.filter_map
+        (fun c -> if c.copen && not c.connecting then Some c.fd else None)
+        conns
+  in
+  let writes =
+    List.filter_map
+      (fun c ->
+        if c.copen && (c.connecting || not (Bytebuf.is_empty c.outq)) then
+          Some c.fd
+        else None)
+      conns
+  in
+  (match Unix.select reads writes [] sel_timeout with
+  | rready, wready, _ ->
+      List.iter
+        (fun c ->
+          if c.copen && List.memq c.fd wready then
+            if c.connecting then begin
+              match Unix.getsockopt_error c.fd with
+              | Some _ -> break c
+              | None ->
+                  c.connecting <- false;
+                  flush c
+            end
+            else flush c)
+        conns;
+      (match t.listen_fd with
+      | Some lfd when List.memq lfd rready -> accept_ready t
+      | _ -> ());
+      List.iter
+        (fun c ->
+          if c.copen && List.memq c.fd rready then
+            if c.hello_got < hello_len then pump_hello t c
+            else if c.accepted || c.connecting = false then c.readable_cb ())
+        conns
+  | exception Unix.Unix_error (EINTR, _, _) -> ());
+  run_timers t

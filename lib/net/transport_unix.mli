@@ -1,0 +1,36 @@
+(** Non-blocking TCP transport over real sockets.
+
+    One endpoint per OS process: a listening socket (optional — pure
+    clients skip it) plus outbound connections, all non-blocking and
+    driven by a [select]-based {!Transport.S.poll} loop.  Peers are
+    resolved from node handles by an address function; the stock
+    deployment puts node [i] of an [n]-node cluster on
+    [127.0.0.1:port_base + i] (see {!loopback}), with [port_base]
+    taken from the [D2_NET_PORT_BASE] environment knob.
+
+    Each direction of a stream begins with an 8-byte hello
+    ([magic ++ node handle]) injected and consumed by the transport
+    itself, so [on_accept] fires only once the peer's identity is
+    known and protocol code never sees transport framing. *)
+
+include Transport.S
+
+val create :
+  node:int ->
+  addr_of:(int -> Unix.sockaddr option) ->
+  ?listen:bool ->
+  unit ->
+  t
+(** [listen] defaults to [true]; pass [false] for client-only
+    endpoints (no address needed for [node] then).
+    @raise Unix.Unix_error if binding the listen socket fails. *)
+
+val loopback : port_base:int -> n:int -> int -> Unix.sockaddr option
+(** Address function for an [n]-node loopback cluster: node [i] lives
+    on [127.0.0.1:port_base + i]; other handles are unresolvable. *)
+
+val default_port_base : unit -> int
+(** [D2_NET_PORT_BASE] or 7000. *)
+
+val shutdown : t -> unit
+(** Close the listen socket and every connection. *)

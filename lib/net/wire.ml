@@ -1,0 +1,320 @@
+module Key = D2_keyspace.Key
+
+let max_payload = 8192
+let max_members = 4096
+let max_error = 1024
+
+(* Largest body is a full Join_ack: u16 count + count * (u32 node +
+   64-byte id).  Every other message is far below it. *)
+let max_frame = 9 + 2 + (max_members * (4 + Key.size))
+
+type msg =
+  | Lookup of { key : Key.t }
+  | Owner of { node : int; lo : Key.t; hi : Key.t }
+  | Redirect of { next : int }
+  | Get of { key : Key.t }
+  | Found of { data : string }
+  | Missing
+  | Put of { key : Key.t; depth : int; data : string }
+  | Put_ack of { copies : int }
+  | Remove of { key : Key.t; depth : int }
+  | Remove_ack of { removed : bool }
+  | Join of { node : int; id : Key.t }
+  | Join_ack of { members : (int * Key.t) list }
+  | Probe
+  | Probe_ack of { node : int; epoch : int }
+  | Error of { code : int; message : string }
+
+let is_request = function
+  | Lookup _ | Get _ | Put _ | Remove _ | Join _ | Probe -> true
+  | Owner _ | Redirect _ | Found _ | Missing | Put_ack _ | Remove_ack _
+  | Join_ack _ | Probe_ack _ | Error _ ->
+      false
+
+let tag_of = function
+  | Lookup _ -> 1
+  | Owner _ -> 2
+  | Redirect _ -> 3
+  | Get _ -> 4
+  | Found _ -> 5
+  | Missing -> 6
+  | Put _ -> 7
+  | Put_ack _ -> 8
+  | Remove _ -> 9
+  | Remove_ack _ -> 10
+  | Join _ -> 11
+  | Join_ack _ -> 12
+  | Probe -> 13
+  | Probe_ack _ -> 14
+  | Error _ -> 15
+
+let tag_name = function
+  | Lookup _ -> "lookup"
+  | Owner _ -> "owner"
+  | Redirect _ -> "redirect"
+  | Get _ -> "get"
+  | Found _ -> "found"
+  | Missing -> "missing"
+  | Put _ -> "put"
+  | Put_ack _ -> "put_ack"
+  | Remove _ -> "remove"
+  | Remove_ack _ -> "remove_ack"
+  | Join _ -> "join"
+  | Join_ack _ -> "join_ack"
+  | Probe -> "probe"
+  | Probe_ack _ -> "probe_ack"
+  | Error _ -> "error"
+
+let body_length = function
+  | Lookup _ | Get _ -> Key.size
+  | Owner _ -> 4 + Key.size + Key.size
+  | Redirect _ -> 4
+  | Found { data } -> 4 + String.length data
+  | Missing | Probe -> 0
+  | Put { data; _ } -> Key.size + 1 + 4 + String.length data
+  | Put_ack _ -> 4
+  | Remove _ -> Key.size + 1
+  | Remove_ack _ -> 1
+  | Join _ -> 4 + Key.size
+  | Join_ack { members } -> 2 + (List.length members * (4 + Key.size))
+  | Probe_ack _ -> 8
+  | Error { message; _ } -> 4 + 2 + String.length message
+
+let frame_length msg = 9 + body_length msg
+
+let u32_max = 0xffff_ffff
+
+let check_u32 what v =
+  if v < 0 || v > u32_max then
+    invalid_arg (Printf.sprintf "Wire.encode: %s %d outside u32" what v)
+
+let validate msg =
+  (match msg with
+  | Found { data } | Put { data; _ } ->
+      if String.length data > max_payload then
+        invalid_arg "Wire.encode: payload exceeds max_payload"
+  | Join_ack { members } ->
+      if List.length members > max_members then
+        invalid_arg "Wire.encode: membership list exceeds max_members";
+      List.iter (fun (n, _) -> check_u32 "member node" n) members
+  | Error { message; _ } ->
+      if String.length message > max_error then
+        invalid_arg "Wire.encode: error message exceeds max_error"
+  | _ -> ());
+  match msg with
+  | Owner { node; _ } -> check_u32 "node" node
+  | Redirect { next } -> check_u32 "next" next
+  | Put { depth; _ } | Remove { depth; _ } ->
+      if depth < 0 || depth > 0xff then invalid_arg "Wire.encode: depth outside u8"
+  | Put_ack { copies } -> check_u32 "copies" copies
+  | Join { node; _ } -> check_u32 "node" node
+  | Probe_ack { node; epoch } ->
+      check_u32 "node" node;
+      check_u32 "epoch" epoch
+  | Error { code; _ } -> check_u32 "code" code
+  | _ -> ()
+
+let set_u32 b off v = Bytes.set_int32_be b off (Int32.of_int v)
+let get_u32 b off = Int32.to_int (Bytes.get_int32_be b off) land u32_max
+
+let set_key b off k = Bytes.blit_string (Key.to_string k) 0 b off Key.size
+
+let encode_into buf ~off ~req msg =
+  check_u32 "request id" req;
+  validate msg;
+  let len = frame_length msg in
+  if off < 0 || off + len > Bytes.length buf then
+    invalid_arg "Wire.encode_into: buffer too small";
+  set_u32 buf off (len - 4);
+  set_u32 buf (off + 4) req;
+  Bytes.set_uint8 buf (off + 8) (tag_of msg);
+  let p = off + 9 in
+  (match msg with
+  | Lookup { key } | Get { key } -> set_key buf p key
+  | Owner { node; lo; hi } ->
+      set_u32 buf p node;
+      set_key buf (p + 4) lo;
+      set_key buf (p + 4 + Key.size) hi
+  | Redirect { next } -> set_u32 buf p next
+  | Found { data } ->
+      set_u32 buf p (String.length data);
+      Bytes.blit_string data 0 buf (p + 4) (String.length data)
+  | Missing | Probe -> ()
+  | Put { key; depth; data } ->
+      set_key buf p key;
+      Bytes.set_uint8 buf (p + Key.size) depth;
+      set_u32 buf (p + Key.size + 1) (String.length data);
+      Bytes.blit_string data 0 buf (p + Key.size + 5) (String.length data)
+  | Put_ack { copies } -> set_u32 buf p copies
+  | Remove { key; depth } ->
+      set_key buf p key;
+      Bytes.set_uint8 buf (p + Key.size) depth
+  | Remove_ack { removed } -> Bytes.set_uint8 buf p (if removed then 1 else 0)
+  | Join { node; id } ->
+      set_u32 buf p node;
+      set_key buf (p + 4) id
+  | Join_ack { members } ->
+      Bytes.set_uint16_be buf p (List.length members);
+      List.iteri
+        (fun i (n, id) ->
+          let q = p + 2 + (i * (4 + Key.size)) in
+          set_u32 buf q n;
+          set_key buf (q + 4) id)
+        members
+  | Probe_ack { node; epoch } ->
+      set_u32 buf p node;
+      set_u32 buf (p + 4) epoch
+  | Error { code; message } ->
+      set_u32 buf p code;
+      Bytes.set_uint16_be buf (p + 4) (String.length message);
+      Bytes.blit_string message 0 buf (p + 6) (String.length message));
+  len
+
+let encode ~req msg =
+  let buf = Bytes.create (frame_length msg) in
+  ignore (encode_into buf ~off:0 ~req msg);
+  buf
+
+type error = Short | Malformed of string
+
+(* Body parsing uses a poor-man's cursor over the declared body
+   window; any read past the window is a [Malformed] frame (the frame
+   is complete — missing fields cannot appear later). *)
+exception Bad of string
+
+let decode buf ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length buf then
+    Stdlib.Error (Malformed "window outside buffer")
+  else if len < 4 then Stdlib.Error Short
+  else
+    let flen = get_u32 buf off in
+    if flen < 5 then Stdlib.Error (Malformed "frame length below header size")
+    else if flen + 4 > max_frame then
+      Stdlib.Error (Malformed "frame length exceeds max_frame")
+    else if len < flen + 4 then Stdlib.Error Short
+    else begin
+      let req = get_u32 buf (off + 4) in
+      let tag = Bytes.get_uint8 buf (off + 8) in
+      let body = off + 9 in
+      let body_len = flen - 5 in
+      let stop = body + body_len in
+      let pos = ref body in
+      let need n =
+        if !pos + n > stop then raise (Bad "truncated body");
+        let p = !pos in
+        pos := p + n;
+        p
+      in
+      let u8 () = Bytes.get_uint8 buf (need 1) in
+      let u16 () = Bytes.get_uint16_be buf (need 2) in
+      let u32 () = get_u32 buf (need 4) in
+      let key () = Key.of_string (Bytes.sub_string buf (need Key.size) Key.size) in
+      let payload ~cap what =
+        let n = u32 () in
+        if n > cap then raise (Bad (what ^ " exceeds cap"));
+        Bytes.sub_string buf (need n) n
+      in
+      match
+        let msg =
+          match tag with
+          | 1 -> Lookup { key = key () }
+          | 2 ->
+              let node = u32 () in
+              let lo = key () in
+              let hi = key () in
+              Owner { node; lo; hi }
+          | 3 -> Redirect { next = u32 () }
+          | 4 -> Get { key = key () }
+          | 5 -> Found { data = payload ~cap:max_payload "payload" }
+          | 6 -> Missing
+          | 7 ->
+              let key = key () in
+              let depth = u8 () in
+              Put { key; depth; data = payload ~cap:max_payload "payload" }
+          | 8 -> Put_ack { copies = u32 () }
+          | 9 ->
+              let key = key () in
+              Remove { key; depth = u8 () }
+          | 10 -> Remove_ack { removed = u8 () <> 0 }
+          | 11 ->
+              let node = u32 () in
+              Join { node; id = key () }
+          | 12 ->
+              let count = u16 () in
+              if count > max_members then raise (Bad "membership list exceeds cap");
+              let members =
+                List.init count (fun _ ->
+                    let n = u32 () in
+                    let id = key () in
+                    (n, id))
+              in
+              Join_ack { members }
+          | 13 -> Probe
+          | 14 ->
+              let node = u32 () in
+              Probe_ack { node; epoch = u32 () }
+          | 15 ->
+              let code = u32 () in
+              let n = u16 () in
+              if n > max_error then raise (Bad "error message exceeds cap");
+              Error { code; message = Bytes.sub_string buf (need n) n }
+          | t -> raise (Bad (Printf.sprintf "unknown tag %d" t))
+        in
+        if !pos <> stop then raise (Bad "trailing bytes in frame");
+        msg
+      with
+      | msg -> Ok (req, msg, flen + 4)
+      | exception Bad why -> Stdlib.Error (Malformed why)
+    end
+
+module Reader = struct
+  type t = { mutable buf : Bytes.t; mutable r : int; mutable w : int }
+
+  let create () = { buf = Bytes.create 4096; r = 0; w = 0 }
+
+  let pending_bytes t = t.w - t.r
+
+  let compact t =
+    if t.r > 0 then begin
+      let n = t.w - t.r in
+      Bytes.blit t.buf t.r t.buf 0 n;
+      t.r <- 0;
+      t.w <- n
+    end
+
+  let reserve t n =
+    if Bytes.length t.buf - t.w < n then begin
+      compact t;
+      if Bytes.length t.buf - t.w < n then begin
+        let cap = max (2 * Bytes.length t.buf) (t.w + n) in
+        let nb = Bytes.create cap in
+        Bytes.blit t.buf 0 nb 0 t.w;
+        t.buf <- nb
+      end
+    end;
+    (t.buf, t.w)
+
+  let commit t n =
+    if n < 0 || t.w + n > Bytes.length t.buf then
+      invalid_arg "Wire.Reader.commit: bad count";
+    t.w <- t.w + n
+
+  let feed t src ~off ~len =
+    let buf, o = reserve t len in
+    Bytes.blit src off buf o len;
+    commit t len
+
+  let next t =
+    match decode t.buf ~off:t.r ~len:(t.w - t.r) with
+    | Ok (req, msg, consumed) ->
+        t.r <- t.r + consumed;
+        if t.r = t.w then begin
+          t.r <- 0;
+          t.w <- 0
+        end;
+        `Msg (req, msg)
+    | Stdlib.Error Short ->
+        compact t;
+        `Awaiting
+    | Stdlib.Error (Malformed why) -> `Corrupt why
+end

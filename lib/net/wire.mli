@@ -1,0 +1,110 @@
+(** Wire protocol: length-prefixed binary frames for the D2 RPCs.
+
+    Every message travels as one frame:
+
+    {v
+      bytes 0..3   u32 big-endian frame length L (= 5 + body length)
+      bytes 4..7   u32 big-endian request id (echoed by the reply)
+      byte  8      message tag
+      bytes 9..    body (fixed layout per tag; keys are 64 raw bytes,
+                   node handles u32, block payloads u32 length + bytes)
+    v}
+
+    The codec is total: {!decode} classifies any byte string as a
+    message, a {!Short} prefix (wait for more bytes), or {!Malformed}
+    (protocol violation — drop the connection); it never raises.
+    Payloads are capped at {!max_payload} (the 8 KB D2-Store block),
+    frames at {!max_frame}, so a malicious length field cannot force
+    an allocation. *)
+
+module Key = D2_keyspace.Key
+
+val max_payload : int
+(** Largest block payload a frame may carry (8192, {!D2_trace.Op.block_size}). *)
+
+val max_members : int
+(** Largest membership list a [Join_ack] may carry (4096 nodes). *)
+
+val max_frame : int
+(** Upper bound on a whole frame, length prefix included. *)
+
+type msg =
+  | Lookup of { key : Key.t }
+      (** who owns [key]?  Answered with [Owner] (the receiver owns it)
+          or [Redirect] (iterative lookup: ask [next] instead). *)
+  | Owner of { node : int; lo : Key.t; hi : Key.t }
+      (** [node] owns the half-open ring range [(lo, hi]] — exactly
+          what the client's range cache stores (§5). *)
+  | Redirect of { next : int }
+  | Get of { key : Key.t }
+  | Found of { data : string }
+  | Missing
+  | Put of { key : Key.t; depth : int; data : string }
+      (** [depth > 0]: the receiver coordinates and fans the block out
+          to its [depth] follow-up replica holders; [depth = 0]: store
+          locally only (a fan-out copy). *)
+  | Put_ack of { copies : int }
+  | Remove of { key : Key.t; depth : int }
+  | Remove_ack of { removed : bool }
+  | Join of { node : int; id : Key.t }
+  | Join_ack of { members : (int * Key.t) list }
+  | Probe
+  | Probe_ack of { node : int; epoch : int }
+  | Error of { code : int; message : string }
+
+val is_request : msg -> bool
+(** Requests expect a reply; everything else is a reply. *)
+
+val tag_name : msg -> string
+
+val frame_length : msg -> int
+(** Exact encoded size of the frame carrying [msg], prefix included. *)
+
+val encode_into : Bytes.t -> off:int -> req:int -> msg -> int
+(** Write the frame at [off]; returns the number of bytes written
+    (= {!frame_length}).
+    @raise Invalid_argument if the buffer is too small, the request id
+    is outside u32, or the message violates a size cap. *)
+
+val encode : req:int -> msg -> Bytes.t
+(** Fresh-buffer convenience over {!encode_into}. *)
+
+type error =
+  | Short  (** not enough bytes yet — read more and retry *)
+  | Malformed of string  (** protocol violation — drop the connection *)
+
+val decode : Bytes.t -> off:int -> len:int -> (int * msg * int, error) result
+(** [decode buf ~off ~len] parses one frame from [buf.[off .. off+len-1]];
+    [Ok (req, msg, consumed)] on success.  Never raises, never reads
+    outside the given window. *)
+
+(** {1 Stream reassembly}
+
+    A per-connection buffer that turns a byte stream back into frames.
+    The transport reads {e directly into} the reader's buffer
+    ({!reserve} / {!commit} expose the writable region, so bytes go
+    from the socket into the decode buffer with no intermediate copy),
+    then {!next} yields decoded messages. *)
+
+module Reader : sig
+  type t
+
+  val create : unit -> t
+
+  val reserve : t -> int -> Bytes.t * int
+  (** [reserve r n] grows the buffer as needed and returns [(buf, off)]
+      with at least [n] writable bytes at [off]. *)
+
+  val commit : t -> int -> unit
+  (** Declare that [n] bytes were written at the reserved offset. *)
+
+  val feed : t -> Bytes.t -> off:int -> len:int -> unit
+  (** Copying convenience: append bytes (for transports that already
+      own a buffer). *)
+
+  val next : t -> [ `Msg of int * msg | `Awaiting | `Corrupt of string ]
+  (** Pop the next complete frame, if any.  After [`Corrupt] the
+      stream is unrecoverable and the connection should be closed. *)
+
+  val pending_bytes : t -> int
+end

@@ -36,6 +36,8 @@ let rtt t i j =
     t.intra_rtt +. dist +. t.jitter.(i) +. t.jitter.(j)
   end
 
+let one_way t i j = rtt t i j /. 2.0
+
 let mean_rtt t =
   if t.n < 2 then 0.0
   else begin

@@ -29,5 +29,9 @@ val rtt : t -> int -> int -> float
     [rtt t i i] is a small loopback constant.
     @raise Invalid_argument on out-of-range indices. *)
 
+val one_way : t -> int -> int -> float
+(** One-way propagation delay: [rtt /. 2].  The in-memory transport
+    ({!D2_net.Transport_mem}) charges this per message delivery. *)
+
 val mean_rtt : t -> float
 (** Mean over sampled distinct pairs. *)

@@ -38,6 +38,8 @@ MICRO_LIMITS = {
     "cache_batch_resolve": 1450.0,
     "ring_successor_1000": 1000.0,
     "router_route": 8000.0,
+    "net_frame_encode": 150.0,
+    "net_mem_rpc": 150000.0,
 }
 
 
@@ -95,6 +97,13 @@ def main(argv):
         for m in new_micros:
             name, ns = m["name"], m["ns_per_op"]
             b = base_micros.get(name)
+            if b is None:
+                # A micro added since the baseline was recorded has no
+                # reference point; gate it only once the baseline is
+                # refreshed, rather than failing every PR that adds one.
+                print(f"{name:24s} {'absent':>12s} {ns:12.1f} {'(skipped)':>12s}")
+                print(f"WARN: micro {name} absent from baseline; skipped")
+                continue
             limits = []
             if b is not None:
                 limits.append(b * micro_factor)

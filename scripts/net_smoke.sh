@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Live-cluster smoke test: boot a 3-process d2d cluster on loopback
+# TCP, replay ~2 s of synthetic load through it with d2load, and
+# require zero failed ops and a clean daemon shutdown.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PORT_BASE="${D2_NET_PORT_BASE:-7400}"
+NODES=3
+DURATION="${SMOKE_DURATION:-2}"
+
+dune build bin/d2d.exe bin/d2load.exe
+
+pids=()
+cleanup() {
+  for pid in "${pids[@]}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+for i in $(seq 0 $((NODES - 1))); do
+  ./_build/default/bin/d2d.exe --node "$i" --nodes "$NODES" \
+    --port-base "$PORT_BASE" --duration 30 &
+  pids+=("$!")
+done
+
+# Give the daemons a moment to bind and join each other.
+sleep 1
+
+./_build/default/bin/d2load.exe --nodes "$NODES" --port-base "$PORT_BASE" \
+  --duration "$DURATION"
+
+# Clean shutdown: SIGTERM each daemon and require exit status 0.
+status=0
+for pid in "${pids[@]}"; do
+  kill -TERM "$pid" 2>/dev/null || true
+done
+for pid in "${pids[@]}"; do
+  if ! wait "$pid"; then
+    echo "net_smoke: daemon $pid exited non-zero" >&2
+    status=1
+  fi
+done
+pids=()
+trap - EXIT
+
+if [ "$status" -eq 0 ]; then
+  echo "net_smoke: OK"
+fi
+exit "$status"

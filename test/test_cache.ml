@@ -25,6 +25,21 @@ let test_hit_and_miss () =
   Alcotest.(check int) "hits" 2 (Lookup_cache.hits c);
   Alcotest.(check int) "misses" 3 (Lookup_cache.misses c)
 
+let test_invalidate () =
+  let c = Lookup_cache.create () in
+  Lookup_cache.insert c ~now:0.0 ~lo:(k_of_byte 10) ~hi:(k_of_byte 20) ~node:1;
+  Lookup_cache.insert c ~now:0.0 ~lo:(k_of_byte 20) ~hi:(k_of_byte 30) ~node:2;
+  Alcotest.(check bool) "no covering range" false
+    (Lookup_cache.invalidate c (k_of_byte 40));
+  Alcotest.(check bool) "drops covering range" true
+    (Lookup_cache.invalidate c (k_of_byte 15));
+  Alcotest.(check (option int)) "range gone" None
+    (Lookup_cache.lookup c ~now:1.0 (k_of_byte 15));
+  Alcotest.(check (option int)) "other range survives" (Some 2)
+    (Lookup_cache.lookup c ~now:1.0 (k_of_byte 25));
+  Alcotest.(check bool) "second call finds nothing" false
+    (Lookup_cache.invalidate c (k_of_byte 15))
+
 let test_ttl_expiry () =
   let c = Lookup_cache.create ~ttl:100.0 () in
   Lookup_cache.insert c ~now:0.0 ~lo:(k_of_byte 10) ~hi:(k_of_byte 20) ~node:7;
@@ -306,6 +321,7 @@ let () =
     [
       ( "lookup_cache",
         Alcotest.test_case "hit/miss" `Quick test_hit_and_miss
+        :: Alcotest.test_case "invalidate" `Quick test_invalidate
         :: Alcotest.test_case "ttl expiry" `Quick test_ttl_expiry
         :: Alcotest.test_case "wrap range" `Quick test_wrap_range
         :: Alcotest.test_case "full ring" `Quick test_full_ring_entry

@@ -1,0 +1,186 @@
+(* Wire-codec properties: random frames round-trip bit-exactly,
+   truncated windows say [Short], corrupted bytes never raise, and the
+   stream reader reassembles frames across arbitrary chunking. *)
+
+module Wire = D2_net.Wire
+module Key = D2_keyspace.Key
+module Rng = D2_util.Rng
+
+let key_of_rng rng = Key.random rng
+
+let random_payload rng =
+  (* Bias towards the edges: empty, one byte, and the max 8 KB block. *)
+  let n =
+    match Rng.int rng 5 with
+    | 0 -> 0
+    | 1 -> 1
+    | 2 -> Wire.max_payload
+    | _ -> Rng.int rng Wire.max_payload
+  in
+  String.init n (fun _ -> Char.chr (Rng.int rng 256))
+
+let random_msg rng =
+  match Rng.int rng 15 with
+  | 0 -> Wire.Lookup { key = key_of_rng rng }
+  | 1 ->
+      Wire.Owner
+        { node = Rng.int rng 100_000; lo = key_of_rng rng; hi = key_of_rng rng }
+  | 2 -> Wire.Redirect { next = Rng.int rng 100_000 }
+  | 3 -> Wire.Get { key = key_of_rng rng }
+  | 4 -> Wire.Found { data = random_payload rng }
+  | 5 -> Wire.Missing
+  | 6 ->
+      Wire.Put
+        { key = key_of_rng rng; depth = Rng.int rng 8; data = random_payload rng }
+  | 7 -> Wire.Put_ack { copies = Rng.int rng 16 }
+  | 8 -> Wire.Remove { key = key_of_rng rng; depth = Rng.int rng 8 }
+  | 9 -> Wire.Remove_ack { removed = Rng.bool rng }
+  | 10 -> Wire.Join { node = Rng.int rng 100_000; id = key_of_rng rng }
+  | 11 ->
+      let n = Rng.int rng 40 in
+      Wire.Join_ack
+        { members = List.init n (fun i -> (i * 3, key_of_rng rng)) }
+  | 12 -> Wire.Probe
+  | 13 -> Wire.Probe_ack { node = Rng.int rng 100_000; epoch = Rng.int rng 1_000 }
+  | _ ->
+      Wire.Error
+        {
+          code = Rng.int rng 100;
+          message = String.init (Rng.int rng 64) (fun _ -> Char.chr (32 + Rng.int rng 90));
+        }
+
+let equal_msg (a : Wire.msg) (b : Wire.msg) =
+  match (a, b) with
+  | Wire.Lookup { key = k1 }, Wire.Lookup { key = k2 } -> Key.equal k1 k2
+  | Wire.Owner { node = n1; lo = l1; hi = h1 }, Wire.Owner { node = n2; lo = l2; hi = h2 }
+    ->
+      n1 = n2 && Key.equal l1 l2 && Key.equal h1 h2
+  | Wire.Redirect { next = n1 }, Wire.Redirect { next = n2 } -> n1 = n2
+  | Wire.Get { key = k1 }, Wire.Get { key = k2 } -> Key.equal k1 k2
+  | Wire.Found { data = d1 }, Wire.Found { data = d2 } -> String.equal d1 d2
+  | Wire.Missing, Wire.Missing | Wire.Probe, Wire.Probe -> true
+  | ( Wire.Put { key = k1; depth = e1; data = d1 },
+      Wire.Put { key = k2; depth = e2; data = d2 } ) ->
+      Key.equal k1 k2 && e1 = e2 && String.equal d1 d2
+  | Wire.Put_ack { copies = c1 }, Wire.Put_ack { copies = c2 } -> c1 = c2
+  | Wire.Remove { key = k1; depth = e1 }, Wire.Remove { key = k2; depth = e2 } ->
+      Key.equal k1 k2 && e1 = e2
+  | Wire.Remove_ack { removed = r1 }, Wire.Remove_ack { removed = r2 } -> r1 = r2
+  | Wire.Join { node = n1; id = i1 }, Wire.Join { node = n2; id = i2 } ->
+      n1 = n2 && Key.equal i1 i2
+  | Wire.Join_ack { members = m1 }, Wire.Join_ack { members = m2 } ->
+      List.length m1 = List.length m2
+      && List.for_all2 (fun (n1, k1) (n2, k2) -> n1 = n2 && Key.equal k1 k2) m1 m2
+  | ( Wire.Probe_ack { node = n1; epoch = e1 },
+      Wire.Probe_ack { node = n2; epoch = e2 } ) ->
+      n1 = n2 && e1 = e2
+  | Wire.Error { code = c1; message = m1 }, Wire.Error { code = c2; message = m2 }
+    ->
+      c1 = c2 && String.equal m1 m2
+  | _ -> false
+
+let roundtrip_prop seed =
+  let rng = Rng.create seed in
+  let msg = random_msg rng in
+  let req = Rng.int rng 0xffff in
+  let frame = Wire.encode ~req msg in
+  (Bytes.length frame = Wire.frame_length msg)
+  &&
+  match Wire.decode frame ~off:0 ~len:(Bytes.length frame) with
+  | Ok (req', msg', consumed) ->
+      req' = req && consumed = Bytes.length frame && equal_msg msg msg'
+  | Error _ -> false
+
+let truncation_prop seed =
+  let rng = Rng.create seed in
+  let msg = random_msg rng in
+  let frame = Wire.encode ~req:7 msg in
+  let n = Bytes.length frame in
+  let cut = Rng.int rng n in
+  match Wire.decode frame ~off:0 ~len:cut with
+  | Error Wire.Short -> true
+  | Ok _ | Error (Wire.Malformed _) -> false
+
+let corruption_prop seed =
+  let rng = Rng.create seed in
+  let msg = random_msg rng in
+  let frame = Wire.encode ~req:3 msg in
+  let n = Bytes.length frame in
+  let pos = Rng.int rng n in
+  Bytes.set frame pos (Char.chr (Rng.int rng 256));
+  (* Any outcome but an exception is acceptable; decode must also not
+     read past the window even when the length field was corrupted. *)
+  match Wire.decode frame ~off:0 ~len:n with
+  | Ok _ | Error Wire.Short | Error (Wire.Malformed _) -> true
+
+let test_oversize_length () =
+  let b = Bytes.make 64 '\x00' in
+  Bytes.set_int32_be b 0 0x7fffffffl;
+  (match Wire.decode b ~off:0 ~len:64 with
+  | Error (Wire.Malformed _) -> ()
+  | _ -> Alcotest.fail "oversize length must be malformed");
+  (* A length below the fixed header is also a protocol violation. *)
+  Bytes.set_int32_be b 0 2l;
+  match Wire.decode b ~off:0 ~len:64 with
+  | Error (Wire.Malformed _) -> ()
+  | _ -> Alcotest.fail "undersize length must be malformed"
+
+let test_unknown_tag () =
+  let frame = Wire.encode ~req:1 Wire.Probe in
+  Bytes.set_uint8 frame 8 209;
+  match Wire.decode frame ~off:0 ~len:(Bytes.length frame) with
+  | Error (Wire.Malformed _) -> ()
+  | _ -> Alcotest.fail "unknown tag must be malformed"
+
+let reader_chunking_prop seed =
+  let rng = Rng.create seed in
+  let msgs = List.init (1 + Rng.int rng 12) (fun _ -> random_msg rng) in
+  let buf = Buffer.create 1024 in
+  List.iteri
+    (fun i m -> Buffer.add_bytes buf (Wire.encode ~req:i m))
+    msgs;
+  let stream = Buffer.to_bytes buf in
+  let reader = Wire.Reader.create () in
+  let out = ref [] in
+  let pos = ref 0 in
+  let total = Bytes.length stream in
+  let ok = ref true in
+  while !pos < total && !ok do
+    let chunk = 1 + Rng.int rng 97 in
+    let len = min chunk (total - !pos) in
+    Wire.Reader.feed reader stream ~off:!pos ~len;
+    pos := !pos + len;
+    let drained = ref false in
+    while not !drained do
+      match Wire.Reader.next reader with
+      | `Msg (req, m) -> out := (req, m) :: !out
+      | `Awaiting -> drained := true
+      | `Corrupt _ ->
+          ok := false;
+          drained := true
+    done
+  done;
+  let out = List.rev !out in
+  !ok
+  && List.length out = List.length msgs
+  && List.for_all2 (fun (req, m) (i, m') -> req = i && equal_msg m m') out
+       (List.mapi (fun i m -> (i, m)) msgs)
+
+let prop name f =
+  QCheck.Test.make ~count:500 ~name QCheck.(small_nat) (fun seed -> f (seed + 1))
+
+let () =
+  Alcotest.run "net_wire"
+    [
+      ( "codec",
+        [
+          QCheck_alcotest.to_alcotest (prop "roundtrip" roundtrip_prop);
+          QCheck_alcotest.to_alcotest (prop "truncation -> Short" truncation_prop);
+          QCheck_alcotest.to_alcotest (prop "corruption never raises" corruption_prop);
+          Alcotest.test_case "oversize/undersize length" `Quick test_oversize_length;
+          Alcotest.test_case "unknown tag" `Quick test_unknown_tag;
+        ] );
+      ( "reader",
+        [ QCheck_alcotest.to_alcotest (prop "chunked reassembly" reader_chunking_prop) ];
+      );
+    ]

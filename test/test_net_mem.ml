@@ -1,0 +1,174 @@
+(* Deterministic end-to-end runs of the networked node runtime on the
+   in-process transport: a 25-node cluster under virtual time serves
+   replicated puts/gets through a caching client, survives a node
+   kill mid-run, and produces bit-identical cache counters across two
+   identical runs (pinned below). *)
+
+module Engine = D2_simnet.Engine
+module Topology = D2_simnet.Topology
+module Key = D2_keyspace.Key
+module Rng = D2_util.Rng
+module Ring = D2_dht.Ring
+module Mem = D2_net.Transport_mem
+module Node = D2_net.Node.Make (D2_net.Transport_mem)
+module Client = D2_net.Client.Make (D2_net.Transport_mem)
+module Lookup_cache = D2_cache.Lookup_cache
+module Bootstrap = D2_net.Bootstrap
+
+let cluster_n = 25
+
+(* Virtual RTTs reach a few hundred ms; leave headroom so a slow pair
+   never reads as a dead one. *)
+let config =
+  { D2_net.Node.replicas = 3; probe_interval = 0.5; rpc_timeout = 2.0 }
+
+let data_of key = "blk:" ^ Key.to_string key
+
+type outcome = {
+  hits : int;
+  misses : int;
+  lookup_rpcs : int;
+  failures : int;
+}
+
+(* One full scripted run; everything is seeded, so two calls must
+   produce identical traffic and identical counters. *)
+let run () =
+  let engine = Engine.create () in
+  let topology =
+    Topology.create ~rng:(Rng.create 0x7090) ~n:(cluster_n + 1) ()
+  in
+  let net = Mem.create_net ~engine ~topology ~loss:0.0 ~seed:0x11 () in
+  let peers = Bootstrap.peers cluster_n in
+  let nodes =
+    List.map
+      (fun (i, id) ->
+        Node.create (Mem.endpoint net ~node:i) ~config ~id ~peers)
+      peers
+  in
+  List.iter Node.serve nodes;
+  Engine.run engine ~until:3.0;
+  let client =
+    Client.create
+      (Mem.endpoint net ~node:cluster_n)
+      ~replicas:3 ~rpc_timeout:2.0
+      ~seeds:(List.init cluster_n Fun.id)
+      ()
+  in
+  let krng = Rng.create 0xbeef in
+  let keys = Array.init 120 (fun _ -> Key.random krng) in
+  (* Phase 1: store everything with 3-way replication; with every node
+     up and no loss, all three copies must ack. *)
+  Array.iter
+    (fun key ->
+      match Client.put client ~key ~data:(data_of key) with
+      | `Ok copies ->
+          Alcotest.(check int) "put acked by all replicas" 3 copies
+      | `Failed -> Alcotest.fail "put failed with the whole cluster up")
+    keys;
+  (* Phase 2: read the first half back (warming cached ranges that the
+     kill below will partly invalidate). *)
+  Array.iteri
+    (fun i key ->
+      if i < 60 then
+        match Client.get client ~key with
+        | `Found d -> Alcotest.(check string) "get" (data_of key) d
+        | `Missing | `Failed -> Alcotest.fail "pre-kill read lost a block")
+    keys;
+  (* Kill the owner of keys.(0): it owns data, it is covered by cached
+     ranges, and its successor holds the surviving replica. *)
+  let reference = Ring.create () in
+  List.iter (fun (n, id) -> Ring.add reference ~id ~node:n) peers;
+  let victim = Ring.successor reference keys.(0) in
+  Mem.kill net victim;
+  (* Let failure detection converge everywhere: broken streams flag the
+     kill immediately; the rotating probe covers stragglers. *)
+  Engine.run engine ~until:(Engine.now engine +. 20.0);
+  (* Phase 3: every block must still read correctly through the
+     survivors — the victim's keys now serve from its successor. *)
+  Array.iter
+    (fun key ->
+      match Client.get client ~key with
+      | `Found d -> Alcotest.(check string) "post-kill get" (data_of key) d
+      | `Missing | `Failed -> Alcotest.fail "read lost after single kill")
+    keys;
+  List.iter Node.stop nodes;
+  let cache = Client.cache client in
+  {
+    hits = Lookup_cache.hits cache;
+    misses = Lookup_cache.misses cache;
+    lookup_rpcs = Client.lookup_rpcs client;
+    failures = Client.failures client;
+  }
+
+(* Counters for the scripted run above.  A change here means the
+   protocol's message or cache behaviour changed — rerun twice, and if
+   both runs agree, re-pin deliberately. *)
+let pinned = { hits = 279; misses = 22; lookup_rpcs = 73; failures = 0 }
+
+let check_outcome label expected got =
+  Alcotest.(check int) (label ^ ": cache hits") expected.hits got.hits;
+  Alcotest.(check int) (label ^ ": cache misses") expected.misses got.misses;
+  Alcotest.(check int) (label ^ ": lookup rpcs") expected.lookup_rpcs got.lookup_rpcs;
+  Alcotest.(check int) (label ^ ": failures") expected.failures got.failures
+
+let test_churn_deterministic () =
+  let first = run () in
+  let second = run () in
+  check_outcome "second run" first second;
+  check_outcome "pin" pinned first
+
+(* Small sanity run: 3 nodes, one block, full lifecycle including the
+   stale-cache [Missing] path after remove. *)
+let test_basic_lifecycle () =
+  let engine = Engine.create () in
+  let topology = Topology.create ~rng:(Rng.create 0x31) ~n:4 () in
+  let net = Mem.create_net ~engine ~topology ~loss:0.0 ~seed:0x5 () in
+  let peers = Bootstrap.peers 3 in
+  let nodes =
+    List.map
+      (fun (i, id) ->
+        Node.create (Mem.endpoint net ~node:i) ~config ~id ~peers)
+      peers
+  in
+  List.iter Node.serve nodes;
+  Engine.run engine ~until:2.0;
+  let client =
+    Client.create (Mem.endpoint net ~node:3) ~replicas:3 ~rpc_timeout:2.0
+      ~seeds:[ 0; 1; 2 ] ()
+  in
+  let key = Key.random (Rng.create 0x77) in
+  (match Client.put client ~key ~data:"hello" with
+  | `Ok copies -> Alcotest.(check int) "copies" 3 copies
+  | `Failed -> Alcotest.fail "put");
+  (* Every node's shard holds the block: 3 replicas on a 3-node ring. *)
+  List.iter
+    (fun n ->
+      Alcotest.(check bool)
+        "replica present" true
+        (D2_net.Shard.mem (Node.shard n) ~key))
+    nodes;
+  (match Client.get client ~key with
+  | `Found d -> Alcotest.(check string) "data" "hello" d
+  | `Missing | `Failed -> Alcotest.fail "get");
+  (match Client.remove client ~key with
+  | `Ok removed -> Alcotest.(check bool) "removed" true removed
+  | `Failed -> Alcotest.fail "remove");
+  (match Client.get client ~key with
+  | `Missing -> ()
+  | `Found _ -> Alcotest.fail "block survived remove"
+  | `Failed -> Alcotest.fail "get after remove");
+  Alcotest.(check int) "no failures" 0 (Client.failures client);
+  List.iter Node.stop nodes
+
+let () =
+  Alcotest.run "net_mem"
+    [
+      ( "e2e",
+        [
+          Alcotest.test_case "basic lifecycle (3 nodes)" `Quick
+            test_basic_lifecycle;
+          Alcotest.test_case "25-node churn, pinned counters" `Quick
+            test_churn_deterministic;
+        ] );
+    ]
