@@ -257,6 +257,95 @@ let net_mem_rpc_test () =
       | `Found _ -> ()
       | `Missing | `Failed -> failwith "net_mem_rpc: get failed"))
 
+(* Write coalescing: queue windows of 16 frames on one link and flush
+   each window as a single transport send, then drain the virtual
+   network so the receive side pays reassembly and dispatch too.
+   Gates the per-frame cost of the pipelined output path. *)
+let coalesce_window = 16
+
+let net_write_coalesce_test () =
+  let open Bechamel in
+  let module Mem = D2_net.Transport_mem in
+  let module L = D2_net.Linkset.Make (D2_net.Transport_mem) in
+  let engine = Engine.create () in
+  let topology = D2_simnet.Topology.create ~rng:(Rng.create 0x77c) ~n:2 () in
+  let net = Mem.create_net ~engine ~topology ~loss:0.0 ~seed:0x3 () in
+  let a = Mem.endpoint net ~node:0 in
+  let b = Mem.endpoint net ~node:1 in
+  let la = L.create a in
+  let lb = L.create b in
+  Mem.on_accept b (fun conn -> ignore (L.attach lb conn));
+  let link =
+    match L.link_to la 1 with
+    | Some l -> l
+    | None -> failwith "net_write_coalesce: connect failed"
+  in
+  let msg = D2_net.Wire.Probe_ack { node = 7; epoch = 1 } in
+  Test.make ~name:"net_write_coalesce" (Staged.stage (fun () ->
+      for w = 0 to (micro_batch / coalesce_window) - 1 do
+        for i = 0 to coalesce_window - 1 do
+          L.reply link ~req:((w * coalesce_window) + i) msg
+        done;
+        L.flush_all la
+      done;
+      (* Deliver everything queued this run: the replies land on [lb]
+         with no pending entry and are dropped after decode. *)
+      L.poll la ~timeout:2.0))
+
+(* A full window of pipelined gets through the client stack (range
+   cache, request-id correlation, coalesced flush) on the in-process
+   3-node cluster — the mem-transport twin of d2load's replay loop at
+   in-flight = 16. *)
+let pipeline_window = 16
+
+let net_pipelined_rpc_test () =
+  let open Bechamel in
+  let module Mem = D2_net.Transport_mem in
+  let module Node = D2_net.Node.Make (D2_net.Transport_mem) in
+  let module Client = D2_net.Client.Make (D2_net.Transport_mem) in
+  let engine = Engine.create () in
+  let topology =
+    D2_simnet.Topology.create ~rng:(Rng.create 0x70a) ~n:4 ()
+  in
+  let net = Mem.create_net ~engine ~topology ~loss:0.0 ~seed:0x9 () in
+  let peers = D2_net.Bootstrap.peers 3 in
+  let config =
+    { D2_net.Node.replicas = 3; probe_interval = 60.0; rpc_timeout = 5.0 }
+  in
+  let nodes =
+    List.map
+      (fun (i, id) -> Node.create (Mem.endpoint net ~node:i) ~config ~id ~peers)
+      peers
+  in
+  List.iter Node.serve nodes;
+  Engine.run engine ~until:2.0;
+  let client =
+    Client.create (Mem.endpoint net ~node:3) ~replicas:3 ~rpc_timeout:5.0
+      ~seeds:[ 0; 1; 2 ] ()
+  in
+  let krng = Rng.create 0x6c in
+  let keys = Array.init 64 (fun _ -> Key.random krng) in
+  let data = String.make 256 'p' in
+  Array.iter
+    (fun key ->
+      match Client.put client ~key ~data with
+      | `Ok _ -> ()
+      | `Failed -> failwith "net_pipelined_rpc: preload put failed")
+    keys;
+  let idx = ref 0 in
+  Test.make ~name:"net_pipelined_rpc" (Staged.stage (fun () ->
+      let completed = ref 0 in
+      for _ = 1 to pipeline_window do
+        let key = keys.(!idx land 63) in
+        incr idx;
+        Client.get_async client ~key (function
+          | `Found _ -> incr completed
+          | `Missing | `Failed -> failwith "net_pipelined_rpc: get failed")
+      done;
+      while !completed < pipeline_window do
+        Client.poll client ~timeout:0.01
+      done))
+
 let micro_tests ~full () =
   let open Bechamel in
   let rng = Rng.create 99 in
@@ -345,6 +434,9 @@ let micro_tests ~full () =
       (`Quick, micro_batch, net_frame_encode_test ());
       (* one put + one get per staged run *)
       (`Quick, 2, net_mem_rpc_test ());
+      (`Quick, micro_batch, net_write_coalesce_test ());
+      (* one window of 16 pipelined gets per staged run *)
+      (`Quick, pipeline_window, net_pipelined_rpc_test ());
     ]
   in
   let selected =

@@ -3,30 +3,56 @@
    A fixed-size loopback deployment: node [--node] of [--nodes] binds
    127.0.0.1:port_base+node (D2_NET_PORT_BASE or --port-base), joins
    the peers that are already up, and serves lookup/get/put/remove
-   until SIGINT/SIGTERM or --duration elapses. *)
+   until SIGINT/SIGTERM or --duration elapses.
+
+   With [--domains k] (or D2_NET_DOMAINS), k domains serve the same
+   logical node: every domain binds its own SO_REUSEPORT listener on
+   the node's address and runs its own poll loop, the kernel spreading
+   inbound connections across them.  Ring/router state is shared under
+   the node's membership lock and the shard is lock-partitioned, so
+   the get/put data path scales across domains. *)
 
 open Cmdliner
 module T = D2_net.Transport_unix
 module Node = D2_net.Node.Make (D2_net.Transport_unix)
 module Bootstrap = D2_net.Bootstrap
 
-let stop_flag = ref false
+let stop_flag = Atomic.make false
 
-let run node nodes port_base replicas probe_interval rpc_timeout duration =
+let default_domains () =
+  match Sys.getenv_opt "D2_NET_DOMAINS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some d when d >= 1 -> d
+      | _ ->
+          prerr_endline "d2d: ignoring malformed D2_NET_DOMAINS";
+          1)
+  | None -> 1
+
+let run node nodes port_base replicas probe_interval rpc_timeout duration
+    domains =
   if node < 0 || node >= nodes then (
     Printf.eprintf "d2d: --node must be in [0, %d)\n" nodes;
     exit 2);
-  Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop_flag := true));
-  Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop_flag := true));
-  let ep = T.create ~node ~addr_of:(T.loopback ~port_base ~n:nodes) () in
+  if domains < 1 then (
+    Printf.eprintf "d2d: --domains must be >= 1\n";
+    exit 2);
+  Sys.set_signal Sys.sigint
+    (Sys.Signal_handle (fun _ -> Atomic.set stop_flag true));
+  Sys.set_signal Sys.sigterm
+    (Sys.Signal_handle (fun _ -> Atomic.set stop_flag true));
+  let addr_of = T.loopback ~port_base ~n:nodes in
+  let reuseport = domains > 1 in
+  let ep = T.create ~node ~addr_of ~reuseport () in
   let config = { D2_net.Node.replicas; probe_interval; rpc_timeout } in
   let n =
     Node.create ep ~config ~id:(Bootstrap.node_id node)
       ~peers:(Bootstrap.peers nodes)
   in
   Node.serve n;
-  Printf.printf "d2d: node %d/%d listening on 127.0.0.1:%d (replicas=%d)\n%!"
-    node nodes (port_base + node) replicas;
+  Printf.printf
+    "d2d: node %d/%d listening on 127.0.0.1:%d (replicas=%d, domains=%d)\n%!"
+    node nodes (port_base + node) replicas domains;
   let deadline =
     if duration > 0.0 then Some (Unix.gettimeofday () +. duration) else None
   in
@@ -35,14 +61,41 @@ let run node nodes port_base replicas probe_interval rpc_timeout duration =
     | Some t -> Unix.gettimeofday () >= t
     | None -> false
   in
-  while (not !stop_flag) && not (expired ()) do
+  let served = Atomic.make 0 in
+  (* Worker domains: each owns one SO_REUSEPORT endpoint and a sibling
+     view of the node, and polls only its own sockets. *)
+  let workers =
+    if domains <= 1 then []
+    else begin
+      let pool = D2_util.Pool.create ~jobs:(domains - 1) () in
+      let ps =
+        List.init (domains - 1) (fun _ ->
+            D2_util.Pool.submit pool (fun () ->
+                let wep = T.create ~node ~addr_of ~reuseport:true () in
+                let s = Node.sibling n wep in
+                while not (Atomic.get stop_flag) do
+                  T.poll wep ~timeout:0.05
+                done;
+                T.shutdown wep;
+                Atomic.fetch_and_add served (Node.requests_served s) |> ignore))
+      in
+      [ (pool, ps) ]
+    end
+  in
+  while (not (Atomic.get stop_flag)) && not (expired ()) do
     T.poll ep ~timeout:0.05
   done;
+  Atomic.set stop_flag true;
+  List.iter
+    (fun (pool, ps) ->
+      List.iter D2_util.Pool.await ps;
+      D2_util.Pool.shutdown pool)
+    workers;
   Node.stop n;
   T.shutdown ep;
   Printf.printf "d2d: node %d served %d requests, %d blocks (%d bytes) stored\n%!"
     node
-    (Node.requests_served n)
+    (Node.requests_served n + Atomic.get served)
     (D2_net.Shard.count (Node.shard n))
     (D2_net.Shard.stored_bytes (Node.shard n))
 
@@ -86,12 +139,21 @@ let duration_term =
     & info [ "duration" ] ~docv:"SECS"
         ~doc:"Exit cleanly after SECS seconds (0 = run until a signal).")
 
+let domains_term =
+  Arg.(
+    value
+    & opt int (default_domains ())
+    & info [ "domains" ] ~docv:"K"
+        ~doc:"Serve this node with K domains, each on its own \
+              SO_REUSEPORT listener (default from D2_NET_DOMAINS, else \
+              1).")
+
 let cmd =
   let doc = "run one D2 storage node over TCP" in
   Cmd.v
     (Cmd.info "d2d" ~doc)
     Term.(
       const run $ node_term $ nodes_term $ port_base_term $ replicas_term
-      $ probe_term $ timeout_term $ duration_term)
+      $ probe_term $ timeout_term $ duration_term $ domains_term)
 
 let () = exit (Cmd.eval cmd)

@@ -6,7 +6,16 @@
    trace reads before any write is first seeded with a put), Delete
    removes the file's first block.  Every get is checked against what
    this process stored, so a non-zero exit means real data loss, not
-   just noise. *)
+   just noise.
+
+   The replay is pipelined: a window of [--in-flight] operations stays
+   open on one persistent connection per node, requests correlated by
+   id and coalesced into shared transport writes.  Two ops on the same
+   key never overlap (the issuer stalls on a read-after-write hazard),
+   so verification stays exact at any depth.  [--sweep] replays the
+   workload at several depths and prints the saturation curve;
+   [--min-ops-s] turns the best depth's throughput into an exit-code
+   floor for CI. *)
 
 open Cmdliner
 module T = D2_net.Transport_unix
@@ -22,9 +31,173 @@ module Keymap = D2_trace.Keymap
 let payload_of key bytes =
   let n = max 1 (min bytes D2_net.Wire.max_payload) in
   let tag = Key.to_string key in
-  String.init n (fun i -> tag.[i mod String.length tag])
+  let tl = String.length tag in
+  let b = Bytes.create n in
+  let off = ref 0 in
+  while !off < n do
+    let k = min tl (n - !off) in
+    Bytes.blit_string tag 0 b !off k;
+    off := !off + k
+  done;
+  Bytes.unsafe_to_string b
 
-let run nodes port_base replicas duration users target_mb seed rpc_timeout =
+let default_inflight () =
+  match Sys.getenv_opt "D2_NET_INFLIGHT" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some w when w >= 1 -> w
+      | _ ->
+          prerr_endline "d2load: ignoring malformed D2_NET_INFLIGHT";
+          16)
+  | None -> 16
+
+type run_stats = {
+  window : int;
+  run_ops : int;
+  elapsed : float;
+  lats : float array; (* sorted, seconds *)
+}
+
+let ops_s r = if r.elapsed > 0.0 then float_of_int r.run_ops /. r.elapsed else 0.0
+let lat_ms r p = 1000.0 *. Stats.percentile r.lats p
+
+(* One timed replay at pipeline depth [window].  Ops issue while the
+   window has room; an op whose key is already in flight queues behind
+   that key (same-key ops must not overlap or read verification races
+   the write) and issues from the predecessor's completion, so a run
+   of hot-key ops never stalls the rest of the pipeline.  Between
+   issue bursts the client polls, flushing the coalesced batch and
+   delivering replies.  Returns once the deadline passed and every
+   issued and queued op concluded. *)
+let replay client trace keymap stored ~window ~duration ~failed ~verify_errors
+    =
+  let n_ops = Array.length trace.Op.ops in
+  (* keys with an op currently issued *)
+  let active : unit Key.Table.t = Key.Table.create (4 * window) in
+  (* key -> ops waiting for the in-flight op on that key *)
+  let blocked : Op.op Queue.t Key.Table.t = Key.Table.create (4 * window) in
+  let lat = ref (Array.make 4096 0.0) in
+  let done_ops = ref 0 and outstanding = ref 0 in
+  let lookahead = max (4 * window) 64 in
+  let t_start = Unix.gettimeofday () in
+  let deadline = t_start +. duration in
+  let stop_issuing = ref false in
+  let i = ref 0 in
+  let record t0 =
+    if !done_ops = Array.length !lat then begin
+      let b = Array.make (2 * !done_ops) 0.0 in
+      Array.blit !lat 0 b 0 !done_ops;
+      lat := b
+    end;
+    !lat.(!done_ops) <- Unix.gettimeofday () -. t0;
+    incr done_ops
+  in
+  (* Issue one trace op against a key that is NOT currently in flight.
+     Completion pops the key's queue and issues the successor, keeping
+     per-key order exact. *)
+  let rec issue (op : Op.op) key =
+    Key.Table.replace active key ();
+    let t0 = Unix.gettimeofday () in
+    let finish () =
+      record t0;
+      decr outstanding;
+      match Key.Table.find_opt blocked key with
+      | None -> Key.Table.remove active key
+      | Some q ->
+          let next = Queue.pop q in
+          if Queue.is_empty q then Key.Table.remove blocked key;
+          issue next key
+    in
+    let put_block data =
+      Client.put_async client ~key ~data (fun r ->
+          (match r with
+          | `Ok _ -> Key.Table.replace stored key data
+          | `Failed -> incr failed);
+          finish ())
+    in
+    match op.Op.kind with
+    | Op.Write | Op.Create -> put_block (payload_of key op.Op.bytes)
+    | Op.Read -> (
+        match Key.Table.find_opt stored key with
+        | None -> put_block (payload_of key op.Op.bytes)
+        | Some expect ->
+            Client.get_async client ~key (fun r ->
+                (match r with
+                | `Found data ->
+                    if not (String.equal data expect) then incr verify_errors
+                | `Missing -> incr verify_errors
+                | `Failed -> incr failed);
+                finish ()))
+    | Op.Delete ->
+        Client.remove_async client ~key (fun r ->
+            (match r with
+            | `Ok _ -> Key.Table.remove stored key
+            | `Failed -> incr failed);
+            finish ())
+  in
+  while (not !stop_issuing) || !outstanding > 0 do
+    while
+      (not !stop_issuing)
+      && Client.in_flight client < window
+      && !outstanding < lookahead
+    do
+      if Unix.gettimeofday () >= deadline then stop_issuing := true
+      else begin
+        let op = trace.Op.ops.(!i mod n_ops) in
+        incr i;
+        let key = Keymap.key_of_op keymap op in
+        let skip =
+          (* A delete of a block we never stored is a no-op — don't
+             burn a window slot on it (matches the pre-pipelined
+             replay, which issued nothing for those). *)
+          op.Op.kind = Op.Delete
+          && (not (Key.Table.mem stored key))
+          && not (Key.Table.mem active key)
+        in
+        if not skip then begin
+          incr outstanding;
+          if Key.Table.mem active key then begin
+            let q =
+              match Key.Table.find_opt blocked key with
+              | Some q -> q
+              | None ->
+                  let q = Queue.create () in
+                  Key.Table.replace blocked key q;
+                  q
+            in
+            Queue.push op q
+          end
+          else issue op key
+        end
+      end
+    done;
+    Client.poll client ~timeout:0.001
+  done;
+  let elapsed = Unix.gettimeofday () -. t_start in
+  let lats = Array.sub !lat 0 !done_ops in
+  Array.sort compare lats;
+  { window; run_ops = !done_ops; elapsed; lats }
+
+let run nodes port_base replicas duration users target_mb seed rpc_timeout
+    inflight sweep min_ops_s =
+  (* Block payloads (~8 KB) exceed the minor-allocation cutoff and
+     land on the major heap; at 100k ops/s the default pacing spends a
+     measurable slice of every cycle in major collections.  Trade
+     memory for mutator time — this is a load generator. *)
+  Gc.set
+    {
+      (Gc.get ()) with
+      Gc.minor_heap_size = 4 * 1024 * 1024;
+      space_overhead = 400;
+    };
+  let windows =
+    match sweep with
+    | [] -> [ inflight ]
+    | ws -> List.filter (fun w -> w >= 1) ws
+  in
+  if windows = [] then (
+    Printf.eprintf "d2load: --sweep needs at least one depth >= 1\n";
+    exit 2);
   let ep =
     T.create
       ~node:(Bootstrap.client_handle 0)
@@ -45,68 +218,53 @@ let run nodes port_base replicas duration users target_mb seed rpc_timeout =
     }
   in
   let trace = Harvard.generate ~rng:(Rng.create seed) ~params () in
-  let keymap = Keymap.create Keymap.D2 ~volume:"/d2load" in
-  let stored : (Key.t, string) Hashtbl.t = Hashtbl.create 4096 in
-  let lat = ref [] and ops = ref 0 and failed = ref 0 and verify_errors = ref 0 in
-  let timed f =
-    let t0 = Unix.gettimeofday () in
-    let r = f () in
-    lat := (Unix.gettimeofday () -. t0) :: !lat;
-    incr ops;
-    r
-  in
-  let put key data =
-    match timed (fun () -> Client.put client ~key ~data) with
-    | `Ok _ -> Hashtbl.replace stored key data
-    | `Failed -> incr failed
-  in
-  let do_op (op : Op.op) =
-    let key = Keymap.key_of_op keymap op in
-    match op.Op.kind with
-    | Op.Write | Op.Create -> put key (payload_of key op.Op.bytes)
-    | Op.Read -> (
-        match Hashtbl.find_opt stored key with
-        | None -> put key (payload_of key op.Op.bytes)
-        | Some expect -> (
-            match timed (fun () -> Client.get client ~key) with
-            | `Found data -> if not (String.equal data expect) then incr verify_errors
-            | `Missing -> incr verify_errors
-            | `Failed -> incr failed))
-    | Op.Delete -> (
-        if Hashtbl.mem stored key then
-          match timed (fun () -> Client.remove client ~key) with
-          | `Ok _ -> Hashtbl.remove stored key
-          | `Failed -> incr failed)
-  in
-  let n_ops = Array.length trace.Op.ops in
-  if n_ops = 0 then (
+  if Array.length trace.Op.ops = 0 then (
     Printf.eprintf "d2load: empty trace\n";
     exit 2);
-  let t_start = Unix.gettimeofday () in
-  let i = ref 0 in
-  while Unix.gettimeofday () -. t_start < duration do
-    do_op trace.Op.ops.(!i mod n_ops);
-    incr i
-  done;
-  let elapsed = Unix.gettimeofday () -. t_start in
+  let keymap = Keymap.create Keymap.D2 ~volume:"/d2load" in
+  let stored : string Key.Table.t = Key.Table.create 4096 in
+  let failed = ref 0 and verify_errors = ref 0 in
+  let runs =
+    List.map
+      (fun window ->
+        replay client trace keymap stored ~window ~duration ~failed
+          ~verify_errors)
+      windows
+  in
   T.shutdown ep;
-  let lats = Array.of_list !lat in
-  Array.sort compare lats;
-  let ms p = 1000.0 *. Stats.percentile lats p in
+  let best =
+    List.fold_left (fun a r -> if ops_s r > ops_s a then r else a)
+      (List.hd runs) runs
+  in
+  let total_ops = List.fold_left (fun a r -> a + r.run_ops) 0 runs in
+  Printf.printf "d2load: %d ops against %d nodes (%.2f s per depth)\n"
+    total_ops nodes duration;
+  if List.length runs > 1 then begin
+    Printf.printf "  saturation curve:\n";
+    Printf.printf "  %-10s %-10s %-8s %-8s %-8s\n" "in-flight" "ops/s" "p50ms"
+      "p95ms" "p99ms";
+    List.iter
+      (fun r ->
+        Printf.printf "  %-10d %-10.0f %-8.2f %-8.2f %-8.2f\n" r.window
+          (ops_s r) (lat_ms r 50.0) (lat_ms r 95.0) (lat_ms r 99.0))
+      runs
+  end;
+  Printf.printf
+    "  best: %.0f ops/s at in-flight=%d (p50=%.2f p95=%.2f p99=%.2f ms)\n"
+    (ops_s best) best.window (lat_ms best 50.0) (lat_ms best 95.0)
+    (lat_ms best 99.0);
   let cache = Client.cache client in
-  Printf.printf "d2load: %d ops in %.2f s (%.0f ops/s) against %d nodes\n" !ops
-    elapsed
-    (float_of_int !ops /. elapsed)
-    nodes;
-  Printf.printf "  latency ms: p50=%.2f p95=%.2f p99=%.2f max=%.2f\n" (ms 50.0)
-    (ms 95.0) (ms 99.0)
-    (1000.0 *. if Array.length lats = 0 then 0.0 else lats.(Array.length lats - 1));
   Printf.printf "  lookups: %d rpcs, cache %d hits / %d misses\n"
     (Client.lookup_rpcs client)
     (D2_cache.Lookup_cache.hits cache)
     (D2_cache.Lookup_cache.misses cache);
   Printf.printf "  failed ops: %d, verify errors: %d\n%!" !failed !verify_errors;
-  if !failed > 0 || !verify_errors > 0 then exit 1
+  if !failed > 0 || !verify_errors > 0 then exit 1;
+  if min_ops_s > 0.0 && ops_s best < min_ops_s then begin
+    Printf.eprintf "d2load: best %.0f ops/s is below the %.0f ops/s floor\n"
+      (ops_s best) min_ops_s;
+    exit 1
+  end
 
 let nodes_term =
   Arg.(value & opt int 3 & info [ "nodes" ] ~docv:"M" ~doc:"Cluster size.")
@@ -126,7 +284,7 @@ let replicas_term =
 let duration_term =
   Arg.(
     value & opt float 2.0
-    & info [ "duration" ] ~docv:"SECS" ~doc:"How long to replay.")
+    & info [ "duration" ] ~docv:"SECS" ~doc:"How long to replay (per depth).")
 
 let users_term =
   Arg.(
@@ -146,12 +304,36 @@ let timeout_term =
     value & opt float 1.0
     & info [ "rpc-timeout" ] ~docv:"SECS" ~doc:"Per-RPC reply deadline.")
 
+let inflight_term =
+  Arg.(
+    value
+    & opt int (default_inflight ())
+    & info [ "in-flight" ] ~docv:"W"
+        ~doc:"Pipeline depth: operations kept in flight (default from \
+              D2_NET_INFLIGHT, else 16).")
+
+let sweep_term =
+  Arg.(
+    value
+    & opt (list int) []
+    & info [ "sweep" ] ~docv:"W1,W2,..."
+        ~doc:"Replay at each depth in turn and print the saturation \
+              curve (overrides --in-flight).")
+
+let min_ops_s_term =
+  Arg.(
+    value & opt float 0.0
+    & info [ "min-ops-s" ] ~docv:"OPS"
+        ~doc:"Exit non-zero unless the best depth sustains at least \
+              OPS operations per second (0 = no floor).")
+
 let cmd =
   let doc = "replay a synthetic workload against a live d2d cluster" in
   Cmd.v
     (Cmd.info "d2load" ~doc)
     Term.(
       const run $ nodes_term $ port_base_term $ replicas_term $ duration_term
-      $ users_term $ target_mb_term $ seed_term $ timeout_term)
+      $ users_term $ target_mb_term $ seed_term $ timeout_term $ inflight_term
+      $ sweep_term $ min_ops_s_term)
 
 let () = exit (Cmd.eval cmd)

@@ -16,6 +16,7 @@ module Make (T : Transport.S) = struct
     quantum : float;
     mutable lookup_rpcs : int;
     mutable failures : int;
+    mutable inflight : int;
   }
 
   let create ep ?ttl ?(replicas = 3) ?(rpc_timeout = 0.25) ?(max_hops = 32)
@@ -33,11 +34,14 @@ module Make (T : Transport.S) = struct
       quantum;
       lookup_rpcs = 0;
       failures = 0;
+      inflight = 0;
     }
 
   let cache t = t.cache
   let lookup_rpcs t = t.lookup_rpcs
   let failures t = t.failures
+  let in_flight t = t.inflight
+  let poll t ~timeout = L.poll t.ls ~timeout
 
   let rpc t dst msg =
     L.rpc_sync t.ls ~dst ~timeout:t.rpc_timeout ~quantum:t.quantum msg
@@ -133,4 +137,113 @@ module Make (T : Transport.S) = struct
         match rpc t owner (Wire.Remove { key; depth = t.replicas - 1 }) with
         | Some (Wire.Remove_ack { removed }) -> `Done (`Ok removed)
         | Some _ | None -> `Retry)
+
+  (* {2 Pipelined (multiplexed) operations}
+
+     The async variants never drive the poll loop themselves: they
+     queue the RPC (deferred — the frame coalesces into the link
+     buffer) and return, the reply firing the continuation from a
+     later {!poll}.  A caller keeps a window of W operations open and
+     all W requests ride the same connection, correlated by request
+     id; the retry ladder (invalidate-and-resolve through rotating
+     seeds) is the same as the synchronous path's, continuation-passed
+     instead of blocking. *)
+
+  let arpc t dst msg k =
+    L.rpc ~defer:true t.ls ~dst ~timeout:t.rpc_timeout msg k
+
+  let rec aiterate t key cur hops_left k =
+    t.lookup_rpcs <- t.lookup_rpcs + 1;
+    arpc t cur (Wire.Lookup { key }) (fun r ->
+        match r with
+        | Some (Wire.Owner { node; lo; hi }) ->
+            Lookup_cache.insert t.cache ~now:(T.now (L.endpoint t.ls)) ~lo ~hi
+              ~node;
+            k (Some node)
+        | Some (Wire.Redirect { next }) when hops_left > 0 ->
+            aiterate t key next (hops_left - 1) k
+        | _ ->
+            L.drop_link t.ls cur;
+            k None)
+
+  let aresolve t key k =
+    let now = T.now (L.endpoint t.ls) in
+    match Lookup_cache.find t.cache ~now key with
+    | node when node >= 0 -> k (Some (node, true))
+    | _ ->
+        let ns = Array.length t.seeds in
+        let start = t.seed_idx in
+        t.seed_idx <- (t.seed_idx + 1) mod ns;
+        let rec try_seed n =
+          if n >= ns then k None
+          else
+            aiterate t key t.seeds.((start + n) mod ns) t.max_hops (function
+              | Some node -> k (Some (node, false))
+              | None -> try_seed (n + 1))
+        in
+        try_seed 0
+
+  let awith_owner t key ~failed ~f ~k =
+    t.inflight <- t.inflight + 1;
+    let finish outcome =
+      t.inflight <- t.inflight - 1;
+      k outcome
+    in
+    let rec go attempts =
+      if attempts <= 0 then begin
+        t.failures <- t.failures + 1;
+        finish failed
+      end
+      else
+        aresolve t key (function
+          | None ->
+              t.failures <- t.failures + 1;
+              finish failed
+          | Some (owner, from_cache) ->
+              f owner (fun verdict ->
+                  match verdict with
+                  | `Done outcome -> finish outcome
+                  | `Stale outcome ->
+                      if from_cache then begin
+                        ignore (Lookup_cache.invalidate t.cache key);
+                        go (attempts - 1)
+                      end
+                      else finish outcome
+                  | `Retry ->
+                      ignore (Lookup_cache.invalidate t.cache key);
+                      L.drop_link t.ls owner;
+                      go (attempts - 1)))
+    in
+    go t.retries
+
+  let put_async t ~key ~data k =
+    if String.length data > Wire.max_payload then
+      invalid_arg "Client.put_async: data exceeds Wire.max_payload";
+    awith_owner t key ~failed:`Failed ~k ~f:(fun owner k' ->
+        arpc t owner
+          (Wire.Put { key; depth = t.replicas - 1; data })
+          (fun r ->
+            k'
+              (match r with
+              | Some (Wire.Put_ack { copies }) -> `Done (`Ok copies)
+              | Some _ | None -> `Retry)))
+
+  let get_async t ~key k =
+    awith_owner t key ~failed:`Failed ~k ~f:(fun owner k' ->
+        arpc t owner (Wire.Get { key }) (fun r ->
+            k'
+              (match r with
+              | Some (Wire.Found { data }) -> `Done (`Found data)
+              | Some Wire.Missing -> `Stale `Missing
+              | Some _ | None -> `Retry)))
+
+  let remove_async t ~key k =
+    awith_owner t key ~failed:`Failed ~k ~f:(fun owner k' ->
+        arpc t owner
+          (Wire.Remove { key; depth = t.replicas - 1 })
+          (fun r ->
+            k'
+              (match r with
+              | Some (Wire.Remove_ack { removed }) -> `Done (`Ok removed)
+              | Some _ | None -> `Retry)))
 end

@@ -37,6 +37,11 @@ module Make (T : Transport.S) : sig
       while an operation waits.  [ttl] is the cache TTL (default
       4500 s — virtual seconds under {!Transport_mem}). *)
 
+  (** {2 Synchronous operations}
+
+      Each drives the transport's poll loop until the operation
+      concludes — one operation in flight at a time. *)
+
   val put : t -> key:Key.t -> data:string -> [ `Ok of int | `Failed ]
   (** [`Ok copies]: the coordinator stored the block and [copies]
       replicas (itself included) acked.
@@ -44,6 +49,33 @@ module Make (T : Transport.S) : sig
 
   val get : t -> key:Key.t -> [ `Found of string | `Missing | `Failed ]
   val remove : t -> key:Key.t -> [ `Ok of bool | `Failed ]
+
+  (** {2 Pipelined operations}
+
+      The [_async] variants queue the request and return immediately;
+      the continuation fires from a later {!poll} once the operation
+      concludes (reply, retry ladder exhausted, or timeout).  Requests
+      to one owner share a single connection, correlated by request
+      id, and frames queued between two polls coalesce into one
+      transport write — keep a window of W operations open and the
+      whole window rides one send.  Continuations run exactly once. *)
+
+  val put_async :
+    t -> key:Key.t -> data:string -> ([ `Ok of int | `Failed ] -> unit) -> unit
+  (** @raise Invalid_argument if [data] exceeds {!Wire.max_payload}. *)
+
+  val get_async :
+    t -> key:Key.t -> ([ `Found of string | `Missing | `Failed ] -> unit) -> unit
+
+  val remove_async :
+    t -> key:Key.t -> ([ `Ok of bool | `Failed ] -> unit) -> unit
+
+  val poll : t -> timeout:float -> unit
+  (** One event-loop step: flush every queued frame, deliver I/O and
+      timers for at most [timeout] seconds, flush again. *)
+
+  val in_flight : t -> int
+  (** Operations issued asynchronously and not yet concluded. *)
 
   val cache : t -> Lookup_cache.t
   (** The range cache (hit/miss counters included). *)

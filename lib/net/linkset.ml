@@ -3,37 +3,87 @@
    correlation for outstanding RPCs, timeouts, and link reuse.  Both
    directions of one stream are symmetrical — either side may issue
    requests — so replies are told apart from requests by tag
-   ([Wire.is_request]), never by who connected. *)
+   ([Wire.is_request]), never by who connected.
+
+   Outbound frames coalesce: every encode lands in the link's output
+   buffer and the buffer reaches the transport as ONE [send] at the
+   next flush point (end of the dispatch that produced the replies,
+   immediately for a lone RPC, explicitly for a pipelined batch) —
+   that single send is what amortizes per-write syscalls under
+   pipelining. *)
+
+module Bytebuf = Transport.Bytebuf
 
 module Make (T : Transport.S) = struct
   type link = {
     lpeer : int;
     conn : T.conn;
+    owner : t;
     reader : Wire.Reader.t;
+    outbuf : Bytebuf.t;
+    mutable dirty : bool;  (** queued on [owner.dirty_links] *)
     pending : (int, Wire.msg option -> unit) Hashtbl.t;
     mutable next_req : int;
   }
 
-  type t = {
+  and t = {
     ep : T.t;
     links : (int, link) Hashtbl.t;  (** newest usable link per peer *)
+    mutable dirty_links : link list;
     mutable on_request : link -> int -> Wire.msg -> unit;
     mutable on_peer_down : int -> unit;
     mutable rpcs_sent : int;
+    mutable frames_queued : int;
+    mutable sends_flushed : int;
   }
 
   let create ep =
     {
       ep;
       links = Hashtbl.create 32;
+      dirty_links = [];
       on_request = (fun _ _ _ -> ());
       on_peer_down = ignore;
       rpcs_sent = 0;
+      frames_queued = 0;
+      sends_flushed = 0;
     }
 
   let endpoint t = t.ep
   let set_on_request t f = t.on_request <- f
   let set_on_peer_down t f = t.on_peer_down <- f
+
+  let flush_link l =
+    l.dirty <- false;
+    if not (Bytebuf.is_empty l.outbuf) then begin
+      let buf, off, len = Bytebuf.peek l.outbuf in
+      T.send l.conn buf ~off ~len;
+      Bytebuf.consume l.outbuf len;
+      l.owner.sends_flushed <- l.owner.sends_flushed + 1
+    end
+
+  (* Flushing can fail a link, whose pending callbacks may queue new
+     frames on other links — loop until no link is left dirty. *)
+  let rec flush_all t =
+    match t.dirty_links with
+    | [] -> ()
+    | ls ->
+        t.dirty_links <- [];
+        List.iter flush_link (List.rev ls);
+        flush_all t
+
+  let send_msg l ~req msg =
+    let t = l.owner in
+    let buf, off = Bytebuf.reserve l.outbuf (Wire.frame_length msg) in
+    let n = Wire.encode_into buf ~off ~req msg in
+    Bytebuf.commit l.outbuf n;
+    t.frames_queued <- t.frames_queued + 1;
+    if not l.dirty then begin
+      l.dirty <- true;
+      t.dirty_links <- l :: t.dirty_links
+    end
+
+  let reply = send_msg
 
   let fail_pending l =
     let cbs = Hashtbl.fold (fun _ cb acc -> cb :: acc) l.pending [] in
@@ -49,11 +99,13 @@ module Make (T : Transport.S) = struct
   (* Read everything the transport has buffered into the frame
      reassembler; [recv_into] writes straight into the reader's
      buffer. *)
+  let recv_chunk = 65536
+
   let drain_bytes l =
     let continue = ref true in
     while !continue do
-      let buf, off = Wire.Reader.reserve l.reader 4096 in
-      let n = T.recv_into l.conn buf ~off ~len:4096 in
+      let buf, off = Wire.Reader.reserve l.reader recv_chunk in
+      let n = T.recv_into l.conn buf ~off ~len:recv_chunk in
       if n > 0 then Wire.Reader.commit l.reader n else continue := false
     done
 
@@ -66,23 +118,28 @@ module Make (T : Transport.S) = struct
           continue := false;
           T.close l.conn;
           unregister t l
-      | `Msg (req, msg) ->
+      | `Msg (req, msg) -> (
           if Wire.is_request msg then t.on_request l req msg
-          else begin
+          else
             match Hashtbl.find_opt l.pending req with
             | Some cb ->
                 Hashtbl.remove l.pending req;
                 cb (Some msg)
-            | None -> ()  (* reply to a timed-out request: drop *)
-          end
-    done
+            | None -> () (* reply to a timed-out request: drop *))
+    done;
+    (* Everything this batch of inbound frames produced — replies,
+       fan-out forwards, retries — leaves as one send per link. *)
+    flush_all t
 
   let attach t conn =
     let l =
       {
         lpeer = T.peer conn;
         conn;
-        reader = Wire.Reader.create ();
+        owner = t;
+        reader = Wire.Reader.create ~capacity:recv_chunk ();
+        outbuf = Bytebuf.create ();
+        dirty = false;
         pending = Hashtbl.create 8;
         next_req = 1;
       }
@@ -93,7 +150,8 @@ module Make (T : Transport.S) = struct
         dispatch t l);
     T.on_close conn (fun () ->
         unregister t l;
-        t.on_peer_down l.lpeer);
+        t.on_peer_down l.lpeer;
+        flush_all t);
     l
 
   let link_to t dst =
@@ -108,18 +166,16 @@ module Make (T : Transport.S) = struct
     match Hashtbl.find_opt t.links dst with
     | Some l ->
         T.close l.conn;
-        unregister t l
+        unregister t l;
+        flush_all t
     | None -> ()
 
-  let send_msg l ~req msg =
-    let frame = Wire.encode ~req msg in
-    T.send l.conn frame ~off:0 ~len:(Bytes.length frame)
-
-  let reply = send_msg
-
   (* Fire-and-callback RPC.  The callback runs exactly once: with the
-     reply, or with [None] on timeout or link death. *)
-  let rpc t ~dst ~timeout msg cb =
+     reply, or with [None] on timeout or link death.  [defer] leaves
+     the frame coalescing in the link buffer for a later {!flush_all}
+     — the pipelined client queues a whole window this way and flushes
+     it as one write. *)
+  let rpc ?(defer = false) t ~dst ~timeout msg cb =
     match link_to t dst with
     | None -> cb None
     | Some l ->
@@ -131,9 +187,11 @@ module Make (T : Transport.S) = struct
             match Hashtbl.find_opt l.pending req with
             | Some cb ->
                 Hashtbl.remove l.pending req;
-                cb None
+                cb None;
+                flush_all t
             | None -> ());
-        send_msg l ~req msg
+        send_msg l ~req msg;
+        if not defer then flush_all t
 
   (* Synchronous RPC: drives the transport's poll loop until the
      callback fires.  [quantum] bounds each poll step (and, on the
@@ -147,5 +205,14 @@ module Make (T : Transport.S) = struct
     done;
     match !result with `Done r -> r | `Waiting -> None
 
+  (* One event-loop step on behalf of a caller that issued deferred
+     RPCs: push every queued frame out first, then poll. *)
+  let poll t ~timeout =
+    flush_all t;
+    T.poll t.ep ~timeout;
+    flush_all t
+
   let rpcs_sent t = t.rpcs_sent
+  let frames_queued t = t.frames_queued
+  let sends_flushed t = t.sends_flushed
 end

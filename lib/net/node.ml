@@ -20,6 +20,7 @@ module Make (T : Transport.S) = struct
     ring : Ring.t;
     router : Router.t;
     shard : Shard.t;
+    lock : Mutex.t;  (** guards [ring] and [router] (shared by siblings) *)
     mutable probe_rank : int;
     mutable stopped : bool;
     mutable served : int;
@@ -30,34 +31,61 @@ module Make (T : Transport.S) = struct
   let id t = t.my_id
   let requests_served t = t.served
 
-  let add_member t node id =
+  (* The membership view is shared by every sibling (one per domain),
+     so all ring/router access is bracketed; the bracket must NOT
+     enclose linkset effects — failing a pending RPC runs its callback
+     synchronously, which may re-enter [suspect] and deadlock on the
+     (non-reentrant) mutex. *)
+  let locked t f =
+    Mutex.lock t.lock;
+    match f () with
+    | v ->
+        Mutex.unlock t.lock;
+        v
+    | exception e ->
+        Mutex.unlock t.lock;
+        raise e
+
+  let add_member_locked t node id =
     if node <> t.me && (not (Ring.mem t.ring ~node)) && not (Ring.id_taken t.ring id)
     then begin
       Ring.add t.ring ~id ~node;
       Router.rebuild t.router
     end
 
+  let add_member t node id = locked t (fun () -> add_member_locked t node id)
+
   (* A peer stopped answering (probe or RPC timeout, broken stream):
      drop it from the local view so lookups route around it.  Its
      blocks keep serving from the remaining successor replicas; a
      recovered peer re-enters via Join. *)
   let suspect t peer =
-    if peer <> t.me && Ring.mem t.ring ~node:peer then begin
-      Ring.remove t.ring ~node:peer;
-      Router.rebuild t.router;
-      L.drop_link t.ls peer
+    if peer <> t.me then begin
+      let removed =
+        locked t (fun () ->
+            if Ring.mem t.ring ~node:peer then begin
+              Ring.remove t.ring ~node:peer;
+              Router.rebuild t.router;
+              true
+            end
+            else false)
+      in
+      if removed then L.drop_link t.ls peer
     end
 
-  let members t =
+  let members_locked t =
     List.map (fun n -> (n, Ring.id_of t.ring ~node:n)) (Ring.members t.ring)
+
+  let members t = locked t (fun () -> members_locked t)
 
   (* Fan a stored block out to the next [depth] distinct successors
      and ack the originator once every forward has concluded. *)
   let fan_out t l req ~key ~depth ~make_msg ~make_ack =
     let targets =
-      Ring.successors t.ring key (depth + 1)
-      |> List.filter (fun n -> n <> t.me)
-      |> List.filteri (fun i _ -> i < depth)
+      locked t (fun () ->
+          Ring.successors t.ring key (depth + 1)
+          |> List.filter (fun n -> n <> t.me)
+          |> List.filteri (fun i _ -> i < depth))
     in
     match targets with
     | [] -> L.reply l ~req (make_ack 1)
@@ -78,25 +106,30 @@ module Make (T : Transport.S) = struct
     t.served <- t.served + 1;
     match msg with
     | Wire.Lookup { key } ->
-        let owner = Ring.successor t.ring key in
-        if owner = t.me then
-          L.reply l ~req
-            (Wire.Owner
-               { node = t.me; lo = Ring.predecessor_id t.ring ~node:t.me; hi = t.my_id })
-        else begin
-          match Router.route t.router ~src:t.me ~key with
-          | next :: _ -> L.reply l ~req (Wire.Redirect { next })
-          | [] ->
-              (* Route says we own it after all (stale successor read):
-                 answer with our own range. *)
-              L.reply l ~req
-                (Wire.Owner
-                   {
-                     node = t.me;
-                     lo = Ring.predecessor_id t.ring ~node:t.me;
-                     hi = t.my_id;
-                   })
-        end
+        let reply =
+          locked t (fun () ->
+              let owner = Ring.successor t.ring key in
+              if owner = t.me then
+                Wire.Owner
+                  {
+                    node = t.me;
+                    lo = Ring.predecessor_id t.ring ~node:t.me;
+                    hi = t.my_id;
+                  }
+              else
+                match Router.route t.router ~src:t.me ~key with
+                | next :: _ -> Wire.Redirect { next }
+                | [] ->
+                    (* Route says we own it after all (stale successor
+                       read): answer with our own range. *)
+                    Wire.Owner
+                      {
+                        node = t.me;
+                        lo = Ring.predecessor_id t.ring ~node:t.me;
+                        hi = t.my_id;
+                      })
+        in
+        L.reply l ~req reply
     | Wire.Get { key } -> (
         match Shard.get t.shard ~key with
         | Some data -> L.reply l ~req (Wire.Found { data })
@@ -116,18 +149,30 @@ module Make (T : Transport.S) = struct
             ~make_msg:(fun () -> Wire.Remove { key; depth = 0 })
             ~make_ack:(fun _ -> Wire.Remove_ack { removed })
     | Wire.Join { node; id } ->
-        if node = t.me || Ring.id_taken t.ring id && not (Ring.mem t.ring ~node)
-        then L.reply l ~req (Wire.Error { code = 1; message = "id taken" })
-        else begin
-          add_member t node id;
-          L.reply l ~req (Wire.Join_ack { members = members t })
-        end
+        let reply =
+          locked t (fun () ->
+              if
+                node = t.me
+                || (Ring.id_taken t.ring id && not (Ring.mem t.ring ~node))
+              then Wire.Error { code = 1; message = "id taken" }
+              else begin
+                add_member_locked t node id;
+                Wire.Join_ack { members = members_locked t }
+              end)
+        in
+        L.reply l ~req reply
     | Wire.Probe ->
-        L.reply l ~req (Wire.Probe_ack { node = t.me; epoch = Ring.epoch t.ring })
+        let epoch = locked t (fun () -> Ring.epoch t.ring) in
+        L.reply l ~req (Wire.Probe_ack { node = t.me; epoch })
     | _ ->
         (* Replies never reach the request handler ([Wire.is_request]
            dispatch); a peer sending one as a request is confused. *)
         L.reply l ~req (Wire.Error { code = 2; message = "not a request" })
+
+  let wire t ep =
+    L.set_on_request t.ls (fun l req msg -> handle t l req msg);
+    L.set_on_peer_down t.ls (fun peer -> suspect t peer);
+    T.on_accept ep (fun conn -> ignore (L.attach t.ls conn))
 
   let create ep ~config ~id ~peers =
     let me = T.node ep in
@@ -151,15 +196,27 @@ module Make (T : Transport.S) = struct
         ring;
         router;
         shard = Shard.create ();
+        lock = Mutex.create ();
         probe_rank = 0;
         stopped = false;
         served = 0;
       }
     in
-    L.set_on_request t.ls (fun l req msg -> handle t l req msg);
-    L.set_on_peer_down t.ls (fun peer -> suspect t peer);
-    T.on_accept ep (fun conn -> ignore (L.attach t.ls conn));
+    wire t ep;
     t
+
+  (* A sibling shares the node's identity and state — ring, router,
+     shard, lock — behind its own endpoint and linkset.  One sibling
+     per extra domain: the kernel spreads inbound connections across
+     the domains' SO_REUSEPORT listeners, each domain drives only its
+     own poll loop, and the shared data path stays consistent (shard
+     partitions + the membership lock).  Siblings never announce or
+     probe; membership flows through whichever sibling a Join or a
+     broken stream happens to reach. *)
+  let sibling t ep =
+    let s = { t with ls = L.create ep; probe_rank = 0; stopped = false; served = 0 } in
+    wire s ep;
+    s
 
   let announce t dst =
     let rec go attempts =
@@ -185,14 +242,21 @@ module Make (T : Transport.S) = struct
     (* Successor first (the replica chain depends on it), then one
        rotating member so a dead node is eventually noticed by
        everyone, not only its predecessor. *)
-    let succ = Ring.nth_successor_of_node t.ring ~node:t.me 1 in
+    let succ, other =
+      locked t (fun () ->
+          let succ = Ring.nth_successor_of_node t.ring ~node:t.me 1 in
+          let size = Ring.size t.ring in
+          let other =
+            if size > 2 then begin
+              t.probe_rank <- (t.probe_rank + 1) mod size;
+              Ring.node_at t.ring t.probe_rank
+            end
+            else succ
+          in
+          (succ, other))
+    in
     probe t succ;
-    let size = Ring.size t.ring in
-    if size > 2 then begin
-      t.probe_rank <- (t.probe_rank + 1) mod size;
-      let other = Ring.node_at t.ring t.probe_rank in
-      if other <> succ then probe t other
-    end
+    if other <> succ then probe t other
 
   let serve t =
     List.iter (fun (n, _) -> if n <> t.me then announce t n) (members t);

@@ -20,7 +20,16 @@
 
     The same functor body runs deterministically under
     {!Transport_mem} (multi-node protocol tests) and over real TCP
-    under {!Transport_unix} (the [d2d] daemon). *)
+    under {!Transport_unix} (the [d2d] daemon).
+
+    {b Domain sharding}: one logical node can be served by several
+    domains.  Domain 0 owns the canonical instance ([create] +
+    [serve]); each extra domain drives a {!sibling} — its own endpoint
+    (bound with [SO_REUSEPORT] to the same address) and linkset, but
+    the {e same} ring, router, shard and membership lock.  The kernel
+    spreads inbound connections across the listeners, so each domain
+    polls only its own sockets while reads and writes against the
+    partitioned shard proceed in parallel. *)
 
 module Key = D2_keyspace.Key
 
@@ -41,6 +50,12 @@ module Make (T : Transport.S) : sig
   (** Build the node for endpoint [T.node]: its ring view starts from
       [peers] (self included automatically; duplicate or colliding
       entries are skipped). *)
+
+  val sibling : t -> T.t -> t
+  (** [sibling t ep] is a worker-domain view of the same logical node:
+      handlers installed on [ep], sharing [t]'s identity, ring,
+      router and shard.  Siblings never announce or probe — drive them
+      with [T.poll] only (no [serve]). *)
 
   val serve : t -> unit
   (** Start serving: install handlers, announce [Join] to every known

@@ -6,13 +6,22 @@
     runtime fills it from [Put] frames and drains it on [Remove];
     placement policy (which r nodes hold a block) lives in
     {!D2_net.Node}, which applies the same r-successor rule as
-    [Cluster]. *)
+    [Cluster].
+
+    Thread-safe: keys hash across 2^k independently locked partitions,
+    so the domain-sharded runtime's get/put path runs in parallel
+    across domains — two domains contend only on a same-partition
+    collision, and a single-domain node pays one uncontended
+    lock/unlock per operation. *)
 
 module Key = D2_keyspace.Key
 
 type t
 
-val create : unit -> t
+val create : ?partitions:int -> unit -> t
+(** [partitions] (default 32) is rounded up to a power of two. *)
+
+val partitions : t -> int
 
 val put : t -> key:Key.t -> data:string -> unit
 (** Insert or overwrite. *)

@@ -106,4 +106,32 @@ module Bytebuf = struct
   (* Expose the unread region for writev-style draining. *)
   let peek t = (t.buf, t.r, t.w - t.r)
   let consume t n = t.r <- min t.w (t.r + n)
+
+  (* Expose the writable region so producers (the wire encoder) can
+     fill it in place — frames coalesce into one buffer with no
+     intermediate copy, and one [peek]/[consume] round flushes them
+     all as a single write. *)
+  let reserve t n =
+    if Bytes.length t.buf - t.w < n then begin
+      let used = t.w - t.r in
+      if Bytes.length t.buf - used >= n && t.r > 0 then begin
+        Bytes.blit t.buf t.r t.buf 0 used;
+        t.r <- 0;
+        t.w <- used
+      end
+      else begin
+        let cap = max (2 * Bytes.length t.buf) (used + n) in
+        let nb = Bytes.create cap in
+        Bytes.blit t.buf t.r nb 0 used;
+        t.buf <- nb;
+        t.r <- 0;
+        t.w <- used
+      end
+    end;
+    (t.buf, t.w)
+
+  let commit t n =
+    if n < 0 || t.w + n > Bytes.length t.buf then
+      invalid_arg "Bytebuf.commit: bad count";
+    t.w <- t.w + n
 end

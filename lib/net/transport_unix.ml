@@ -1,5 +1,62 @@
 module Bytebuf = Transport.Bytebuf
 
+(* Pending timers, as a binary min-heap on (deadline, seq).  The RPC
+   layer schedules one timeout per in-flight request, so under a
+   pipelined load thousands are live at once and insertion must not
+   touch them all (a sorted list rebuilt per insert collapses the
+   whole client to GC churn).  [seq] breaks deadline ties in FIFO
+   order so same-instant timers fire in the order scheduled. *)
+module Theap = struct
+  type entry = { at : float; seq : int; fn : unit -> unit }
+  type t = { mutable a : entry array; mutable n : int; mutable seq : int }
+
+  let dummy = { at = 0.0; seq = 0; fn = ignore }
+  let create () = { a = Array.make 64 dummy; n = 0; seq = 0 }
+  let is_empty t = t.n = 0
+  let min_at t = t.a.(0).at
+
+  let before x y = x.at < y.at || (x.at = y.at && x.seq < y.seq)
+
+  let push t ~at fn =
+    if t.n = Array.length t.a then begin
+      let b = Array.make (2 * t.n) dummy in
+      Array.blit t.a 0 b 0 t.n;
+      t.a <- b
+    end;
+    let e = { at; seq = t.seq; fn } in
+    t.seq <- t.seq + 1;
+    let i = ref t.n in
+    t.n <- t.n + 1;
+    while !i > 0 && before e t.a.((!i - 1) / 2) do
+      t.a.(!i) <- t.a.((!i - 1) / 2);
+      i := (!i - 1) / 2
+    done;
+    t.a.(!i) <- e
+
+  let pop t =
+    let top = t.a.(0) in
+    t.n <- t.n - 1;
+    let e = t.a.(t.n) in
+    t.a.(t.n) <- dummy;
+    if t.n > 0 then begin
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let s = ref !i in
+        t.a.(!i) <- e;
+        if l < t.n && before t.a.(l) t.a.(!s) then s := l;
+        if r < t.n && before t.a.(r) t.a.(!s) then s := r;
+        if !s = !i then continue := false
+        else begin
+          t.a.(!i) <- t.a.(!s);
+          i := !s
+        end
+      done
+    end;
+    top.fn
+end
+
 let hello_magic = "D2N1"
 let hello_len = 8
 
@@ -25,6 +82,7 @@ type conn = {
   hello_buf : Bytes.t;
   mutable hello_got : int;
   mutable accepted : bool;  (** [on_accept] delivered (inbound only) *)
+  mutable want_write : bool;  (** write interest currently registered *)
   mutable readable_cb : unit -> unit;
   mutable close_cb : unit -> unit;
 }
@@ -33,10 +91,14 @@ and t = {
   unode : int;
   addr_of : int -> Unix.sockaddr option;
   listen_fd : Unix.file_descr option;
+  ps : Pollset.t;
+  by_fd : (int, conn) Hashtbl.t;
   mutable accept_cb : conn -> unit;
   mutable conns : conn list;
-  mutable timers : (float * (unit -> unit)) list;  (** sorted by deadline *)
+  timers : Theap.t;
 }
+
+external fd_int : Unix.file_descr -> int = "%identity"
 
 let node t = t.unode
 let now _ = Unix.gettimeofday ()
@@ -48,19 +110,26 @@ let on_close c cb = c.close_cb <- cb
 
 let schedule t ~delay f =
   if delay < 0.0 then invalid_arg "Transport_unix.schedule: negative delay";
-  let at = Unix.gettimeofday () +. delay in
-  let rec ins = function
-    | [] -> [ (at, f) ]
-    | (a, _) :: _ as rest when at < a -> (at, f) :: rest
-    | e :: rest -> e :: ins rest
-  in
-  t.timers <- ins t.timers
+  Theap.push t.timers ~at:(Unix.gettimeofday () +. delay) f
 
-let drop_conn t c = t.conns <- List.filter (fun x -> x != c) t.conns
+(* Readiness interest is persistent: read is always armed on an open
+   stream, write only while connecting or while [outq] holds bytes the
+   kernel would not take yet. *)
+let set_interest c =
+  let want = c.connecting || not (Bytebuf.is_empty c.outq) in
+  if want <> c.want_write then begin
+    c.want_write <- want;
+    Pollset.set c.owner.ps c.fd ~read:true ~write:want
+  end
+
+let drop_conn t c =
+  t.conns <- List.filter (fun x -> x != c) t.conns;
+  Hashtbl.remove t.by_fd (fd_int c.fd)
 
 let teardown c =
   if c.copen then begin
     c.copen <- false;
+    Pollset.remove c.owner.ps c.fd;
     (try Unix.close c.fd with Unix.Unix_error _ -> ());
     drop_conn c.owner c
   end
@@ -79,38 +148,57 @@ let flush c =
     let continue = ref true in
     while !continue && not (Bytebuf.is_empty c.outq) do
       let buf, off, len = Bytebuf.peek c.outq in
-      match Unix.single_write c.fd buf off len with
-      | 0 -> continue := false
-      | n -> Bytebuf.consume c.outq n
-      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
-          continue := false
-      | exception Unix.Unix_error _ ->
-          continue := false;
-          break c
-    done
+      let n = Fdio.write c.fd buf ~off ~len in
+      if n > 0 then Bytebuf.consume c.outq n
+      else begin
+        continue := false;
+        if n <> Fdio.again && n <> 0 then break c
+      end
+    done;
+    if c.copen then set_interest c
   end
 
 let send c buf ~off ~len =
   if len < 0 || off < 0 || off + len > Bytes.length buf then
     invalid_arg "Transport_unix.send: bad range";
-  if c.copen then begin
-    Bytebuf.write c.outq buf ~off ~len;
-    flush c
-  end
+  if c.copen then
+    if c.connecting || not (Bytebuf.is_empty c.outq) then begin
+      Bytebuf.write c.outq buf ~off ~len;
+      flush c
+    end
+    else begin
+      (* Nothing queued: write straight from the caller's buffer and
+         queue only what the kernel would not take — the common case
+         skips the copy into [outq] entirely. *)
+      let n = Fdio.write c.fd buf ~off ~len in
+      if n < 0 && n <> Fdio.again then break c
+      else begin
+        let n = max n 0 in
+        if n < len then begin
+          Bytebuf.write c.outq buf ~off:(off + n) ~len:(len - n);
+          set_interest c
+        end
+      end
+    end
 
 let recv_into c buf ~off ~len =
   if not c.copen then 0
-  else
-    match Unix.read c.fd buf off len with
-    | 0 ->
-        (* Orderly EOF from the peer. *)
-        break c;
-        0
-    | n -> n
-    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> 0
-    | exception Unix.Unix_error _ ->
-        break c;
-        0
+  else begin
+    let n = Fdio.read c.fd buf ~off ~len in
+    if n > 0 then n
+    else if n = Fdio.again then 0
+    else begin
+      (* Orderly EOF or a hard error: either way the stream is done. *)
+      break c;
+      0
+    end
+  end
+
+let register t c =
+  t.conns <- c :: t.conns;
+  Hashtbl.replace t.by_fd (fd_int c.fd) c;
+  c.want_write <- c.connecting || not (Bytebuf.is_empty c.outq);
+  Pollset.set t.ps c.fd ~read:true ~write:c.want_write
 
 let mk_conn owner fd ~cpeer ~connecting =
   {
@@ -123,6 +211,7 @@ let mk_conn owner fd ~cpeer ~connecting =
     hello_buf = Bytes.create hello_len;
     hello_got = (if cpeer >= 0 then hello_len else 0);
     accepted = cpeer >= 0;
+    want_write = false;
     readable_cb = ignore;
     close_cb = ignore;
   }
@@ -154,15 +243,16 @@ let connect t ~dst =
           None
       | (`Done | `Pending) as st ->
           let c = mk_conn t fd ~cpeer:dst ~connecting:(st = `Pending) in
-          t.conns <- c :: t.conns;
           let hello = hello_frame t.unode in
           Bytebuf.write c.outq hello ~off:0 ~len:hello_len;
+          register t c;
           if st = `Done then flush c;
           Some c)
 
-let create ~node ~addr_of ?(listen = true) () =
+let create ~node ~addr_of ?(listen = true) ?(reuseport = false) () =
   (* Broken streams must surface as EPIPE, not kill the process. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let ps = Pollset.create () in
   let listen_fd =
     if not listen then None
     else
@@ -171,18 +261,30 @@ let create ~node ~addr_of ?(listen = true) () =
       | Some addr ->
           let fd = Unix.socket PF_INET SOCK_STREAM 0 in
           Unix.setsockopt fd SO_REUSEADDR true;
+          if reuseport then Unix.setsockopt fd SO_REUSEPORT true;
           Unix.bind fd addr;
-          Unix.listen fd 64;
+          Unix.listen fd 128;
           Unix.set_nonblock fd;
+          Pollset.set ps fd ~read:true ~write:false;
           Some fd
   in
-  { unode = node; addr_of; listen_fd; accept_cb = ignore; conns = []; timers = [] }
+  {
+    unode = node;
+    addr_of;
+    listen_fd;
+    ps;
+    by_fd = Hashtbl.create 64;
+    accept_cb = ignore;
+    conns = [];
+    timers = Theap.create ();
+  }
 
 let shutdown t =
   (match t.listen_fd with
   | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
   | None -> ());
-  List.iter close t.conns
+  List.iter close t.conns;
+  Pollset.close t.ps
 
 (* Consume the 8-byte identity hello that opens every inbound stream;
    fires [accept_cb] once complete.  Any payload bytes that arrived in
@@ -219,7 +321,7 @@ let accept_ready t =
             let c = mk_conn t fd ~cpeer:(-1) ~connecting:false in
             c.hello_got <- 0;
             c.accepted <- false;
-            t.conns <- c :: t.conns
+            register t c
         | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
             continue := false
         | exception Unix.Unix_error _ -> continue := false
@@ -227,60 +329,60 @@ let accept_ready t =
 
 let run_timers t =
   let rec loop () =
-    match t.timers with
-    | (at, f) :: rest when at <= Unix.gettimeofday () ->
-        t.timers <- rest;
-        f ();
-        loop ()
-    | _ -> ()
+    if (not (Theap.is_empty t.timers))
+       && Theap.min_at t.timers <= Unix.gettimeofday ()
+    then begin
+      (Theap.pop t.timers) ();
+      loop ()
+    end
   in
   loop ()
 
+(* One wakeup: wait on the persistent pollset, then drain every ready
+   descriptor — completed connects and pending writes flush first
+   (freeing send-buffer space), accepts register new streams, and each
+   readable stream's callback consumes everything buffered (the frame
+   reader handles back-to-back pipelined frames from one read). *)
 let poll t ~timeout =
   if timeout < 0.0 then invalid_arg "Transport_unix.poll: negative timeout";
   let now_ = Unix.gettimeofday () in
-  let sel_timeout =
-    match t.timers with
-    | (at, _) :: _ -> max 0.0 (min timeout (at -. now_))
-    | [] -> timeout
+  let wait_s =
+    if Theap.is_empty t.timers then timeout
+    else max 0.0 (min timeout (Theap.min_at t.timers -. now_))
   in
-  let conns = t.conns in
-  let reads =
-    (match t.listen_fd with Some fd -> [ fd ] | None -> [])
-    @ List.filter_map
-        (fun c -> if c.copen && not c.connecting then Some c.fd else None)
-        conns
-  in
-  let writes =
-    List.filter_map
-      (fun c ->
-        if c.copen && (c.connecting || not (Bytebuf.is_empty c.outq)) then
-          Some c.fd
-        else None)
-      conns
-  in
-  (match Unix.select reads writes [] sel_timeout with
-  | rready, wready, _ ->
-      List.iter
-        (fun c ->
-          if c.copen && List.memq c.fd wready then
-            if c.connecting then begin
-              match Unix.getsockopt_error c.fd with
-              | Some _ -> break c
-              | None ->
-                  c.connecting <- false;
-                  flush c
-            end
-            else flush c)
-        conns;
-      (match t.listen_fd with
-      | Some lfd when List.memq lfd rready -> accept_ready t
-      | _ -> ());
-      List.iter
-        (fun c ->
-          if c.copen && List.memq c.fd rready then
-            if c.hello_got < hello_len then pump_hello t c
-            else if c.accepted || c.connecting = false then c.readable_cb ())
-        conns
-  | exception Unix.Unix_error (EINTR, _, _) -> ());
+  let timeout_ms = int_of_float (ceil (wait_s *. 1000.0)) in
+  (match Pollset.wait t.ps ~timeout_ms with
+  | exception Failure _ -> ()
+  | n ->
+      let lfd_int =
+        match t.listen_fd with Some fd -> fd_int fd | None -> -1
+      in
+      for i = 0 to n - 1 do
+        let fdi = fd_int (Pollset.ready_fd t.ps i) in
+        if fdi = lfd_int then begin
+          if Pollset.readable t.ps i then accept_ready t
+        end
+        else
+          match Hashtbl.find_opt t.by_fd fdi with
+          | None -> ()  (* torn down earlier this same wakeup *)
+          | Some c ->
+              if c.copen && Pollset.errored t.ps i && not c.connecting then
+                break c
+              else begin
+                if c.copen && (Pollset.writable t.ps i || Pollset.errored t.ps i)
+                then
+                  if c.connecting then begin
+                    match Unix.getsockopt_error c.fd with
+                    | Some _ -> break c
+                    | None ->
+                        c.connecting <- false;
+                        flush c
+                  end
+                  else flush c;
+                if c.copen && Pollset.readable t.ps i then
+                  if c.hello_got < hello_len then pump_hello t c
+                  else if c.accepted || c.connecting = false then
+                    c.readable_cb ()
+              end
+      done);
   run_timers t

@@ -1,12 +1,20 @@
 (** Non-blocking TCP transport over real sockets.
 
-    One endpoint per OS process: a listening socket (optional — pure
+    One endpoint per event loop: a listening socket (optional — pure
     clients skip it) plus outbound connections, all non-blocking and
-    driven by a [select]-based {!Transport.S.poll} loop.  Peers are
-    resolved from node handles by an address function; the stock
-    deployment puts node [i] of an [n]-node cluster on
+    driven by a persistent {!Pollset} (epoll on Linux, poll(2)
+    elsewhere) — one {!Transport.S.poll} wakeup drains {e every} ready
+    descriptor and opportunistically flushes pending writes, so the
+    per-wakeup cost scales with ready streams, not registered ones.
+    Peers are resolved from node handles by an address function; the
+    stock deployment puts node [i] of an [n]-node cluster on
     [127.0.0.1:port_base + i] (see {!loopback}), with [port_base]
     taken from the [D2_NET_PORT_BASE] environment knob.
+
+    A process may run several endpoints, one per domain: with
+    [~reuseport:true] every domain binds the same address and the
+    kernel spreads inbound connections across their listen sockets
+    (the [d2d] daemon's domain-sharded mode).
 
     Each direction of a stream begins with an 8-byte hello
     ([magic ++ node handle]) injected and consumed by the transport
@@ -19,10 +27,13 @@ val create :
   node:int ->
   addr_of:(int -> Unix.sockaddr option) ->
   ?listen:bool ->
+  ?reuseport:bool ->
   unit ->
   t
 (** [listen] defaults to [true]; pass [false] for client-only
-    endpoints (no address needed for [node] then).
+    endpoints (no address needed for [node] then).  [reuseport]
+    (default [false]) sets [SO_REUSEPORT] on the listen socket so
+    several endpoints — one per domain — can share one address.
     @raise Unix.Unix_error if binding the listen socket fails. *)
 
 val loopback : port_base:int -> n:int -> int -> Unix.sockaddr option

@@ -268,11 +268,33 @@ let decode buf ~off ~len =
     end
 
 module Reader = struct
-  type t = { mutable buf : Bytes.t; mutable r : int; mutable w : int }
+  type t = {
+    mutable buf : Bytes.t;
+    mutable r : int;
+    mutable w : int;
+    floor : int;  (** capacity the buffer settles back to when drained *)
+  }
 
-  let create () = { buf = Bytes.create 4096; r = 0; w = 0 }
+  let initial_capacity = 4096
+
+  let create ?(capacity = initial_capacity) () =
+    let floor = max capacity max_frame in
+    { buf = Bytes.create floor; r = 0; w = 0; floor }
 
   let pending_bytes t = t.w - t.r
+  let capacity t = Bytes.length t.buf
+
+  (* A pipelined burst can grow the buffer far past the steady-state
+     capacity; once the stream drains, give the memory back gradually
+     (halving per drain) instead of holding the high-water mark
+     forever.  The floor is the creation capacity (at least
+     [max_frame], past which a single in-progress frame never needs
+     the buffer to grow), so a reader sized for its transport's read
+     chunk does not oscillate between shrink and regrow on every
+     batch. *)
+  let shrink_drained t =
+    let cap = Bytes.length t.buf in
+    if cap > t.floor then t.buf <- Bytes.create (max (cap / 2) t.floor)
 
   let compact t =
     if t.r > 0 then begin
@@ -310,7 +332,8 @@ module Reader = struct
         t.r <- t.r + consumed;
         if t.r = t.w then begin
           t.r <- 0;
-          t.w <- 0
+          t.w <- 0;
+          shrink_drained t
         end;
         `Msg (req, msg)
     | Stdlib.Error Short ->

@@ -89,7 +89,11 @@ val decode : Bytes.t -> off:int -> len:int -> (int * msg * int, error) result
 module Reader : sig
   type t
 
-  val create : unit -> t
+  val create : ?capacity:int -> unit -> t
+  (** [capacity] (default 4096, clamped up to {!max_frame}) is the
+      steady-state buffer size — size it to the transport's read chunk
+      so draining a batch does not shrink below what the next read
+      will reserve anyway. *)
 
   val reserve : t -> int -> Bytes.t * int
   (** [reserve r n] grows the buffer as needed and returns [(buf, off)]
@@ -107,4 +111,10 @@ module Reader : sig
       stream is unrecoverable and the connection should be closed. *)
 
   val pending_bytes : t -> int
+
+  val capacity : t -> int
+  (** Current backing-buffer size.  Grows to hold a pipelined burst,
+      then halves back toward the creation capacity (at least
+      {!max_frame}) each time the stream drains — it does not hold
+      the high-water mark forever. *)
 end

@@ -40,6 +40,12 @@ MICRO_LIMITS = {
     "router_route": 8000.0,
     "net_frame_encode": 150.0,
     "net_mem_rpc": 150000.0,
+    # Pipelined-runtime gates: coalesced frames must stay cheap per
+    # frame (a return to one-write-per-frame shows up as ~10x), and a
+    # 16-deep pipelined get must stay well under the synchronous RPC's
+    # per-op cost.
+    "net_write_coalesce": 1500.0,
+    "net_pipelined_rpc": 100000.0,
 }
 
 

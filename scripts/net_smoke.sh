@@ -1,14 +1,24 @@
 #!/usr/bin/env bash
 # Live-cluster smoke test: boot a 3-process d2d cluster on loopback
-# TCP, replay ~2 s of synthetic load through it with d2load, and
-# require zero failed ops and a clean daemon shutdown.
+# TCP, replay pipelined load through it at several in-flight depths,
+# and require zero failed ops, a minimum best-depth throughput, and a
+# clean daemon shutdown.  The saturation curve d2load prints is saved
+# to $SMOKE_CURVE so CI can upload it as an artifact.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 PORT_BASE="${D2_NET_PORT_BASE:-7400}"
 NODES=3
-DURATION="${SMOKE_DURATION:-2}"
+DURATION="${SMOKE_DURATION:-1}"
+DOMAINS="${SMOKE_DOMAINS:-2}"
+SWEEP="${SMOKE_SWEEP:-1,4,16,64}"
+CURVE="${SMOKE_CURVE:-/tmp/d2_net_smoke_curve.txt}"
+# Conservative floor: loopback at in-flight 16 reaches ~100k ops/s on
+# one dedicated core; 20k only catches order-of-magnitude regressions
+# (lost pipelining, one write per frame) without flaking on a busy
+# shared CI runner.
+MIN_OPS_S="${SMOKE_MIN_OPS_S:-20000}"
 
 dune build bin/d2d.exe bin/d2load.exe
 
@@ -23,15 +33,19 @@ trap cleanup EXIT
 
 for i in $(seq 0 $((NODES - 1))); do
   ./_build/default/bin/d2d.exe --node "$i" --nodes "$NODES" \
-    --port-base "$PORT_BASE" --duration 30 &
+    --port-base "$PORT_BASE" --duration 60 --domains "$DOMAINS" &
   pids+=("$!")
 done
 
 # Give the daemons a moment to bind and join each other.
 sleep 1
 
+# Sweep the pipeline depths; d2load exits non-zero on any failed or
+# timed-out op, any verification mismatch, or a best depth below the
+# floor.
 ./_build/default/bin/d2load.exe --nodes "$NODES" --port-base "$PORT_BASE" \
-  --duration "$DURATION"
+  --duration "$DURATION" --sweep "$SWEEP" --min-ops-s "$MIN_OPS_S" \
+  | tee "$CURVE"
 
 # Clean shutdown: SIGTERM each daemon and require exit status 0.
 status=0

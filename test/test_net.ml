@@ -166,6 +166,91 @@ let reader_chunking_prop seed =
   && List.for_all2 (fun (req, m) (i, m') -> req = i && equal_msg m m') out
        (List.mapi (fun i m -> (i, m)) msgs)
 
+(* Pipelined-runtime property: a whole window of K frames lands
+   back-to-back in the reader through the zero-copy [reserve]/[commit]
+   path (exactly how the transports deliver bytes), split at arbitrary
+   boundaries — exactly K messages must come out, in order, request
+   ids intact. *)
+let reader_pipelined_burst_prop seed =
+  let rng = Rng.create seed in
+  let k = 1 + Rng.int rng 64 in
+  let msgs = List.init k (fun _ -> random_msg rng) in
+  let buf = Buffer.create 4096 in
+  List.iteri (fun i m -> Buffer.add_bytes buf (Wire.encode ~req:i m)) msgs;
+  let stream = Buffer.to_bytes buf in
+  let reader = Wire.Reader.create ~capacity:4096 () in
+  let out = ref [] in
+  let pos = ref 0 in
+  let total = Bytes.length stream in
+  let ok = ref true in
+  while !pos < total && !ok do
+    let len = min (1 + Rng.int rng 16384) (total - !pos) in
+    let dst, off = Wire.Reader.reserve reader len in
+    Bytes.blit stream !pos dst off len;
+    Wire.Reader.commit reader len;
+    pos := !pos + len;
+    let drained = ref false in
+    while not !drained do
+      match Wire.Reader.next reader with
+      | `Msg (req, m) -> out := (req, m) :: !out
+      | `Awaiting -> drained := true
+      | `Corrupt _ ->
+          ok := false;
+          drained := true
+    done
+  done;
+  let out = List.rev !out in
+  !ok
+  && List.length out = k
+  && List.for_all2 (fun (req, m) (i, m') -> req = i && equal_msg m m') out
+       (List.mapi (fun i m -> (i, m)) msgs)
+
+(* A burst grows the buffer past its creation capacity; each full
+   drain halves it back, and it settles exactly at the creation floor
+   — never below, never stuck at the high-water mark. *)
+let test_reader_capacity_floor () =
+  let requested = 65536 in
+  let reader = Wire.Reader.create ~capacity:requested () in
+  let floor = Wire.Reader.capacity reader in
+  Alcotest.(check bool) "floor covers requested capacity" true
+    (floor >= requested);
+  let key = Key.random (Rng.create 0x51) in
+  let frame =
+    Wire.encode ~req:9
+      (Wire.Put { key; depth = 0; data = String.make Wire.max_payload 'x' })
+  in
+  let flen = Bytes.length frame in
+  let burst_n = ((4 * floor) / flen) + 1 in
+  let need = burst_n * flen in
+  let dst, off = Wire.Reader.reserve reader need in
+  for i = 0 to burst_n - 1 do
+    Bytes.blit frame 0 dst (off + (i * flen)) flen
+  done;
+  Wire.Reader.commit reader need;
+  Alcotest.(check bool) "burst grew past the floor" true
+    (Wire.Reader.capacity reader > floor);
+  let drained = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Wire.Reader.next reader with
+    | `Msg _ -> incr drained
+    | `Awaiting -> continue := false
+    | `Corrupt why -> Alcotest.fail why
+  done;
+  Alcotest.(check int) "whole burst decoded" burst_n !drained;
+  (* One halving per drained batch: a dozen single-frame rounds is far
+     more than log2(high-water / floor). *)
+  for _ = 1 to 12 do
+    let dst, off = Wire.Reader.reserve reader flen in
+    Bytes.blit frame 0 dst off flen;
+    Wire.Reader.commit reader flen;
+    match Wire.Reader.next reader with
+    | `Msg _ -> ()
+    | `Awaiting | `Corrupt _ -> Alcotest.fail "single frame must decode"
+  done;
+  Alcotest.(check int) "settled exactly at the creation floor" floor
+    (Wire.Reader.capacity reader)
+
 let prop name f =
   QCheck.Test.make ~count:500 ~name QCheck.(small_nat) (fun seed -> f (seed + 1))
 
@@ -181,6 +266,11 @@ let () =
           Alcotest.test_case "unknown tag" `Quick test_unknown_tag;
         ] );
       ( "reader",
-        [ QCheck_alcotest.to_alcotest (prop "chunked reassembly" reader_chunking_prop) ];
-      );
+        [
+          QCheck_alcotest.to_alcotest (prop "chunked reassembly" reader_chunking_prop);
+          QCheck_alcotest.to_alcotest
+            (prop "pipelined burst, random boundaries" reader_pipelined_burst_prop);
+          Alcotest.test_case "capacity settles at creation floor" `Quick
+            test_reader_capacity_floor;
+        ] );
     ]

@@ -112,6 +112,115 @@ let check_outcome label expected got =
   Alcotest.(check int) (label ^ ": lookup rpcs") expected.lookup_rpcs got.lookup_rpcs;
   Alcotest.(check int) (label ^ ": failures") expected.failures got.failures
 
+(* The same scripted churn run driven through the pipelined client
+   with [window] operations in flight.  Returns the outcome plus a
+   full dump of every node's final shard — pipelining must change
+   throughput, never state: the dump has to be identical at any
+   window depth, and window 1 must reproduce the synchronous run's
+   pinned counters exactly. *)
+let run_pipelined window =
+  let engine = Engine.create () in
+  let topology =
+    Topology.create ~rng:(Rng.create 0x7090) ~n:(cluster_n + 1) ()
+  in
+  let net = Mem.create_net ~engine ~topology ~loss:0.0 ~seed:0x11 () in
+  let peers = Bootstrap.peers cluster_n in
+  let nodes =
+    List.map
+      (fun (i, id) ->
+        Node.create (Mem.endpoint net ~node:i) ~config ~id ~peers)
+      peers
+  in
+  List.iter Node.serve nodes;
+  Engine.run engine ~until:3.0;
+  let client =
+    Client.create
+      (Mem.endpoint net ~node:cluster_n)
+      ~replicas:3 ~rpc_timeout:2.0
+      ~seeds:(List.init cluster_n Fun.id)
+      ()
+  in
+  let krng = Rng.create 0xbeef in
+  let keys = Array.init 120 (fun _ -> Key.random krng) in
+  (* Keep at most [window] operations open; issue the next one as soon
+     as a slot frees up, exactly like d2load's replay loop. *)
+  let throttle limit =
+    while Client.in_flight client >= limit do
+      Client.poll client ~timeout:0.01
+    done
+  in
+  let drain () = throttle 1 in
+  Array.iter
+    (fun key ->
+      throttle window;
+      Client.put_async client ~key ~data:(data_of key) (function
+        | `Ok copies ->
+            Alcotest.(check int) "pipelined put acked by all replicas" 3 copies
+        | `Failed -> Alcotest.fail "pipelined put failed, cluster up"))
+    keys;
+  drain ();
+  Array.iteri
+    (fun i key ->
+      if i < 60 then begin
+        throttle window;
+        Client.get_async client ~key (function
+          | `Found d -> Alcotest.(check string) "pipelined get" (data_of key) d
+          | `Missing | `Failed ->
+              Alcotest.fail "pipelined pre-kill read lost a block")
+      end)
+    keys;
+  drain ();
+  let reference = Ring.create () in
+  List.iter (fun (n, id) -> Ring.add reference ~id ~node:n) peers;
+  let victim = Ring.successor reference keys.(0) in
+  Mem.kill net victim;
+  Engine.run engine ~until:(Engine.now engine +. 20.0);
+  Array.iter
+    (fun key ->
+      throttle window;
+      Client.get_async client ~key (function
+        | `Found d ->
+            Alcotest.(check string) "pipelined post-kill get" (data_of key) d
+        | `Missing | `Failed ->
+            Alcotest.fail "pipelined read lost after single kill"))
+    keys;
+  drain ();
+  List.iter Node.stop nodes;
+  let store_dump =
+    List.map
+      (fun n ->
+        let blocks = ref [] in
+        D2_net.Shard.iter (Node.shard n) (fun k d ->
+            blocks := (Key.to_string k, d) :: !blocks);
+        List.sort compare !blocks)
+      nodes
+  in
+  let cache = Client.cache client in
+  ( {
+      hits = Lookup_cache.hits cache;
+      misses = Lookup_cache.misses cache;
+      lookup_rpcs = Client.lookup_rpcs client;
+      failures = Client.failures client;
+    },
+    store_dump )
+
+(* Pipelining depth is a pure throughput knob: window 1 must match the
+   synchronous pins bit-for-bit, and deeper windows may reorder wire
+   traffic but must land every node on the identical final store. *)
+let test_pipelined_depth_invariant () =
+  let o1, dump1 = run_pipelined 1 in
+  check_outcome "window 1 vs pin" pinned o1;
+  List.iter
+    (fun window ->
+      let o, dump = run_pipelined window in
+      Alcotest.(check int)
+        (Printf.sprintf "window %d: failures" window)
+        0 o.failures;
+      Alcotest.(check bool)
+        (Printf.sprintf "window %d: store state identical to window 1" window)
+        true (dump = dump1))
+    [ 4; 32 ]
+
 let test_churn_deterministic () =
   let first = run () in
   let second = run () in
@@ -170,5 +279,7 @@ let () =
             test_basic_lifecycle;
           Alcotest.test_case "25-node churn, pinned counters" `Quick
             test_churn_deterministic;
+          Alcotest.test_case "pipelined churn, window-invariant state" `Quick
+            test_pipelined_depth_invariant;
         ] );
     ]
