@@ -1,0 +1,226 @@
+(* Slot packing: [rid+1 | epoch | tick].  19 bits of range id keep the
+   whole word in OCaml's 63-bit immediate range; 0 marks an empty slot
+   (rid + 1 >= 1 in the high bits makes every live slot non-zero). *)
+let tick_bits = 28
+let epoch_bits = 16
+let tick_limit = 1 lsl tick_bits
+let epoch_limit = 1 lsl epoch_bits
+let epoch_mask = epoch_limit - 1
+let tick_mask = tick_limit - 1
+let rid_shift = tick_bits + epoch_bits
+let rid_limit = (1 lsl (62 - rid_shift + 1)) - 1
+
+(* Counter fields within a (shard, class) block. *)
+let f_hits = 0
+let f_misses = 1
+let f_stale = 2
+let f_evict = 3
+let cls_stride = 8 (* one cache line per (shard, class) block *)
+let shard_pad = 8 (* keep adjacent shards off a shared boundary line *)
+
+type t = {
+  ways : int;
+  clients : int;
+  shards : int;
+  classes : int;
+  slots : int array; (* clients * ways packed slots *)
+  mutable n : int; (* live range count *)
+  mutable his : int array; (* sorted range upper bounds = range ids *)
+  mutable owners : int array;
+  mutable changed : int array; (* epoch of last shape/owner change *)
+  mutable epoch : int;
+  counters : int array; (* shards * (classes * cls_stride + shard_pad) *)
+  hist : int array; (* shards * hist_stride *)
+  hist_stride : int;
+  shard_stride : int;
+}
+
+let create ?(ways = 8) ?(classes = 2) ~shards ~clients () =
+  if ways <= 0 || ways > 64 then
+    invalid_arg "Range_arena.create: ways must be in 1..64";
+  if classes <= 0 then invalid_arg "Range_arena.create: classes";
+  if shards <= 0 then invalid_arg "Range_arena.create: shards";
+  if clients <= 0 then invalid_arg "Range_arena.create: clients";
+  let hist_stride = ways + 2 + shard_pad in
+  let shard_stride = (classes * cls_stride) + shard_pad in
+  {
+    ways;
+    clients;
+    shards;
+    classes;
+    slots = Array.make (clients * ways) 0;
+    n = 0;
+    his = [||];
+    owners = [||];
+    changed = [||];
+    epoch = 0;
+    counters = Array.make (shards * shard_stride) 0;
+    hist = Array.make (shards * hist_stride) 0;
+    hist_stride;
+    shard_stride;
+  }
+
+let ways t = t.ways
+let clients t = t.clients
+let max_tick = tick_limit - 1
+
+(* Lower bound of range [i] under the wrap rule: the previous upper
+   bound, or the last one for the wrapping range at index 0. *)
+let lo_of his n i = if i = 0 then his.(n - 1) else his.(i - 1)
+
+let set_ranges t ~bounds ~owners =
+  let n = Array.length bounds in
+  if n = 0 then invalid_arg "Range_arena.set_ranges: empty";
+  if Array.length owners <> n then
+    invalid_arg "Range_arena.set_ranges: length mismatch";
+  for i = 0 to n - 1 do
+    if bounds.(i) < 0 || bounds.(i) >= rid_limit - 1 then
+      invalid_arg "Range_arena.set_ranges: bound out of id range";
+    if i > 0 && bounds.(i) <= bounds.(i - 1) then
+      invalid_arg "Range_arena.set_ranges: bounds must be strictly increasing"
+  done;
+  if t.epoch >= epoch_limit - 1 then
+    invalid_arg "Range_arena.set_ranges: epoch space exhausted";
+  t.epoch <- t.epoch + 1;
+  let changed = Array.make n t.epoch in
+  (* Carry the change epoch forward for every range identical to an old
+     one under (lo, hi, owner); everything else keeps the new epoch. *)
+  if t.n > 0 then
+    for i = 0 to n - 1 do
+      let hi = bounds.(i) in
+      (* Binary search the old bounds for hi. *)
+      let lo = ref 0 and up = ref t.n in
+      while !lo < !up do
+        let mid = (!lo + !up) lsr 1 in
+        if t.his.(mid) < hi then lo := mid + 1 else up := mid
+      done;
+      let j = !lo in
+      if
+        j < t.n
+        && t.his.(j) = hi
+        && t.owners.(j) = owners.(i)
+        && lo_of t.his t.n j = lo_of bounds n i
+      then changed.(i) <- t.changed.(j)
+    done;
+  t.n <- n;
+  t.his <- Array.copy bounds;
+  t.owners <- Array.copy owners;
+  t.changed <- changed
+
+let probe t ~shard ~cls ~client ~pos ~tick ~cap =
+  (* Resolve pos -> range: smallest i with his.(i) >= pos, wrapping. *)
+  let n = t.n in
+  let lo = ref 0 and up = ref n in
+  let his = t.his in
+  while !lo < !up do
+    let mid = (!lo + !up) lsr 1 in
+    if Array.unsafe_get his mid < pos then lo := mid + 1 else up := mid
+  done;
+  let i = if !lo = n then 0 else !lo in
+  let rid = Array.unsafe_get his i in
+  let owner = Array.unsafe_get t.owners i in
+  let fresh_after = Array.unsafe_get t.changed i in
+  let key = (rid + 1) lsl rid_shift in
+  let ways = t.ways in
+  let base = client * ways in
+  let slots = t.slots in
+  (* One pass over the set: find the matching slot, a free slot, and
+     the LRU victim, all without allocating. *)
+  let found = ref (-1) in
+  let free = ref (-1) in
+  let victim = ref 0 in
+  let victim_tick = ref max_int in
+  for w = 0 to ways - 1 do
+    let s = Array.unsafe_get slots (base + w) in
+    if s lsr rid_shift = rid + 1 then found := w
+    else if s = 0 then free := w
+    else begin
+      let st = s land tick_mask in
+      if st < !victim_tick then begin
+        victim_tick := st;
+        victim := w
+      end
+    end
+  done;
+  let cbase = (shard * t.shard_stride) + (cls * cls_stride) in
+  let counters = t.counters in
+  let hbase = shard * t.hist_stride in
+  let hist = t.hist in
+  let bump arr k = Array.unsafe_set arr k (Array.unsafe_get arr k + 1) in
+  let code =
+    if !found >= 0 then begin
+      let w = base + !found in
+      let s = Array.unsafe_get slots w in
+      let s_epoch = (s lsr tick_bits) land epoch_mask in
+      if s_epoch >= fresh_after then begin
+        (* Fresh: exact LRU stack distance = slots touched since. *)
+        let s_tick = s land tick_mask in
+        let d = ref 0 in
+        for v = 0 to ways - 1 do
+          let sv = Array.unsafe_get slots (base + v) in
+          if sv <> 0 && sv land tick_mask > s_tick then incr d
+        done;
+        bump hist (hbase + !d);
+        Array.unsafe_set slots w
+          (key lor (s_epoch lsl tick_bits) lor (tick land tick_mask));
+        if !d < cap then begin
+          bump counters (cbase + f_hits);
+          0
+        end
+        else begin
+          bump counters (cbase + f_misses);
+          1
+        end
+      end
+      else begin
+        (* Stale: the range changed since this client fetched it. *)
+        bump hist (hbase + ways + 1);
+        bump counters (cbase + f_misses);
+        bump counters (cbase + f_stale);
+        Array.unsafe_set slots w
+          (key lor (t.epoch lsl tick_bits) lor (tick land tick_mask));
+        2
+      end
+    end
+    else begin
+      (* Cold: install into a free slot, else evict the LRU victim. *)
+      bump hist (hbase + ways);
+      bump counters (cbase + f_misses);
+      let w =
+        if !free >= 0 then !free
+        else begin
+          bump counters (cbase + f_evict);
+          !victim
+        end
+      in
+      Array.unsafe_set slots (base + w)
+        (key lor (t.epoch lsl tick_bits) lor (tick land tick_mask));
+      1
+    end
+  in
+  (owner lsl 2) lor code
+
+let stats t ~cls =
+  let h = ref 0 and m = ref 0 and s = ref 0 and e = ref 0 in
+  for shard = 0 to t.shards - 1 do
+    let b = (shard * t.shard_stride) + (cls * cls_stride) in
+    h := !h + t.counters.(b + f_hits);
+    m := !m + t.counters.(b + f_misses);
+    s := !s + t.counters.(b + f_stale);
+    e := !e + t.counters.(b + f_evict)
+  done;
+  (!h, !m, !s, !e)
+
+let hist t =
+  let out = Array.make (t.ways + 2) 0 in
+  for shard = 0 to t.shards - 1 do
+    let b = shard * t.hist_stride in
+    for k = 0 to t.ways + 1 do
+      out.(k) <- out.(k) + t.hist.(b + k)
+    done
+  done;
+  out
+
+let stats_reset t =
+  Array.fill t.counters 0 (Array.length t.counters) 0;
+  Array.fill t.hist 0 (Array.length t.hist) 0

@@ -1,0 +1,104 @@
+(** Shared flat range arena: a million clients' lookup caches in one
+    allocation.
+
+    The fleet layer ({!module:D2_fleet}) steps ~10^6 simulated clients,
+    and giving each its own {!Lookup_cache.t} would cost kilobytes and a
+    pointer chase per client.  Instead all clients share {e one} arena
+    describing the cluster's current ownership ranges, and each client
+    keeps only [ways] packed-int slots recording which ranges it has
+    "fetched" and when.
+
+    {2 Layout}
+
+    The arena side is three parallel int columns sorted by range upper
+    bound: [his] (the boundary position, which doubles as the range's
+    stable id), [owners], and [changed] (the arena epoch at which the
+    range last changed shape or owner).  Ownership follows the D2/DHT
+    successor rule: position [p] belongs to the range whose bound is the
+    smallest [his.(i)] >= [p], wrapping to index 0.
+
+    The client side is a [clients * ways] int array of packed slots:
+
+    {v  bits 44..62   range id + 1        (0 means the slot is empty)
+        bits 28..43   fetch epoch         (arena epoch when installed)
+        bits  0..27   last-touch tick     (per-shard op counter)      v}
+
+    {2 Probe semantics}
+
+    A probe binary-searches the boundary columns (pure int compares,
+    zero allocation) and scans the client's [ways] slots for the range
+    id.  A matching slot whose fetch epoch is [>= changed.(i)] is {e
+    fresh}: the client's cached answer survived every reconfiguration
+    since it fetched.  Its LRU stack distance [d] — how many of the
+    client's slots were touched more recently — is accumulated into a
+    per-shard histogram, and the probe is a hit iff [d < cap], the
+    cache size being simulated.  By the LRU inclusion property one run
+    at [cap = ways] yields the hit rate of {e every} cache size [C <=
+    ways] from that histogram in a single pass.  A matching slot with
+    an older epoch is a {e stale} miss (the range changed under the
+    client); no match is a {e cold} miss, installing into an empty or
+    least-recently-touched slot.
+
+    Staleness is judged against the full [ways]-slot window, so the
+    stale rate read off for a smaller [C] is the rate a [ways]-sized
+    cache would see — a documented approximation (DESIGN.md §9).
+
+    Counters (hits / misses / stale / evictions) are kept per (shard,
+    class) in padded blocks so domains never write the same cache
+    line; probes on distinct shards and distinct clients are safe to
+    run concurrently. *)
+
+type t
+
+val create :
+  ?ways:int -> ?classes:int -> shards:int -> clients:int -> unit -> t
+(** [ways] (default 8) slots per client, [classes] (default 2)
+    client-class counter groups.  Allocates the [clients * ways] slot
+    column up front; call {!set_ranges} before the first {!probe}.
+    @raise Invalid_argument on non-positive sizes or [ways > 64]. *)
+
+val ways : t -> int
+val clients : t -> int
+
+val max_tick : int
+(** Largest [tick] a probe accepts (2^28 - 1); the fleet restarts a
+    run rather than let a shard's op counter wrap. *)
+
+val set_ranges : t -> bounds:int array -> owners:int array -> unit
+(** Install the cluster's ownership map: [bounds] strictly increasing
+    range upper-bound positions (each [< 2^19 - 1]), [owners.(i)] the
+    node owning up to [bounds.(i)].  Bumps the arena epoch and diffs
+    against the previous map by the (lower bound, upper bound, owner)
+    triple: any range not identical under that triple gets the new
+    epoch in its [changed] column, invalidating every client slot that
+    fetched it earlier.  The diff is pessimistic — a range that merely
+    tightened its lower bound still invalidates — which only
+    under-reports cache effectiveness, never correctness.
+    @raise Invalid_argument on empty, unsorted or oversized input, or
+    after 2^16 - 1 reconfigurations (epoch space exhausted). *)
+
+val probe :
+  t -> shard:int -> cls:int -> client:int -> pos:int -> tick:int -> cap:int
+  -> int
+(** One simulated lookup: client [client] (class [cls], stepped by
+    shard [shard]) resolves position [pos] at per-shard op counter
+    [tick], simulating a cache of [cap <= ways] entries.  Returns
+    [(owner lsl 2) lor code] with code 0 = hit, 1 = miss (cold or
+    beyond [cap]), 2 = stale miss.  Zero-allocation; this is the fleet
+    hot kernel.  Bounds on [shard]/[cls]/[client] are the caller's
+    contract; [tick] must fit 28 bits. *)
+
+val stats : t -> cls:int -> int * int * int * int
+(** [(hits, misses, stale, evictions)] for a class, summed over
+    shards.  [stale] counts a subset of [misses]; [evictions] counts
+    cold installs that displaced a live slot. *)
+
+val hist : t -> int array
+(** Fresh [ways + 2] array, summed over shards: indices [0 .. ways-1]
+    are LRU stack-distance counts, index [ways] cold misses, index
+    [ways + 1] stale misses.  Hit rate at cache size [C] is
+    [sum_{d<C} hist.(d) / total probes]. *)
+
+val stats_reset : t -> unit
+(** Zero all counters and the histogram; client slots and the range
+    map are untouched (used between a warm-up and a measured phase). *)

@@ -1,0 +1,43 @@
+type kind = Zipf_storm | Flash_crowd | Diurnal
+
+type t = {
+  kind : kind;
+  think : float;
+  zipf_s : float;
+  flash_at : float;
+  crowd_every : int;
+  crowd_think : float;
+  flash_files : int;
+  day : float;
+  amplitude : float;
+  churn_per_day : float;
+  drift : bool;
+}
+
+let default kind =
+  {
+    kind;
+    think = 5.0;
+    zipf_s = 0.9;
+    flash_at = 10.0;
+    crowd_every = 4;
+    crowd_think = 0.5;
+    flash_files = 16;
+    day = 60.0;
+    amplitude = 0.8;
+    churn_per_day = (match kind with Diurnal -> 1.0 | _ -> 0.0);
+    drift = false;
+  }
+
+let kind_of_string = function
+  | "zipf_storm" -> Some Zipf_storm
+  | "flash_crowd" -> Some Flash_crowd
+  | "diurnal" -> Some Diurnal
+  | _ -> None
+
+let kind_to_string = function
+  | Zipf_storm -> "zipf_storm"
+  | Flash_crowd -> "flash_crowd"
+  | Diurnal -> "diurnal"
+
+let classes = function Flash_crowd -> 2 | Zipf_storm | Diurnal -> 1

@@ -1,0 +1,42 @@
+(** Workload shapes for the fleet engine.
+
+    Three generators cover the paper's evaluation axes:
+
+    - {!Zipf_storm}: every client reads whole files picked from a
+      zipfian popularity curve on one volume — the steady-state
+      hot-key workload (paper §6's web traces).
+    - {!Flash_crowd}: a baseline population plus a dormant crowd class
+      that all wake at [flash_at] with a short think time, aimed at a
+      small hot subset — a step function of arrivals.
+    - {!Diurnal}: request rate follows a sinusoid over a [day], with
+      webcache-style node churn (≥ 100% of the cluster per day by
+      default) and optional content drift rotating popularity. *)
+
+type kind = Zipf_storm | Flash_crowd | Diurnal
+
+type t = {
+  kind : kind;
+  think : float;  (** mean client think time, virtual seconds *)
+  zipf_s : float;  (** popularity exponent over files *)
+  flash_at : float;  (** crowd wake-up instant (flash crowd only) *)
+  crowd_every : int;  (** every k-th client is crowd-class *)
+  crowd_think : float;  (** crowd mean think time after the flash *)
+  flash_files : int;  (** the crowd draws from the hottest k files *)
+  day : float;  (** diurnal period, virtual seconds *)
+  amplitude : float;  (** rate swing, 0 <= a < 1: rate x (1 + a sin) *)
+  churn_per_day : float;  (** node churn events per node per day *)
+  drift : bool;  (** rotate the rank->file mapping at each churn *)
+}
+
+val default : kind -> t
+(** Sensible defaults per kind; the diurnal default churns 100% of
+    the cluster per day. *)
+
+val kind_of_string : string -> kind option
+(** Parses ["zipf_storm"], ["flash_crowd"], ["diurnal"]. *)
+
+val kind_to_string : kind -> string
+
+val classes : kind -> int
+(** Client classes the generator distinguishes: 2 for the flash crowd
+    (baseline / crowd), else 1. *)

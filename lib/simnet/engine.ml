@@ -70,12 +70,17 @@ let default_granularity () =
 
 let no_sink : int -> int -> unit = fun _ _ -> ()
 
-let create () =
+let create ?granularity () =
+  (match granularity with
+  | Some g when g <= 0.0 ->
+      invalid_arg "Engine.create: granularity must be positive"
+  | _ -> ());
   {
     queue = Heap.create ~cmp:compare_events;
     clock = 0.0;
     next_seq = 0;
-    granularity = default_granularity ();
+    granularity =
+      (match granularity with Some g -> g | None -> default_granularity ());
     cursor = 0;
     c_time = [||];
     c_seq = [||];

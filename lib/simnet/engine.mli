@@ -11,7 +11,13 @@ type t
 type handle
 (** A scheduled event, usable for cancellation. *)
 
-val create : unit -> t
+val create : ?granularity:float -> unit -> t
+(** [granularity] is the timer-wheel tick width in virtual seconds and
+    defaults to [D2_WHEEL_G] (else 1.0).  Firing order is identical at
+    any setting; the width only tunes how many cells share a wheel
+    slot (coarse) versus how often levels cascade (fine).  High-rate
+    schedulers like the fleet layer pass a tick sized to a few cells
+    per slot.  @raise Invalid_argument if not positive. *)
 
 val now : t -> float
 (** Current virtual time, in seconds. Starts at 0. *)

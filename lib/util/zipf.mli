@@ -2,8 +2,10 @@
 
     Web object popularity and file access frequency are famously
     zipfian; the workload generators use this module to pick which
-    file/URL an access touches.  Sampling is O(log n) by binary search
-    over a precomputed CDF. *)
+    file/URL an access touches.  Sampling is O(1) via a Walker alias
+    table (one uniform draw selects a bucket and the alias coin); the
+    original O(log n) CDF binary search is kept as
+    {!sample_reference}. *)
 
 type t
 
@@ -15,7 +17,14 @@ val create : n:int -> s:float -> t
 val n : t -> int
 
 val sample : t -> Rng.t -> int
-(** Draw a rank; rank 0 is the most popular. *)
+(** Draw a rank; rank 0 is the most popular.  O(1): one uniform draw
+    indexes the alias table. *)
+
+val sample_reference : t -> Rng.t -> int
+(** The CDF-binary-search sampler [sample] replaced.  Same
+    distribution (validated by a chi-square equivalence test), same
+    single uniform draw per call, different u → rank mapping — so the
+    two samplers produce different streams from the same [Rng]. *)
 
 val prob : t -> int -> float
 (** Probability mass of a rank. *)

@@ -46,6 +46,15 @@ MICRO_LIMITS = {
     # per-op cost.
     "net_write_coalesce": 1500.0,
     "net_pipelined_rpc": 100000.0,
+    # Fleet gates: the shared-arena probe is the acceptance-criterion
+    # kernel (issue says <= 100 ns; a quiet run reports ~56), the
+    # alias-method zipf draw must stay O(1) (a return to CDF binary
+    # search shows up as ~3x at n=4096), and the full per-op step
+    # (wheel fire + draw + probe + re-arm) bounds the fleet's
+    # end-to-end throughput.
+    "zipf_sample": 150.0,
+    "fleet_cache_probe": 100.0,
+    "fleet_step": 600.0,
 }
 
 

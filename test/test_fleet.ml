@@ -1,0 +1,281 @@
+(* Tests for the shared range arena and the fleet engine: probe
+   semantics against a reference per-client LRU, reconfiguration
+   staleness, determinism across worker counts, and pinned small-fleet
+   counters. *)
+
+module Range_arena = D2_cache.Range_arena
+module Fleet = D2_fleet.Fleet
+module Scenario = D2_fleet.Scenario
+module Rng = D2_util.Rng
+
+let qcheck = List.map QCheck_alcotest.to_alcotest
+
+(* {1 Range arena} *)
+
+let probe a ?(shard = 0) ?(cls = 0) ?(client = 0) ?(cap = 8) ~pos ~tick () =
+  let r = Range_arena.probe a ~shard ~cls ~client ~pos ~tick ~cap in
+  (r lsr 2, r land 3)
+
+let test_arena_basic () =
+  let a = Range_arena.create ~ways:4 ~shards:1 ~clients:2 () in
+  Range_arena.set_ranges a ~bounds:[| 10; 20; 30 |] ~owners:[| 5; 6; 7 |];
+  Alcotest.(check (pair int int)) "cold miss" (6, 1) (probe a ~pos:15 ~tick:1 ());
+  Alcotest.(check (pair int int)) "then hit" (6, 0) (probe a ~pos:15 ~tick:2 ());
+  Alcotest.(check (pair int int)) "same range, other pos" (6, 0)
+    (probe a ~pos:17 ~tick:3 ());
+  Alcotest.(check (pair int int)) "bound itself is inclusive" (6, 0)
+    (probe a ~pos:20 ~tick:4 ());
+  Alcotest.(check (pair int int)) "wraps past the last bound" (5, 1)
+    (probe a ~pos:31 ~tick:5 ());
+  Alcotest.(check (pair int int)) "other client is cold" (6, 1)
+    (probe a ~client:1 ~pos:15 ~tick:6 ());
+  let h, m, s, e = Range_arena.stats a ~cls:0 in
+  Alcotest.(check (list int)) "counters" [ 3; 3; 0; 0 ] [ h; m; s; e ]
+
+let test_arena_staleness () =
+  let a = Range_arena.create ~ways:4 ~shards:1 ~clients:1 () in
+  Range_arena.set_ranges a ~bounds:[| 10; 20; 30 |] ~owners:[| 0; 1; 2 |];
+  ignore (probe a ~pos:15 ~tick:1 ());
+  ignore (probe a ~pos:25 ~tick:2 ());
+  (* Change only the last range's owner: (20,30] invalidates, (10,20]
+     carries its epoch forward. *)
+  Range_arena.set_ranges a ~bounds:[| 10; 20; 30 |] ~owners:[| 0; 1; 9 |];
+  Alcotest.(check (pair int int)) "unchanged range still fresh" (1, 0)
+    (probe a ~pos:15 ~tick:3 ());
+  Alcotest.(check (pair int int)) "changed range is stale" (9, 2)
+    (probe a ~pos:25 ~tick:4 ());
+  Alcotest.(check (pair int int)) "stale refresh sticks" (9, 0)
+    (probe a ~pos:25 ~tick:5 ());
+  (* Moving a range's lower bound invalidates it too (pessimistic
+     diff), even though cached answers above the new bound were still
+     right. *)
+  Range_arena.set_ranges a ~bounds:[| 12; 20; 30 |] ~owners:[| 0; 1; 9 |];
+  Alcotest.(check (pair int int)) "tightened lo goes stale" (1, 2)
+    (probe a ~pos:15 ~tick:6 ());
+  let _, _, stale, _ = Range_arena.stats a ~cls:0 in
+  Alcotest.(check int) "stale count" 2 stale
+
+let test_arena_eviction_and_distance () =
+  let a = Range_arena.create ~ways:2 ~shards:1 ~clients:1 () in
+  Range_arena.set_ranges a ~bounds:[| 10; 20; 30 |] ~owners:[| 0; 1; 2 |];
+  ignore (probe a ~cap:2 ~pos:5 ~tick:1 ());
+  ignore (probe a ~cap:2 ~pos:15 ~tick:2 ());
+  (* Third range evicts the LRU slot (range (0,10]). *)
+  ignore (probe a ~cap:2 ~pos:25 ~tick:3 ());
+  let _, _, _, ev = Range_arena.stats a ~cls:0 in
+  Alcotest.(check int) "one eviction" 1 ev;
+  Alcotest.(check (pair int int)) "evicted range is cold again" (0, 1)
+    (probe a ~cap:2 ~pos:5 ~tick:4 ());
+  (* Distance histogram: re-touch the most recent (d=0) and the
+     second most recent (d=1). *)
+  ignore (probe a ~cap:2 ~pos:5 ~tick:5 ());
+  ignore (probe a ~cap:2 ~pos:25 ~tick:6 ());
+  let h = Range_arena.hist a in
+  Alcotest.(check int) "d=0 touches" 1 h.(0);
+  Alcotest.(check int) "d=1 touches" 1 h.(1);
+  Alcotest.(check int) "cold misses" 4 h.(2);
+  Range_arena.stats_reset a;
+  let h2 = Range_arena.hist a in
+  Alcotest.(check int) "hist reset" 0 (Array.fold_left ( + ) 0 h2);
+  Alcotest.(check (list int)) "counters reset" [ 0; 0; 0; 0 ]
+    (let a, b, c, d = Range_arena.stats a ~cls:0 in
+     [ a; b; c; d ])
+
+(* Reference model: one client, explicit recency list of
+   (rid, epoch) pairs, most recent first. *)
+module Reference = struct
+  type t = {
+    ways : int;
+    mutable ranges : (int * int * int) array; (* bound, owner, changed *)
+    mutable epoch : int;
+    mutable slots : (int * int) list; (* rid, fetch epoch; MRU first *)
+  }
+
+  let create ~ways = { ways; ranges = [||]; epoch = 0; slots = [] }
+
+  let set_ranges t ~bounds ~owners =
+    t.epoch <- t.epoch + 1;
+    let n = Array.length bounds in
+    let lo i = if i = 0 then bounds.(n - 1) else bounds.(i - 1) in
+    let old = t.ranges in
+    let no = Array.length old in
+    let old_lo j = if j = 0 then (fun (b, _, _) -> b) old.(no - 1) else (fun (b, _, _) -> b) old.(j - 1) in
+    t.ranges <-
+      Array.init n (fun i ->
+          let carried = ref t.epoch in
+          for j = 0 to no - 1 do
+            let b, o, c = old.(j) in
+            if b = bounds.(i) && o = owners.(i) && old_lo j = lo i then
+              carried := c
+          done;
+          (bounds.(i), owners.(i), !carried))
+
+  let resolve t pos =
+    let n = Array.length t.ranges in
+    let i = ref 0 in
+    while
+      !i < n && (fun (b, _, _) -> b) t.ranges.(!i) < pos
+    do
+      incr i
+    done;
+    t.ranges.(if !i = n then 0 else !i)
+
+  (* Returns (owner, code); code 0 hit / 1 miss / 2 stale. *)
+  let probe t ~pos ~cap =
+    let rid, owner, changed = resolve t pos in
+    let rec find i = function
+      | [] -> None
+      | (r, e) :: _ when r = rid -> Some (i, e)
+      | _ :: tl -> find (i + 1) tl
+    in
+    match find 0 t.slots with
+    | Some (d, e) when e >= changed ->
+        t.slots <- (rid, e) :: List.filter (fun (r, _) -> r <> rid) t.slots;
+        (owner, if d < cap then 0 else 1)
+    | Some _ ->
+        t.slots <-
+          (rid, t.epoch) :: List.filter (fun (r, _) -> r <> rid) t.slots;
+        (owner, 2)
+    | None ->
+        let kept =
+          if List.length t.slots >= t.ways then
+            (* drop the least recently used *)
+            List.filteri (fun i _ -> i < t.ways - 1) t.slots
+          else t.slots
+        in
+        t.slots <- (rid, t.epoch) :: kept;
+        (owner, 1)
+end
+
+let prop_arena_matches_reference =
+  QCheck.Test.make ~name:"range arena agrees with reference LRU" ~count:60
+    QCheck.(
+      triple (int_range 1 6) (int_range 1 8) (int_range 0 1_000_000))
+    (fun (ways, nranges, seed) ->
+      let rng = Rng.create seed in
+      let a = Range_arena.create ~ways ~shards:1 ~clients:1 () in
+      let m = Reference.create ~ways in
+      let span = 100 in
+      let new_map () =
+        (* random strictly-increasing bounds with random owners *)
+        let bs =
+          Array.init nranges (fun _ -> Rng.int rng span)
+          |> Array.to_list |> List.sort_uniq compare |> Array.of_list
+        in
+        let bs = if Array.length bs = 0 then [| 1 |] else bs in
+        let os = Array.map (fun _ -> Rng.int rng 4) bs in
+        Range_arena.set_ranges a ~bounds:bs ~owners:os;
+        Reference.set_ranges m ~bounds:bs ~owners:os
+      in
+      new_map ();
+      let ok = ref true in
+      for tick = 1 to 300 do
+        if Rng.int rng 40 = 0 then new_map ();
+        let pos = Rng.int rng (span + 5) in
+        let cap = 1 + Rng.int rng ways in
+        let r = Range_arena.probe a ~shard:0 ~cls:0 ~client:0 ~pos ~tick ~cap in
+        let owner, code = (r lsr 2, r land 3) in
+        let owner', code' = Reference.probe m ~pos ~cap in
+        if owner <> owner' || code <> code' then ok := false
+      done;
+      !ok)
+
+(* {1 Fleet} *)
+
+let small_config () =
+  let sc = Scenario.default Scenario.Zipf_storm in
+  {
+    (Fleet.default_config sc) with
+    Fleet.clients = 2_000;
+    nodes = 8;
+    files = 256;
+    blocks = 4;
+    burst = 2;
+    duration = 10.0;
+    seed = 7;
+  }
+
+let report_string cfg =
+  Format.asprintf "%a" Fleet.pp_report (cfg, Fleet.run cfg)
+
+let test_fleet_jobs_invariance () =
+  let one = report_string { (small_config ()) with Fleet.jobs = 1 } in
+  let four = report_string { (small_config ()) with Fleet.jobs = 4 } in
+  Alcotest.(check string) "jobs=1 equals jobs=4" one four
+
+let test_fleet_pinned_counters () =
+  (* Analogue of the networked runtime's pinned replay: any drift in
+     the generators, the arena, the wheel or the shard split shows up
+     here first.  Update deliberately, with the determinism test above
+     green at both job counts. *)
+  let r = Fleet.run (small_config ()) in
+  let h, m, s, e = r.Fleet.class_stats.(0) in
+  Alcotest.(check int) "ops" 19620 r.Fleet.ops;
+  Alcotest.(check int) "hits" 16786 h;
+  Alcotest.(check int) "misses" 2834 m;
+  Alcotest.(check int) "stale" 0 s;
+  Alcotest.(check int) "evictions" 0 e;
+  Alcotest.(check int) "probes = ops" r.Fleet.ops (h + m);
+  Alcotest.(check int) "ops reach every shard"
+    r.Fleet.ops
+    (Array.fold_left ( + ) 0 r.Fleet.owner_ops)
+
+let test_fleet_curve_monotone () =
+  let r = Fleet.run (small_config ()) in
+  let c = Fleet.hit_rate_curve r in
+  let ok = ref true in
+  for i = 1 to Array.length c - 1 do
+    if c.(i) < c.(i - 1) then ok := false
+  done;
+  Alcotest.(check bool) "curve is non-decreasing" true !ok;
+  Alcotest.(check bool) "curve stays in [0,1]" true
+    (c.(0) >= 0.0 && c.(Array.length c - 1) <= 1.0)
+
+let test_fleet_diurnal_churn () =
+  let sc =
+    { (Scenario.default Scenario.Diurnal) with Scenario.day = 20.0 }
+  in
+  let cfg =
+    {
+      (Fleet.default_config sc) with
+      Fleet.clients = 2_000;
+      nodes = 8;
+      files = 256;
+      blocks = 4;
+      burst = 2;
+      duration = 40.0;
+      seed = 7;
+    }
+  in
+  let r = Fleet.run cfg in
+  let _, _, stale, _ = r.Fleet.class_stats.(0) in
+  Alcotest.(check bool) "churn happened" true (r.Fleet.churn_events > 0);
+  Alcotest.(check bool) "churn produces stale misses" true (stale > 0);
+  (* churn must not break the jobs invariance *)
+  let a = Format.asprintf "%a" Fleet.pp_report (cfg, r) in
+  let cfg3 = { cfg with Fleet.jobs = 3 } in
+  let b = Format.asprintf "%a" Fleet.pp_report (cfg3, Fleet.run cfg3) in
+  Alcotest.(check string) "diurnal jobs invariance" a b
+
+let () =
+  Alcotest.run "fleet"
+    [
+      ( "arena",
+        [
+          Alcotest.test_case "basic" `Quick test_arena_basic;
+          Alcotest.test_case "staleness" `Quick test_arena_staleness;
+          Alcotest.test_case "eviction+distance" `Quick
+            test_arena_eviction_and_distance;
+        ]
+        @ qcheck [ prop_arena_matches_reference ] );
+      ( "fleet",
+        [
+          Alcotest.test_case "jobs invariance" `Quick
+            test_fleet_jobs_invariance;
+          Alcotest.test_case "pinned counters" `Quick
+            test_fleet_pinned_counters;
+          Alcotest.test_case "hit-rate curve" `Quick
+            test_fleet_curve_monotone;
+          Alcotest.test_case "diurnal churn" `Quick test_fleet_diurnal_churn;
+        ] );
+    ]
