@@ -1,6 +1,6 @@
 SHELL := /bin/bash
 
-.PHONY: build test bench bench-quick clean
+.PHONY: build test bench bench-quick bakeoff clean
 
 build:
 	dune build
@@ -31,6 +31,13 @@ bench-quick: build
 	> /tmp/d2_bench_quick.out
 	diff -u bench/golden_quick.txt /tmp/d2_bench_quick.out
 	@echo "bench-quick OK"
+
+# Paper-scale routing bake-off: all four compiled policies over
+# uniform and locality-preserving ID distributions at 10240 simulated
+# nodes (the numbers quoted in EXPERIMENTS.md).  Takes a few minutes;
+# CI runs the quick-scale version via scripts/routing_bakeoff_smoke.sh.
+bakeoff: build
+	D2_SCALE=paper dune exec bench/main.exe -- bakeoff_routing --no-micro
 
 clean:
 	dune clean

@@ -236,7 +236,7 @@ let net_mem_rpc_test () =
   in
   let nodes =
     List.map
-      (fun (i, id) -> Node.create (Mem.endpoint net ~node:i) ~config ~id ~peers)
+      (fun (i, id) -> Node.create (Mem.endpoint net ~node:i) ~config ~id ~peers ())
       peers
   in
   List.iter Node.serve nodes;
@@ -316,7 +316,7 @@ let net_pipelined_rpc_test () =
   in
   let nodes =
     List.map
-      (fun (i, id) -> Node.create (Mem.endpoint net ~node:i) ~config ~id ~peers)
+      (fun (i, id) -> Node.create (Mem.endpoint net ~node:i) ~config ~id ~peers ())
       peers
   in
   List.iter Node.serve nodes;
@@ -453,6 +453,8 @@ let micro_tests ~full () =
     Ring.add ring ~id:(Key.random rng) ~node:i
   done;
   let router = Router.create ~ring ~policy:Router.Fingers ~rng:(Rng.copy rng) in
+  let router_chord = Router.create ~ring ~policy:Router.Chord ~rng:(Rng.copy rng) in
+  let router_kad = Router.create ~ring ~policy:(Router.Kademlia 2) ~rng:(Rng.copy rng) in
   let cache = Lookup_cache.create () in
   for i = 0 to 499 do
     let lo = keys.(i) and hi = keys.(i + 1) in
@@ -511,6 +513,25 @@ let micro_tests ~full () =
            let acc = ref 0 in
            for i = 0 to micro_batch - 1 do
              acc := !acc + Router.hops router ~src:(i mod 1000) ~key:keys.(i)
+           done;
+           sink := !acc)));
+      (`Quick, micro_batch, Test.make ~name:"router_route_chord" (Staged.stage (fun () ->
+           let acc = ref 0 in
+           for i = 0 to micro_batch - 1 do
+             acc := !acc + Router.hops router_chord ~src:(i mod 1000) ~key:keys.(i)
+           done;
+           sink := !acc)));
+      (`Quick, micro_batch, Test.make ~name:"router_route_kad" (Staged.stage (fun () ->
+           let acc = ref 0 in
+           for i = 0 to micro_batch - 1 do
+             acc := !acc + Router.hops router_kad ~src:(i mod 1000) ~key:keys.(i)
+           done;
+           sink := !acc)));
+      (`Quick, micro_batch, Test.make ~name:"route_alpha" (Staged.stage (fun () ->
+           let acc = ref 0 in
+           for i = 0 to micro_batch - 1 do
+             let h, m = Router.route_alpha router ~src:(i mod 1000) ~key:keys.(i) ~alpha:2 in
+             acc := !acc + h + m
            done;
            sink := !acc)));
       (`Full, micro_batch, Test.make ~name:"lookup_cache_probe" (Staged.stage (fun () ->

@@ -29,8 +29,25 @@ let default_domains () =
           1)
   | None -> 1
 
+let default_policy () =
+  match Sys.getenv_opt "D2_ROUTE_POLICY" with
+  | Some s -> (
+      match D2_dht.Router.policy_of_string s with
+      | Some _ -> s
+      | None ->
+          prerr_endline "d2d: ignoring malformed D2_ROUTE_POLICY";
+          "fingers")
+  | None -> "fingers"
+
 let run node nodes port_base replicas probe_interval rpc_timeout duration
-    domains =
+    domains policy_str =
+  let policy =
+    match D2_dht.Router.policy_of_string policy_str with
+    | Some p -> p
+    | None ->
+        Printf.eprintf "d2d: unknown --policy %s\n" policy_str;
+        exit 2
+  in
   if node < 0 || node >= nodes then (
     Printf.eprintf "d2d: --node must be in [0, %d)\n" nodes;
     exit 2);
@@ -46,13 +63,15 @@ let run node nodes port_base replicas probe_interval rpc_timeout duration
   let ep = T.create ~node ~addr_of ~reuseport () in
   let config = { D2_net.Node.replicas; probe_interval; rpc_timeout } in
   let n =
-    Node.create ep ~config ~id:(Bootstrap.node_id node)
-      ~peers:(Bootstrap.peers nodes)
+    Node.create ep ~policy ~config ~id:(Bootstrap.node_id node)
+      ~peers:(Bootstrap.peers nodes) ()
   in
   Node.serve n;
   Printf.printf
-    "d2d: node %d/%d listening on 127.0.0.1:%d (replicas=%d, domains=%d)\n%!"
-    node nodes (port_base + node) replicas domains;
+    "d2d: node %d/%d listening on 127.0.0.1:%d (replicas=%d, domains=%d, \
+     policy=%s)\n%!"
+    node nodes (port_base + node) replicas domains
+    (D2_dht.Router.policy_name policy);
   let deadline =
     if duration > 0.0 then Some (Unix.gettimeofday () +. duration) else None
   in
@@ -148,12 +167,23 @@ let domains_term =
               SO_REUSEPORT listener (default from D2_NET_DOMAINS, else \
               1).")
 
+let policy_term =
+  Arg.(
+    value
+    & opt string (default_policy ())
+    & info [ "policy" ] ~docv:"POLICY"
+        ~doc:"Routing-link policy: fingers, harmonic-$(i,k), chord, \
+              kademlia-$(i,b), or successor-only (default from \
+              D2_ROUTE_POLICY, else fingers).  All nodes of a cluster \
+              should agree.")
+
 let cmd =
   let doc = "run one D2 storage node over TCP" in
   Cmd.v
     (Cmd.info "d2d" ~doc)
     Term.(
       const run $ node_term $ nodes_term $ port_base_term $ replicas_term
-      $ probe_term $ timeout_term $ duration_term $ domains_term)
+      $ probe_term $ timeout_term $ duration_term $ domains_term
+      $ policy_term)
 
 let () = exit (Cmd.eval cmd)

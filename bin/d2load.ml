@@ -51,6 +51,16 @@ let default_inflight () =
           16)
   | None -> 16
 
+let default_alpha () =
+  match Sys.getenv_opt "D2_ROUTE_ALPHA" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some a when a >= 1 -> a
+      | _ ->
+          prerr_endline "d2load: ignoring malformed D2_ROUTE_ALPHA";
+          1)
+  | None -> 1
+
 type run_stats = {
   window : int;
   run_ops : int;
@@ -179,7 +189,10 @@ let replay client trace keymap stored ~window ~duration ~failed ~verify_errors
   { window; run_ops = !done_ops; elapsed; lats }
 
 let run nodes port_base replicas duration users target_mb seed rpc_timeout
-    inflight sweep min_ops_s =
+    inflight alpha sweep min_ops_s =
+  if alpha < 1 then (
+    Printf.eprintf "d2load: --alpha must be >= 1\n";
+    exit 2);
   (* Block payloads (~8 KB) exceed the minor-allocation cutoff and
      land on the major heap; at 100k ops/s the default pacing spends a
      measurable slice of every cycle in major collections.  Trade
@@ -205,7 +218,7 @@ let run nodes port_base replicas duration users target_mb seed rpc_timeout
       ~listen:false ()
   in
   let client =
-    Client.create ep ~replicas ~rpc_timeout
+    Client.create ep ~replicas ~rpc_timeout ~alpha
       ~seeds:(List.init nodes Fun.id)
       ()
   in
@@ -312,6 +325,15 @@ let inflight_term =
         ~doc:"Pipeline depth: operations kept in flight (default from \
               D2_NET_INFLIGHT, else 16).")
 
+let alpha_term =
+  Arg.(
+    value
+    & opt int (default_alpha ())
+    & info [ "alpha" ] ~docv:"A"
+        ~doc:"Parallel-lookup width: race A iterative lookups through \
+              distinct seeds on every cache miss, first owner answer \
+              wins (default from D2_ROUTE_ALPHA, else 1).")
+
 let sweep_term =
   Arg.(
     value
@@ -334,6 +356,6 @@ let cmd =
     Term.(
       const run $ nodes_term $ port_base_term $ replicas_term $ duration_term
       $ users_term $ target_mb_term $ seed_term $ timeout_term $ inflight_term
-      $ sweep_term $ min_ops_s_term)
+      $ alpha_term $ sweep_term $ min_ops_s_term)
 
 let () = exit (Cmd.eval cmd)

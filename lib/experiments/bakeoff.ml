@@ -1,0 +1,205 @@
+(* Routing-policy bake-off (ROADMAP item 5): every policy the unified
+   router compiles — rank fingers, Mercury/Symphony harmonic links,
+   key-space Chord fingers, Kademlia b-way buckets — measured over the
+   same rings through the same kernel, under both a uniform (hashed)
+   and a locality-preserving (clustered, D2-style) ID distribution.
+
+   Per (policy, distribution) cell: hop count (mean and p99), modelled
+   lookup latency (per-hop RTT ~ Exp(1 ms) with a 2% chance of a
+   250 ms slow hop — the tail the α-way path attacks), the α=2
+   parallel-lookup kernel's effective hops and message cost, and the
+   lookup-RPC rate when the client runs the §5 range cache over a
+   task-local key stream (misses cost [hops + 1] RPCs, hits cost 0).
+
+   The headline contrast is Chord under the clustered distribution:
+   rank-space policies are oblivious to the ID layout (identical hops
+   under both distributions, exactly ~log2 n links), while key-space
+   fingers — probing all 62 scale levels to survive at all — grow
+   their tables and lose at the hop tail (p99) where the skew stacks
+   occupied scales; and because every Chord table is a function of the
+   {e global} ID layout, churn forces full table rebuilds where rank
+   policies restamp or patch (see Router.rebuild).  That asymmetry is
+   why D2 can defragment the keyspace without giving up O(log n)
+   lookups. *)
+
+module Report = D2_util.Report
+module Stats = D2_util.Stats
+module Rng = D2_util.Rng
+module Ring = D2_dht.Ring
+module Router = D2_dht.Router
+module Key = D2_keyspace.Key
+module Lookup_cache = D2_cache.Lookup_cache
+
+type dist = Uniform | Clustered
+
+let dist_name = function
+  | Uniform -> "uniform (hashed) IDs"
+  | Clustered -> "locality-preserving (clustered) IDs"
+
+(* A locality-preserving key: the 8 routing-prefix bytes are drawn
+   with a heavy per-byte skew (u³ remap), the tail uniformly.  Because
+   every byte is skewed the density varies {e self-similarly} — at
+   every scale, as with real path-ordered file keys — which is the
+   regime that stresses key-space fingers (Chord halves key distance,
+   not rank distance); a two-level clustering would only cost Chord a
+   constant. *)
+let skewed_byte rng =
+  let u = Rng.float rng 1.0 in
+  int_of_float (255.99 *. (u *. u *. u))
+
+let clustered_key rng =
+  let b = Bytes.create Key.size in
+  for i = 0 to 7 do
+    Bytes.set b i (Char.chr (skewed_byte rng))
+  done;
+  for i = 8 to Key.size - 1 do
+    Bytes.set b i (Char.chr (Rng.int rng 256))
+  done;
+  Key.of_string (Bytes.unsafe_to_string b)
+
+(* The same key's "task neighbourhood": identical routing prefix,
+   fresh tail — consecutive blocks of one task, falling in (or next
+   to) the range a lookup of any of them caches. *)
+let task_key rng base =
+  let b = Bytes.of_string (Key.to_string base) in
+  for i = 8 to Key.size - 1 do
+    Bytes.set b i (Char.chr (Rng.int rng 256))
+  done;
+  Key.of_string (Bytes.unsafe_to_string b)
+
+let sample_key rng = function
+  | Uniform -> Key.random rng
+  | Clustered -> clustered_key rng
+
+let mk_ring rng dist n =
+  let ring = Ring.create () in
+  for node = 0 to n - 1 do
+    let rec fresh () =
+      let id = sample_key rng dist in
+      if Ring.id_taken ring id then fresh () else id
+    in
+    Ring.add ring ~id:(fresh ()) ~node
+  done;
+  ring
+
+(* Per-hop RTT: exponential with 1 ms mean, except a 2% "slow hop"
+   (dead or overloaded peer) costing a 250 ms timeout. *)
+let hop_rtt_ms rng =
+  if Rng.float rng 1.0 < 0.02 then 250.0
+  else -.log (1.0 -. Rng.float rng 0.999) *. 1.0
+
+let policies n =
+  let k = max 2 (int_of_float (log (float_of_int n) /. log 2.0)) in
+  [ Router.Fingers; Router.Harmonic k; Router.Chord; Router.Kademlia 2 ]
+
+(* Task-local key stream for the cache interaction column: runs of
+   [run_len] keys from one cluster (Clustered) or fully random keys
+   (Uniform) — the same contrast as the paper's trace replays, where
+   locality is what lets the range cache elide lookups. *)
+let run_len = 32
+
+let measure scale dist =
+  let n = Config.bakeoff_nodes scale in
+  let trials = Config.bakeoff_trials scale in
+  let rng = Rng.create (Config.master_seed + 9000) in
+  let ring = mk_ring rng dist n in
+  let r =
+    Report.create
+      ~title:
+        (Printf.sprintf "Routing bake-off: %s, %d nodes, %d lookups"
+           (dist_name dist) n trials)
+      ~columns:
+        [
+          "policy";
+          "links";
+          "hops";
+          "hops p99";
+          "lat p50 ms";
+          "lat p99 ms";
+          "a2 hops";
+          "a2 msgs";
+          "cache rpc/op";
+        ]
+  in
+  List.iter
+    (fun policy ->
+      let router = Router.create ~ring ~policy ~rng:(Rng.copy rng) in
+      (* Table-size cost: mean outgoing links per node, sampled. *)
+      let link_sample = min n 256 in
+      let links = ref 0 in
+      for s = 0 to link_sample - 1 do
+        let node = Ring.node_at ring (s * n / link_sample) in
+        links := !links + List.length (Router.links_of router ~node)
+      done;
+      let mean_links = float_of_int !links /. float_of_int link_sample in
+      let trng = Rng.create (Config.master_seed + 9100) in
+      let hops = Array.make trials 0.0 in
+      let lats = Array.make trials 0.0 in
+      let a2_hops = ref 0 and a2_msgs = ref 0 in
+      for i = 0 to trials - 1 do
+        let src = Rng.int trng n in
+        let key = sample_key trng dist in
+        let h = Router.hops router ~src ~key in
+        hops.(i) <- float_of_int h;
+        (* hops forwards + the final reply, each a half-RTT pair *)
+        let lat = ref (hop_rtt_ms trng) in
+        for _ = 1 to h do
+          lat := !lat +. hop_rtt_ms trng
+        done;
+        lats.(i) <- !lat;
+        let ah, am = Router.route_alpha router ~src ~key ~alpha:2 in
+        a2_hops := !a2_hops + ah;
+        a2_msgs := !a2_msgs + am
+      done;
+      (* Cache interaction: a fresh range cache over a task-local
+         stream; each miss resolves through the router ([hops + 1]
+         RPCs) and caches the owner's range. *)
+      let cache = Lookup_cache.create () in
+      let crng = Rng.create (Config.master_seed + 9200) in
+      let rpcs = ref 0 in
+      let ops = trials in
+      let i = ref 0 in
+      while !i < ops do
+        let burst = min run_len (ops - !i) in
+        let keys =
+          match dist with
+          | Uniform -> Array.init burst (fun _ -> Key.random crng)
+          | Clustered ->
+              let base = clustered_key crng in
+              Array.init burst (fun _ -> task_key crng base)
+        in
+        Array.iter
+          (fun key ->
+            if Lookup_cache.find cache ~now:0.0 key < 0 then begin
+              let src = Rng.int crng n in
+              rpcs := !rpcs + Router.hops router ~src ~key + 1;
+              let owner = Ring.successor ring key in
+              Lookup_cache.insert cache ~now:0.0
+                ~lo:(Ring.predecessor_id ring ~node:owner)
+                ~hi:(Ring.id_of ring ~node:owner)
+                ~node:owner
+            end)
+          keys;
+        i := !i + burst
+      done;
+      Array.sort compare hops;
+      Array.sort compare lats;
+      let mean a = Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a) in
+      Report.add_row r
+        [
+          Router.policy_name policy;
+          Report.fmt_float ~decimals:1 mean_links;
+          Report.fmt_float ~decimals:2 (mean hops);
+          Report.fmt_float ~decimals:1 (Stats.percentile hops 99.0);
+          Report.fmt_float ~decimals:2 (Stats.percentile lats 50.0);
+          Report.fmt_float ~decimals:1 (Stats.percentile lats 99.0);
+          Report.fmt_float ~decimals:2
+            (float_of_int !a2_hops /. float_of_int trials);
+          Report.fmt_float ~decimals:2
+            (float_of_int !a2_msgs /. float_of_int trials);
+          Report.fmt_float ~decimals:2 (float_of_int !rpcs /. float_of_int ops);
+        ])
+    (policies n);
+  r
+
+let run scale = [ measure scale Uniform; measure scale Clustered ]

@@ -1,0 +1,7 @@
+(** Routing-policy bake-off: the four compiled policies (rank fingers,
+    harmonic links, key-space Chord, Kademlia b-way buckets) measured
+    through the unified kernel over uniform and locality-preserving ID
+    distributions — hops, modelled latency, α=2 parallel-lookup cost,
+    and lookup-cache interaction per (policy, distribution). *)
+
+val run : Config.scale -> D2_util.Report.t list

@@ -50,3 +50,6 @@ let perf_bandwidths = function
   | Paper -> [ 1_500_000.0; 384_000.0 ]
 
 let balance_nodes = function Quick -> 50 | Paper -> 247
+
+let bakeoff_nodes = function Quick -> 2048 | Paper -> 10240
+let bakeoff_trials = function Quick -> 400 | Paper -> 2000

@@ -42,3 +42,9 @@ val perf_bandwidths : scale -> float list
 
 val balance_nodes : scale -> int
 (** §10 cluster size. *)
+
+val bakeoff_nodes : scale -> int
+(** Simulated ring size for the routing bake-off (paper: 10240). *)
+
+val bakeoff_trials : scale -> int
+(** Lookups per (policy, distribution) bake-off cell. *)

@@ -36,6 +36,8 @@ let all =
     entry "ablation_erasure" "Replication vs erasure coding (§3)" Ablations.erasure;
     entry "ablation_stp" "TCP vs STP-style transport (§9.3)" Ablations.stp;
     entry "ablation_hotspot" "Retrieval caches vs hot spots (§6)" Ablations.hotspot;
+    entry "bakeoff_routing" "Routing-policy bake-off (4 policies x 2 ID dists)"
+      Bakeoff.run;
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

@@ -14,14 +14,16 @@ module Make (T : Transport.S) = struct
     max_hops : int;
     retries : int;
     quantum : float;
+    alpha : int;
     mutable lookup_rpcs : int;
     mutable failures : int;
     mutable inflight : int;
   }
 
   let create ep ?ttl ?(replicas = 3) ?(rpc_timeout = 0.25) ?(max_hops = 32)
-      ?(retries = 3) ?(quantum = 0.01) ~seeds () =
+      ?(retries = 3) ?(quantum = 0.01) ?(alpha = 1) ~seeds () =
     if seeds = [] then invalid_arg "Client.create: seeds must be non-empty";
+    if alpha < 1 then invalid_arg "Client.create: alpha must be >= 1";
     {
       ls = L.create ep;
       cache = Lookup_cache.create ?ttl ();
@@ -32,6 +34,7 @@ module Make (T : Transport.S) = struct
       max_hops;
       retries;
       quantum;
+      alpha;
       lookup_rpcs = 0;
       failures = 0;
       inflight = 0;
@@ -45,6 +48,9 @@ module Make (T : Transport.S) = struct
 
   let rpc t dst msg =
     L.rpc_sync t.ls ~dst ~timeout:t.rpc_timeout ~quantum:t.quantum msg
+
+  let arpc t dst msg k =
+    L.rpc ~defer:true t.ls ~dst ~timeout:t.rpc_timeout msg k
 
   (* Iterative lookup from one entry node: follow redirects until an
      owner answers with its range, which populates the cache exactly
@@ -61,15 +67,94 @@ module Make (T : Transport.S) = struct
         L.drop_link t.ls cur;
         None
 
+  (* {2 α-way racing lookups}
+
+     With [alpha >= 2] a cache miss races [alpha] independent
+     iterative redirect-chains, each entered through a distinct seed,
+     over the pipelined async path.  The first chain to reach an owner
+     settles the lookup; the losers are cancelled — a settled chain
+     never issues another message (its in-flight RPC merely drains).
+     Nothing changes on the wire: each chain is a plain iterative
+     lookup, so servers (and pinned replay bytes) are untouched.  The
+     win is tail latency: a chain stuck on a dead or slow hop no
+     longer serializes the lookup behind its RPC timeout, because a
+     sibling chain routed around it is usually already done. *)
+
+  let rec race_iterate t key cur hops_left settled k =
+    if !settled then k None
+    else begin
+      t.lookup_rpcs <- t.lookup_rpcs + 1;
+      arpc t cur (Wire.Lookup { key }) (fun r ->
+          if !settled then k None
+          else
+            match r with
+            | Some (Wire.Owner { node; lo; hi }) ->
+                Lookup_cache.insert t.cache
+                  ~now:(T.now (L.endpoint t.ls))
+                  ~lo ~hi ~node;
+                k (Some node)
+            | Some (Wire.Redirect { next }) when hops_left > 0 ->
+                race_iterate t key next (hops_left - 1) settled k
+            | _ ->
+                L.drop_link t.ls cur;
+                k None)
+    end
+
+  (* Race chains through the seeds in waves of [alpha]; a wave whose
+     every chain fails falls through to the next [alpha] seeds, same
+     exhaustion rule as the sequential ladder. *)
+  let aresolve_race t key k =
+    let ns = Array.length t.seeds in
+    let alpha = min t.alpha ns in
+    let start = t.seed_idx in
+    t.seed_idx <- (t.seed_idx + alpha) mod ns;
+    let settled = ref false in
+    let rec wave base =
+      if base >= ns then begin
+        settled := true;
+        k None
+      end
+      else begin
+        let live = min alpha (ns - base) in
+        let pending = ref live in
+        for j = 0 to live - 1 do
+          race_iterate t key
+            t.seeds.((start + base + j) mod ns)
+            t.max_hops settled (fun r ->
+              if not !settled then
+                match r with
+                | Some node ->
+                    settled := true;
+                    k (Some (node, false))
+                | None ->
+                    decr pending;
+                    if !pending = 0 then wave (base + live))
+        done
+      end
+    in
+    wave 0
+
   (* Owner of [key]: cached range when one covers it, else iterative
-     lookup starting from the seeds in round-robin order.  The bool
-     says whether the answer came from the cache (a [Missing] under a
-     cached range is then retried with a fresh lookup — the range may
-     be stale). *)
+     lookup starting from the seeds in round-robin order (α-way racing
+     when [alpha >= 2]).  The bool says whether the answer came from
+     the cache (a [Missing] under a cached range is then retried with
+     a fresh lookup — the range may be stale). *)
   let resolve t key =
     let now = T.now (L.endpoint t.ls) in
     match Lookup_cache.find t.cache ~now key with
     | node when node >= 0 -> Some (node, true)
+    | _ when t.alpha >= 2 ->
+        (* Drive the racing resolve to completion from the sync path:
+           every chain concludes by its RPC timeout, so the poll loop
+           below terminates. *)
+        let result = ref None and settled = ref false in
+        aresolve_race t key (fun r ->
+            result := r;
+            settled := true);
+        while not !settled do
+          L.poll t.ls ~timeout:t.quantum
+        done;
+        !result
     | _ ->
         let ns = Array.length t.seeds in
         let start = t.seed_idx in
@@ -149,9 +234,6 @@ module Make (T : Transport.S) = struct
      seeds) is the same as the synchronous path's, continuation-passed
      instead of blocking. *)
 
-  let arpc t dst msg k =
-    L.rpc ~defer:true t.ls ~dst ~timeout:t.rpc_timeout msg k
-
   let rec aiterate t key cur hops_left k =
     t.lookup_rpcs <- t.lookup_rpcs + 1;
     arpc t cur (Wire.Lookup { key }) (fun r ->
@@ -170,6 +252,7 @@ module Make (T : Transport.S) = struct
     let now = T.now (L.endpoint t.ls) in
     match Lookup_cache.find t.cache ~now key with
     | node when node >= 0 -> k (Some (node, true))
+    | _ when t.alpha >= 2 -> aresolve_race t key k
     | _ ->
         let ns = Array.length t.seeds in
         let start = t.seed_idx in

@@ -28,6 +28,7 @@ module Make (T : Transport.S) : sig
     ?max_hops:int ->
     ?retries:int ->
     ?quantum:float ->
+    ?alpha:int ->
     seeds:int list ->
     unit ->
     t
@@ -35,7 +36,19 @@ module Make (T : Transport.S) : sig
       round-robin; must be non-empty).  [replicas] (default 3) is the
       fan-out depth requested on puts; [quantum] bounds each poll step
       while an operation waits.  [ttl] is the cache TTL (default
-      4500 s — virtual seconds under {!Transport_mem}). *)
+      4500 s — virtual seconds under {!Transport_mem}).
+
+      [alpha] (default 1) enables α-way parallel lookups: a cache miss
+      races [alpha] independent iterative redirect-chains, each
+      entered through a distinct seed, over the pipelined async path;
+      the first owner answer wins and the losing chains are cancelled
+      (a settled chain issues no further messages).  Nothing changes
+      on the wire — each chain is an ordinary iterative lookup — so
+      [alpha = 1] is byte-identical to the sequential ladder.  The
+      point is p99 under churn: a chain stalled on a dead hop's RPC
+      timeout no longer serializes the lookup.  Costs up to [alpha]×
+      the lookup messages on misses.
+      @raise Invalid_argument if [alpha < 1]. *)
 
   (** {2 Synchronous operations}
 

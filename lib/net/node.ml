@@ -174,7 +174,7 @@ module Make (T : Transport.S) = struct
     L.set_on_peer_down t.ls (fun peer -> suspect t peer);
     T.on_accept ep (fun conn -> ignore (L.attach t.ls conn))
 
-  let create ep ~config ~id ~peers =
+  let create ep ?(policy = Router.Fingers) ~config ~id ~peers () =
     let me = T.node ep in
     let ring = Ring.create () in
     Ring.add ring ~id ~node:me;
@@ -184,8 +184,7 @@ module Make (T : Transport.S) = struct
         then Ring.add ring ~id:pid ~node:n)
       peers;
     let router =
-      Router.create ~ring ~policy:Router.Fingers
-        ~rng:(Rng.create ((me * 0x9e3779b1) lor 1))
+      Router.create ~ring ~policy ~rng:(Rng.create ((me * 0x9e3779b1) lor 1))
     in
     let t =
       {

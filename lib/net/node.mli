@@ -46,10 +46,18 @@ module Make (T : Transport.S) : sig
   type t
 
   val create :
-    T.t -> config:config -> id:Key.t -> peers:(int * Key.t) list -> t
+    T.t ->
+    ?policy:D2_dht.Router.policy ->
+    config:config ->
+    id:Key.t ->
+    peers:(int * Key.t) list ->
+    unit ->
+    t
   (** Build the node for endpoint [T.node]: its ring view starts from
       [peers] (self included automatically; duplicate or colliding
-      entries are skipped). *)
+      entries are skipped).  [policy] (default [Fingers]) selects the
+      routing-link policy the node's redirects follow — set it
+      uniformly across a cluster ([D2_ROUTE_POLICY] in [d2d]). *)
 
   val sibling : t -> T.t -> t
   (** [sibling t ep] is a worker-domain view of the same logical node:

@@ -37,7 +37,15 @@ MICRO_LIMITS = {
     "lookup_cache_probe_d2": 1450.0,
     "cache_batch_resolve": 1450.0,
     "ring_successor_1000": 1000.0,
+    # One absolute gate per compiled routing policy (all drive the same
+    # jump-table kernel; chord/kad tables are denser but a route is the
+    # same binary-search walk), plus the α=2 frontier kernel, which does
+    # up to 2x the per-hop work of a single-path route and must stay
+    # allocation-free.
     "router_route": 8000.0,
+    "router_route_chord": 8000.0,
+    "router_route_kad": 8000.0,
+    "route_alpha": 16000.0,
     "net_frame_encode": 150.0,
     "net_mem_rpc": 150000.0,
     # Pipelined-runtime gates: coalesced frames must stay cheap per

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Routing bake-off smoke: two reduced-grid checks of the compiled
+# routing policies.
+#
+#   1. The simulated four-policy bake-off (bakeoff_routing) at quick
+#      scale — 2048 nodes, uniform + clustered ID distributions —
+#      through the experiment runner, micros skipped.
+#   2. A live grid: a 3-process d2d cluster booted once per policy
+#      (fingers, harmonic-8, chord, kademlia-2), serving pipelined
+#      d2load traffic at alpha=1 and alpha=2, requiring zero failed
+#      ops and verified reads under every cell.
+#
+# The combined summary is saved to $BAKEOFF_OUT so CI can upload it
+# as an artifact.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PORT_BASE="${D2_NET_PORT_BASE:-7500}"
+NODES=3
+DURATION="${BAKEOFF_DURATION:-1}"
+DOMAINS="${BAKEOFF_DOMAINS:-2}"
+OUT="${BAKEOFF_OUT:-/tmp/d2_routing_bakeoff.txt}"
+# The live grid checks that every policy resolves correctly on the
+# wire, not throughput; the floor only catches a wedged cluster.
+MIN_OPS_S="${BAKEOFF_MIN_OPS_S:-1000}"
+POLICIES="${BAKEOFF_POLICIES:-fingers harmonic-8 chord kademlia-2}"
+
+dune build bench/main.exe bin/d2d.exe bin/d2load.exe
+
+echo "== simulated bake-off (quick scale) ==" | tee "$OUT"
+D2_SCALE=quick ./_build/default/bench/main.exe bakeoff_routing \
+  --no-micro --json /tmp/d2_bakeoff_smoke.json | tee -a "$OUT"
+
+pids=()
+cleanup() {
+  for pid in "${pids[@]}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+status=0
+for policy in $POLICIES; do
+  for alpha in 1 2; do
+    echo "== live: policy=$policy alpha=$alpha ==" | tee -a "$OUT"
+    pids=()
+    for i in $(seq 0 $((NODES - 1))); do
+      ./_build/default/bin/d2d.exe --node "$i" --nodes "$NODES" \
+        --port-base "$PORT_BASE" --duration 60 --domains "$DOMAINS" \
+        --policy "$policy" &
+      pids+=("$!")
+    done
+    # Give the daemons a moment to bind and join each other.
+    sleep 1
+    # d2load exits non-zero on any failed or timed-out op, any
+    # verification mismatch, or throughput below the floor.
+    if ! ./_build/default/bin/d2load.exe --nodes "$NODES" \
+        --port-base "$PORT_BASE" --duration "$DURATION" --sweep 8 \
+        --alpha "$alpha" --min-ops-s "$MIN_OPS_S" | tee -a "$OUT"; then
+      echo "bakeoff_smoke: policy=$policy alpha=$alpha FAILED" >&2
+      status=1
+    fi
+    for pid in "${pids[@]}"; do
+      kill -TERM "$pid" 2>/dev/null || true
+    done
+    for pid in "${pids[@]}"; do
+      if ! wait "$pid"; then
+        echo "bakeoff_smoke: daemon $pid (policy=$policy) exited non-zero" >&2
+        status=1
+      fi
+    done
+    pids=()
+  done
+done
+trap - EXIT
+
+if [ "$status" -eq 0 ]; then
+  echo "bakeoff_smoke: OK" | tee -a "$OUT"
+fi
+exit "$status"

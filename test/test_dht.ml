@@ -291,7 +291,13 @@ let test_router_reaches_owner () =
           (Router.policy_name policy ^ " terminates at owner")
           (Ring.successor ring key) final
       done)
-    [ Router.Fingers; Router.Harmonic 6; Router.Successor_only ]
+    [
+      Router.Fingers;
+      Router.Harmonic 6;
+      Router.Chord;
+      Router.Kademlia 3;
+      Router.Successor_only;
+    ]
 
 let test_router_own_key_zero_hops () =
   let ring, rng = mk_random_ring 16 42 in
@@ -377,7 +383,13 @@ let test_router_kernel_matches_reference () =
             (Router.hops router ~src ~key)
         done
       done)
-    [ Router.Fingers; Router.Harmonic 6; Router.Successor_only ]
+    [
+      Router.Fingers;
+      Router.Harmonic 6;
+      Router.Chord;
+      Router.Kademlia 2;
+      Router.Successor_only;
+    ]
 
 let test_router_links_successor_first () =
   let ring, rng = mk_random_ring 16 46 in
@@ -385,6 +397,162 @@ let test_router_links_successor_first () =
   let links = Router.links_of router ~node:(Ring.node_at ring 0) in
   Alcotest.(check bool) "has links" true (List.length links >= 4);
   Alcotest.(check int) "successor first" (Ring.node_at ring 1) (List.hd links)
+
+let test_kademlia_1_is_fingers () =
+  (* b = 1 keeps one contact per rank-distance bucket [2^j, 2^(j+1)) —
+     exactly the finger offsets — so the two policies must compile to
+     identical tables. *)
+  let ring, rng = mk_random_ring 100 49 in
+  let fingers = Router.create ~ring ~policy:Router.Fingers ~rng:(Rng.copy rng) in
+  let kad1 = Router.create ~ring ~policy:(Router.Kademlia 1) ~rng:(Rng.copy rng) in
+  List.iter
+    (fun node ->
+      Alcotest.(check (list int))
+        "kademlia-1 links = fingers links"
+        (Router.links_of fingers ~node)
+        (Router.links_of kad1 ~node))
+    (Ring.members ring)
+
+(* The one hop/message convention (router.mli header): hops = the
+   forwarding steps to the owner, final reply excluded, 0 on own key;
+   route length = hops; analytic Ring.route_hops agrees for Fingers;
+   a lookup costs hops + 1 messages, so route_alpha at α=1 reports
+   messages = hops. *)
+let test_hop_message_convention () =
+  let ring, rng = mk_random_ring 96 50 in
+  let router = Router.create ~ring ~policy:Router.Fingers ~rng:(Rng.copy rng) in
+  let own = Ring.id_of ring ~node:7 in
+  Alcotest.(check int) "own key: 0 hops (no reply counted)" 0
+    (Router.hops router ~src:7 ~key:own);
+  Alcotest.(check int) "own key: analytic agrees" 0
+    (Ring.route_hops ring ~src:7 ~key:own);
+  Alcotest.(check (pair int int)) "own key: alpha kernel (0 hops, 0 msgs)"
+    (0, 0)
+    (Router.route_alpha router ~src:7 ~key:own ~alpha:2);
+  for _ = 1 to 200 do
+    let src = Rng.int rng 96 in
+    let key = Key.random rng in
+    let h = Router.hops router ~src ~key in
+    Alcotest.(check int) "hops = route length"
+      (List.length (Router.route router ~src ~key))
+      h;
+    Alcotest.(check int) "hops = analytic model (reply excluded in both)"
+      (Ring.route_hops ring ~src ~key)
+      h;
+    Alcotest.(check (pair int int)) "alpha=1: same path, messages = hops"
+      (h, h)
+      (Router.route_alpha router ~src ~key ~alpha:1)
+  done
+
+let test_route_alpha_never_slower () =
+  (* α frontiers include the greedy single path, so effective hops can
+     never exceed the single-path count — for any policy, any α. *)
+  let rng = Rng.create 51 in
+  List.iter
+    (fun policy ->
+      let ring, _ = mk_random_ring 80 52 in
+      let router = Router.create ~ring ~policy ~rng:(Rng.copy rng) in
+      for _ = 1 to 150 do
+        let src = Ring.node_at ring (Rng.int rng (Ring.size ring)) in
+        let key = Key.random rng in
+        let alpha = 1 + Rng.int rng 4 in
+        let h1 = Router.hops router ~src ~key in
+        let ha, msgs = Router.route_alpha router ~src ~key ~alpha in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s alpha=%d hops %d <= single-path %d"
+             (Router.policy_name policy) alpha ha h1)
+          true (ha <= h1);
+        Alcotest.(check bool) "messages >= effective hops" true
+          (h1 = 0 || msgs >= ha);
+        Alcotest.(check bool)
+          (Printf.sprintf "messages %d <= alpha x single-path %d" msgs
+             (alpha * h1))
+          true
+          (msgs <= alpha * h1)
+      done)
+    [
+      Router.Fingers;
+      Router.Harmonic 6;
+      Router.Chord;
+      Router.Kademlia 2;
+      Router.Successor_only;
+    ]
+
+let test_router_epoch_stamping () =
+  let ring, rng = mk_random_ring 40 53 in
+  let router = Router.create ~ring ~policy:(Router.Harmonic 8) ~rng:(Rng.copy rng) in
+  Alcotest.(check int) "stamped at build" (Ring.epoch ring)
+    (Router.built_epoch router);
+  (* Same epoch: rebuild is a no-op. *)
+  Router.rebuild router;
+  Alcotest.(check int) "no-op rebuild keeps stamp" (Ring.epoch ring)
+    (Router.built_epoch router);
+  (* Harmonic keeps surviving members' sampled offsets across an
+     incremental rebuild (n unchanged): node 3's rank offsets must not
+     be re-rolled when only node 9's ID moves. *)
+  let offsets node =
+    let rank = Ring.rank_of ring ~node in
+    let n = Ring.size ring in
+    List.map
+      (fun l -> ((Ring.rank_of ring ~node:l - rank) mod n + n) mod n)
+      (Router.links_of router ~node)
+  in
+  let before = offsets 3 in
+  let id = Key.random rng in
+  if not (Ring.id_taken ring id) then Ring.change_id ring ~node:9 ~id;
+  Router.rebuild router;
+  Alcotest.(check int) "restamped after change" (Ring.epoch ring)
+    (Router.built_epoch router);
+  Alcotest.(check (list int)) "survivor's harmonic offsets retained" before
+    (offsets 3);
+  (* And the rebuilt table still routes correctly. *)
+  let key = Key.random rng in
+  let path = Router.route router ~src:3 ~key in
+  let final = match List.rev path with [] -> 3 | last :: _ -> last in
+  Alcotest.(check int) "routes after incremental rebuild"
+    (Ring.successor ring key) final
+
+let test_router_epoch_restamp_rank_independent () =
+  (* Fingers tables depend only on n, so a change_id (same size) must
+     not rebuild anything — just restamp — and routing stays exact. *)
+  let ring, rng = mk_random_ring 64 54 in
+  let router = Router.create ~ring ~policy:Router.Fingers ~rng:(Rng.copy rng) in
+  for _ = 1 to 5 do
+    let node = Ring.node_at ring (Rng.int rng 64) in
+    let id = Key.random rng in
+    if not (Ring.id_taken ring id) then Ring.change_id ring ~node ~id;
+    Router.rebuild router;
+    Alcotest.(check int) "restamped" (Ring.epoch ring)
+      (Router.built_epoch router);
+    let src = Ring.node_at ring (Rng.int rng 64) in
+    let key = Key.random rng in
+    Alcotest.(check int) "analytic model still matches"
+      (Ring.route_hops ring ~src ~key)
+      (Router.hops router ~src ~key)
+  done
+
+let test_policy_of_string_roundtrip () =
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Router.policy_name p ^ " roundtrips")
+        true
+        (Router.policy_of_string (Router.policy_name p) = Some p))
+    [
+      Router.Fingers;
+      Router.Harmonic 8;
+      Router.Chord;
+      Router.Kademlia 2;
+      Router.Successor_only;
+    ];
+  Alcotest.(check bool) "bare harmonic" true
+    (Router.policy_of_string "harmonic" = Some (Router.Harmonic 8));
+  Alcotest.(check bool) "bare kademlia" true
+    (Router.policy_of_string "kademlia" = Some (Router.Kademlia 2));
+  Alcotest.(check bool) "garbage rejected" true
+    (Router.policy_of_string "mercury-9000" = None);
+  Alcotest.(check bool) "kademlia-0 rejected" true
+    (Router.policy_of_string "kademlia-0" = None)
 
 let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
 
@@ -428,5 +596,14 @@ let () =
           Alcotest.test_case "kernel = reference oracle" `Quick
             test_router_kernel_matches_reference;
           Alcotest.test_case "links shape" `Quick test_router_links_successor_first;
+          Alcotest.test_case "kademlia-1 = fingers" `Quick test_kademlia_1_is_fingers;
+          Alcotest.test_case "hop/message convention" `Quick
+            test_hop_message_convention;
+          Alcotest.test_case "route_alpha never slower" `Quick
+            test_route_alpha_never_slower;
+          Alcotest.test_case "epoch stamping" `Quick test_router_epoch_stamping;
+          Alcotest.test_case "epoch restamp (rank-independent)" `Quick
+            test_router_epoch_restamp_rank_independent;
+          Alcotest.test_case "policy_of_string" `Quick test_policy_of_string_roundtrip;
         ] );
     ]

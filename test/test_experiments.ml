@@ -13,6 +13,7 @@ let expected_ids =
     "fig12"; "fig13"; "fig14"; "fig15"; "fig16"; "fig17"; "table3"; "table4";
     "ablation_pointers"; "ablation_routing"; "ablation_cache_ttl"; "ablation_replicas";
     "ablation_hybrid"; "ablation_erasure"; "ablation_stp"; "ablation_hotspot";
+    "bakeoff_routing";
   ]
 
 let test_registry_complete () =

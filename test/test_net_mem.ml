@@ -43,7 +43,7 @@ let run () =
   let nodes =
     List.map
       (fun (i, id) ->
-        Node.create (Mem.endpoint net ~node:i) ~config ~id ~peers)
+        Node.create (Mem.endpoint net ~node:i) ~config ~id ~peers ())
       peers
   in
   List.iter Node.serve nodes;
@@ -128,7 +128,7 @@ let run_pipelined window =
   let nodes =
     List.map
       (fun (i, id) ->
-        Node.create (Mem.endpoint net ~node:i) ~config ~id ~peers)
+        Node.create (Mem.endpoint net ~node:i) ~config ~id ~peers ())
       peers
   in
   List.iter Node.serve nodes;
@@ -227,6 +227,78 @@ let test_churn_deterministic () =
   check_outcome "second run" first second;
   check_outcome "pin" pinned first
 
+(* α-way racing around a black-holed seed.  The partition makes one
+   seed silently swallow client traffic — the half-open failure mode
+   of a node that died without FINs, where an RPC concludes only by
+   its timeout (a [kill] closes streams and fails fast, which is the
+   easy case).  A fresh α=1 client entering through that seed stalls a
+   full [rpc_timeout] before its ladder moves to the next seed; an
+   α=2 client races a second chain through the next seed and settles
+   in network time.  Virtual clocks make the contrast exact:
+   elapsed(α=2) < rpc_timeout <= elapsed(α=1). *)
+let test_alpha_race_survives_dead_seed () =
+  let engine = Engine.create () in
+  let topology =
+    Topology.create ~rng:(Rng.create 0x7090) ~n:(cluster_n + 3) ()
+  in
+  let net = Mem.create_net ~engine ~topology ~loss:0.0 ~seed:0x11 () in
+  let peers = Bootstrap.peers cluster_n in
+  let nodes =
+    List.map
+      (fun (i, id) ->
+        Node.create (Mem.endpoint net ~node:i) ~config ~id ~peers ())
+      peers
+  in
+  List.iter Node.serve nodes;
+  Engine.run engine ~until:3.0;
+  (* Store one block while everything is reachable. *)
+  let key = Key.random (Rng.create 0x51) in
+  let setup =
+    Client.create
+      (Mem.endpoint net ~node:cluster_n)
+      ~replicas:3 ~rpc_timeout:config.rpc_timeout
+      ~seeds:(List.init cluster_n Fun.id)
+      ()
+  in
+  (match Client.put setup ~key ~data:(data_of key) with
+  | `Ok _ -> ()
+  | `Failed -> Alcotest.fail "setup put failed");
+  (* Seed ladder [dead; owner]: the second chain settles in one hop,
+     so only the first chain ever touches the black hole, and the α=1
+     ladder pays exactly one timeout before recovering. *)
+  let reference = Ring.create () in
+  List.iter (fun (n, id) -> Ring.add reference ~id ~node:n) peers;
+  let owner = Ring.successor reference key in
+  let dead = (owner + 7) mod cluster_n in
+  Mem.set_partition net
+    (Some
+       (fun a b ->
+         (a = dead && b >= cluster_n) || (b = dead && a >= cluster_n)));
+  (* Fresh client per α (empty cache, virgin links) on its own slot. *)
+  let timed_get alpha node =
+    let client =
+      Client.create (Mem.endpoint net ~node) ~replicas:3
+        ~rpc_timeout:config.rpc_timeout ~alpha ~seeds:[ dead; owner ] ()
+    in
+    let t0 = Engine.now engine in
+    (match Client.get client ~key with
+    | `Found d -> Alcotest.(check string) "raced get" (data_of key) d
+    | `Missing | `Failed -> Alcotest.fail "lookup died with a live owner");
+    Engine.now engine -. t0
+  in
+  let e1 = timed_get 1 (cluster_n + 1) in
+  let e2 = timed_get 2 (cluster_n + 2) in
+  Alcotest.(check bool)
+    (Printf.sprintf "alpha=1 stalls a full rpc_timeout (%.3fs)" e1)
+    true
+    (e1 >= config.rpc_timeout);
+  Alcotest.(check bool)
+    (Printf.sprintf "alpha=2 settles before the timeout (%.3fs)" e2)
+    true
+    (e2 < config.rpc_timeout);
+  Mem.set_partition net None;
+  List.iter Node.stop nodes
+
 (* Small sanity run: 3 nodes, one block, full lifecycle including the
    stale-cache [Missing] path after remove. *)
 let test_basic_lifecycle () =
@@ -237,7 +309,7 @@ let test_basic_lifecycle () =
   let nodes =
     List.map
       (fun (i, id) ->
-        Node.create (Mem.endpoint net ~node:i) ~config ~id ~peers)
+        Node.create (Mem.endpoint net ~node:i) ~config ~id ~peers ())
       peers
   in
   List.iter Node.serve nodes;
@@ -281,5 +353,7 @@ let () =
             test_churn_deterministic;
           Alcotest.test_case "pipelined churn, window-invariant state" `Quick
             test_pipelined_depth_invariant;
+          Alcotest.test_case "alpha=2 races around a black-holed seed" `Quick
+            test_alpha_race_survives_dead_seed;
         ] );
     ]
