@@ -39,8 +39,51 @@ let default_policy () =
           "fingers")
   | None -> "fingers"
 
+let default_store () =
+  match Sys.getenv_opt "D2_STORE" with
+  | Some ("mem" | "disk") -> Sys.getenv "D2_STORE"
+  | Some _ ->
+      prerr_endline "d2d: ignoring malformed D2_STORE";
+      "mem"
+  | None -> "mem"
+
+let default_store_dir () =
+  match Sys.getenv_opt "D2_STORE_DIR" with
+  | Some d when d <> "" -> d
+  | _ -> "/tmp/d2-store"
+
+let default_fsync () =
+  match Sys.getenv_opt "D2_FSYNC_BATCH" with
+  | Some s -> (
+      match D2_segstore.Store.fsync_policy_of_string s with
+      | Some _ -> s
+      | None ->
+          prerr_endline "d2d: ignoring malformed D2_FSYNC_BATCH";
+          "batch")
+  | None -> "batch"
+
+let env_int name fallback =
+  match Sys.getenv_opt name with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some v when v > 0 -> v
+      | _ ->
+          Printf.eprintf "d2d: ignoring malformed %s\n" name;
+          fallback)
+  | None -> fallback
+
+let env_float name fallback =
+  match Sys.getenv_opt name with
+  | Some s -> (
+      match float_of_string_opt (String.trim s) with
+      | Some v when v > 0.0 && v <= 1.0 -> v
+      | _ ->
+          Printf.eprintf "d2d: ignoring malformed %s\n" name;
+          fallback)
+  | None -> fallback
+
 let run node nodes port_base replicas probe_interval rpc_timeout duration
-    domains policy_str =
+    domains policy_str store_kind store_dir fsync_str segment_mb compact_live =
   let policy =
     match D2_dht.Router.policy_of_string policy_str with
     | Some p -> p
@@ -48,6 +91,17 @@ let run node nodes port_base replicas probe_interval rpc_timeout duration
         Printf.eprintf "d2d: unknown --policy %s\n" policy_str;
         exit 2
   in
+  let fsync =
+    match D2_segstore.Store.fsync_policy_of_string fsync_str with
+    | Some p -> p
+    | None ->
+        Printf.eprintf "d2d: unknown --fsync %s\n" fsync_str;
+        exit 2
+  in
+  (if store_kind <> "mem" && store_kind <> "disk" then begin
+     Printf.eprintf "d2d: unknown --store %s\n" store_kind;
+     exit 2
+   end);
   if node < 0 || node >= nodes then (
     Printf.eprintf "d2d: --node must be in [0, %d)\n" nodes;
     exit 2);
@@ -62,8 +116,61 @@ let run node nodes port_base replicas probe_interval rpc_timeout duration
   let reuseport = domains > 1 in
   let ep = T.create ~node ~addr_of ~reuseport () in
   let config = { D2_net.Node.replicas; probe_interval; rpc_timeout } in
+  (* Each node keeps its segments under <store-dir>/node-<i>, so every
+     daemon of a loopback cluster can share one --store-dir and a
+     restarted node finds its own data again. *)
+  let seg_store =
+    if store_kind <> "disk" then None
+    else begin
+      let dir = Filename.concat store_dir (Printf.sprintf "node-%d" node) in
+      let cfg =
+        {
+          D2_segstore.Store.default_config with
+          segment_bytes = segment_mb lsl 20;
+          fsync;
+          compact_live;
+        }
+      in
+      let st = D2_segstore.Store.create ~dir ~config:cfg () in
+      (match D2_segstore.Store.recovery st with
+      | Some r when r.D2_segstore.Store.r_segments > 0 ->
+          let mb = float_of_int r.D2_segstore.Store.r_replayed_bytes /. 1048576. in
+          Printf.printf
+            "d2d: node %d recovered %d blocks (ckpt %d + %d replayed, %.2f \
+             MB, %d B truncated) in %.3f s (%.1f MB/s)\n%!"
+            node
+            (D2_segstore.Store.count st)
+            r.D2_segstore.Store.r_checkpoint_blocks
+            r.D2_segstore.Store.r_replayed_records mb
+            r.D2_segstore.Store.r_truncated_bytes
+            r.D2_segstore.Store.r_wall_s
+            (if r.D2_segstore.Store.r_wall_s > 0. then
+               mb /. r.D2_segstore.Store.r_wall_s
+             else 0.)
+      | _ -> ());
+      Some st
+    end
+  in
+  let store =
+    match seg_store with
+    | Some st -> D2_net.Blockstore.disk st
+    | None -> D2_net.Blockstore.mem_store ()
+  in
+  (* When a background group commit lands, poke every domain's poll
+     loop: the acks the commit covers go out now, not at the next
+     timer tick.  Worker endpoints enroll themselves once created. *)
+  let wakers = ref [ ep ] in
+  let wakers_mu = Mutex.create () in
+  (match seg_store with
+  | Some st ->
+      D2_segstore.Store.on_durable st (fun () ->
+          Mutex.lock wakers_mu;
+          let eps = !wakers in
+          Mutex.unlock wakers_mu;
+          List.iter T.wake eps)
+  | None -> ());
   let n =
-    Node.create ep ~policy ~config ~id:(Bootstrap.node_id node)
+    Node.create ep ~policy ~store ~config ~id:(Bootstrap.node_id node)
       ~peers:(Bootstrap.peers nodes) ()
   in
   Node.serve n;
@@ -91,10 +198,17 @@ let run node nodes port_base replicas probe_interval rpc_timeout duration
         List.init (domains - 1) (fun _ ->
             D2_util.Pool.submit pool (fun () ->
                 let wep = T.create ~node ~addr_of ~reuseport:true () in
+                Mutex.lock wakers_mu;
+                wakers := wep :: !wakers;
+                Mutex.unlock wakers_mu;
                 let s = Node.sibling n wep in
                 while not (Atomic.get stop_flag) do
-                  T.poll wep ~timeout:0.05
+                  T.poll wep ~timeout:0.05;
+                  Node.flush_store s
                 done;
+                Mutex.lock wakers_mu;
+                wakers := List.filter (fun e -> e != wep) !wakers;
+                Mutex.unlock wakers_mu;
                 T.shutdown wep;
                 Atomic.fetch_and_add served (Node.requests_served s) |> ignore))
       in
@@ -102,7 +216,8 @@ let run node nodes port_base replicas probe_interval rpc_timeout duration
     end
   in
   while (not (Atomic.get stop_flag)) && not (expired ()) do
-    T.poll ep ~timeout:0.05
+    T.poll ep ~timeout:0.05;
+    Node.flush_store n
   done;
   Atomic.set stop_flag true;
   List.iter
@@ -112,11 +227,12 @@ let run node nodes port_base replicas probe_interval rpc_timeout duration
     workers;
   Node.stop n;
   T.shutdown ep;
+  (match seg_store with Some st -> D2_segstore.Store.close st | None -> ());
   Printf.printf "d2d: node %d served %d requests, %d blocks (%d bytes) stored\n%!"
     node
     (Node.requests_served n + Atomic.get served)
-    (D2_net.Shard.count (Node.shard n))
-    (D2_net.Shard.stored_bytes (Node.shard n))
+    (D2_net.Blockstore.count (Node.store n))
+    (D2_net.Blockstore.stored_bytes (Node.store n))
 
 let node_term =
   Arg.(
@@ -177,6 +293,50 @@ let policy_term =
               D2_ROUTE_POLICY, else fingers).  All nodes of a cluster \
               should agree.")
 
+let store_term =
+  Arg.(
+    value
+    & opt string (default_store ())
+    & info [ "store" ] ~docv:"KIND"
+        ~doc:"Block backend: $(b,mem) (in-RAM shard) or $(b,disk) (durable \
+              segment log with group commit; default from D2_STORE, else \
+              mem).")
+
+let store_dir_term =
+  Arg.(
+    value
+    & opt string (default_store_dir ())
+    & info [ "store-dir" ] ~docv:"DIR"
+        ~doc:"Cluster store root for --store disk; this node's segments \
+              live in DIR/node-$(i,N) (default from D2_STORE_DIR, else \
+              /tmp/d2-store).")
+
+let fsync_term =
+  Arg.(
+    value
+    & opt string (default_fsync ())
+    & info [ "fsync" ] ~docv:"POLICY"
+        ~doc:"Durability policy for --store disk: $(b,batch) (one \
+              fdatasync per group-commit window), $(b,always) (sync every \
+              put — the honest lower bound), or $(b,never) (kernel \
+              writeback; default from D2_FSYNC_BATCH, else batch).")
+
+let segment_mb_term =
+  Arg.(
+    value
+    & opt int (env_int "D2_SEGMENT_MB" 64)
+    & info [ "segment-mb" ] ~docv:"MB"
+        ~doc:"Segment rotation threshold in MiB (default from \
+              D2_SEGMENT_MB, else 64).")
+
+let compact_live_term =
+  Arg.(
+    value
+    & opt float (env_float "D2_COMPACT_LIVE" 0.5)
+    & info [ "compact-live" ] ~docv:"FRAC"
+        ~doc:"Sealed segments below this live-byte fraction are rewritten \
+              and deleted (default from D2_COMPACT_LIVE, else 0.5).")
+
 let cmd =
   let doc = "run one D2 storage node over TCP" in
   Cmd.v
@@ -184,6 +344,7 @@ let cmd =
     Term.(
       const run $ node_term $ nodes_term $ port_base_term $ replicas_term
       $ probe_term $ timeout_term $ duration_term $ domains_term
-      $ policy_term)
+      $ policy_term $ store_term $ store_dir_term $ fsync_term
+      $ segment_mb_term $ compact_live_term)
 
 let () = exit (Cmd.eval cmd)

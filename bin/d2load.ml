@@ -79,8 +79,8 @@ let lat_ms r p = 1000.0 *. Stats.percentile r.lats p
    issue bursts the client polls, flushing the coalesced batch and
    delivering replies.  Returns once the deadline passed and every
    issued and queued op concluded. *)
-let replay client trace keymap stored ~window ~duration ~failed ~verify_errors
-    =
+let replay client trace keymap stored ~window ~duration ~ops_limit ~failed
+    ~verify_errors =
   let n_ops = Array.length trace.Op.ops in
   (* keys with an op currently issued *)
   let active : unit Key.Table.t = Key.Table.create (4 * window) in
@@ -151,7 +151,10 @@ let replay client trace keymap stored ~window ~duration ~failed ~verify_errors
       && Client.in_flight client < window
       && !outstanding < lookahead
     do
-      if Unix.gettimeofday () >= deadline then stop_issuing := true
+      if
+        Unix.gettimeofday () >= deadline
+        || (ops_limit > 0 && !i >= ops_limit)
+      then stop_issuing := true
       else begin
         let op = trace.Op.ops.(!i mod n_ops) in
         incr i;
@@ -188,8 +191,61 @@ let replay client trace keymap stored ~window ~duration ~failed ~verify_errors
   Array.sort compare lats;
   { window; run_ops = !done_ops; elapsed; lats }
 
+(* Replaying is deterministic per key (the hazard queue serializes
+   same-key ops in trace order), so the final stored table of a clean
+   [--ops N] run is a pure function of (trace, N): fold the first N
+   considered ops — Write/Create bind the payload, a Read of an
+   unbound key seeds it (the replay's seed-put), Delete unbinds.  A
+   fresh process can therefore recompute what an earlier run stored
+   and check every block survived — this is the crash-recovery
+   acceptance check, run against daemons that were killed and
+   restarted in between. *)
+let expected_table trace keymap ~ops_limit =
+  let n = Array.length trace.Op.ops in
+  let expected : string Key.Table.t = Key.Table.create 4096 in
+  for j = 0 to ops_limit - 1 do
+    let op = trace.Op.ops.(j mod n) in
+    let key = Keymap.key_of_op keymap op in
+    match op.Op.kind with
+    | Op.Write | Op.Create ->
+        Key.Table.replace expected key (payload_of key op.Op.bytes)
+    | Op.Read ->
+        if not (Key.Table.mem expected key) then
+          Key.Table.replace expected key (payload_of key op.Op.bytes)
+    | Op.Delete -> Key.Table.remove expected key
+  done;
+  expected
+
+let verify client trace keymap ~ops_limit ~window =
+  let expected = expected_table trace keymap ~ops_limit in
+  let total = Key.Table.length expected in
+  let missing = ref 0 and mismatched = ref 0 and failed = ref 0 in
+  let outstanding = ref 0 in
+  Key.Table.iter
+    (fun key expect ->
+      while Client.in_flight client >= window do
+        Client.poll client ~timeout:0.001
+      done;
+      incr outstanding;
+      Client.get_async client ~key (fun r ->
+          (match r with
+          | `Found data ->
+              if not (String.equal data expect) then incr mismatched
+          | `Missing -> incr missing
+          | `Failed -> incr failed);
+          decr outstanding))
+    expected;
+  while !outstanding > 0 do
+    Client.poll client ~timeout:0.001
+  done;
+  Printf.printf
+    "d2load: verified %d expected blocks: %d missing, %d mismatched, %d \
+     failed\n%!"
+    total !missing !mismatched !failed;
+  !missing = 0 && !mismatched = 0 && !failed = 0 && total > 0
+
 let run nodes port_base replicas duration users target_mb seed rpc_timeout
-    inflight alpha sweep min_ops_s =
+    inflight alpha sweep min_ops_s ops_limit verify_seed volume =
   if alpha < 1 then (
     Printf.eprintf "d2load: --alpha must be >= 1\n";
     exit 2);
@@ -230,17 +286,28 @@ let run nodes port_base replicas duration users target_mb seed rpc_timeout
       target_bytes = target_mb * 1024 * 1024;
     }
   in
-  let trace = Harvard.generate ~rng:(Rng.create seed) ~params () in
+  let trace_seed = match verify_seed with Some s -> s | None -> seed in
+  let trace = Harvard.generate ~rng:(Rng.create trace_seed) ~params () in
   if Array.length trace.Op.ops = 0 then (
     Printf.eprintf "d2load: empty trace\n";
     exit 2);
-  let keymap = Keymap.create Keymap.D2 ~volume:"/d2load" in
+  let keymap = Keymap.create Keymap.D2 ~volume in
+  (match verify_seed with
+  | Some _ ->
+      if ops_limit <= 0 then begin
+        Printf.eprintf "d2load: --verify-seed needs --ops\n";
+        exit 2
+      end;
+      let ok = verify client trace keymap ~ops_limit ~window:inflight in
+      T.shutdown ep;
+      exit (if ok then 0 else 1)
+  | None -> ());
   let stored : string Key.Table.t = Key.Table.create 4096 in
   let failed = ref 0 and verify_errors = ref 0 in
   let runs =
     List.map
       (fun window ->
-        replay client trace keymap stored ~window ~duration ~failed
+        replay client trace keymap stored ~window ~duration ~ops_limit ~failed
           ~verify_errors)
       windows
   in
@@ -349,6 +416,33 @@ let min_ops_s_term =
         ~doc:"Exit non-zero unless the best depth sustains at least \
               OPS operations per second (0 = no floor).")
 
+let ops_term =
+  Arg.(
+    value & opt int 0
+    & info [ "ops" ] ~docv:"N"
+        ~doc:"Stop after considering N trace operations (cycling the \
+              trace), making the run's final stored state deterministic — \
+              the prerequisite for --verify-seed.  0 = run to --duration.")
+
+let verify_seed_term =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "verify-seed" ] ~docv:"SEED"
+        ~doc:"Instead of replaying, recompute the final stored state of an \
+              earlier $(b,--seed) SEED $(b,--ops) N run (pass the same \
+              --ops, --users, --target-mb, --volume) and get-and-verify \
+              every expected block.  Exits non-zero on any missing or \
+              corrupt block — the crash-recovery check.")
+
+let volume_term =
+  Arg.(
+    value & opt string "/d2load"
+    & info [ "volume" ] ~docv:"PATH"
+        ~doc:"Keymap volume prefix.  Distinct volumes give disjoint key \
+              sets, so an interfering load (e.g. one run only to be \
+              killed) can target its own namespace.")
+
 let cmd =
   let doc = "replay a synthetic workload against a live d2d cluster" in
   Cmd.v
@@ -356,6 +450,7 @@ let cmd =
     Term.(
       const run $ nodes_term $ port_base_term $ replicas_term $ duration_term
       $ users_term $ target_mb_term $ seed_term $ timeout_term $ inflight_term
-      $ alpha_term $ sweep_term $ min_ops_s_term)
+      $ alpha_term $ sweep_term $ min_ops_s_term $ ops_term $ verify_seed_term
+      $ volume_term)
 
 let () = exit (Cmd.eval cmd)

@@ -35,3 +35,32 @@ val flush_due : t -> now:float -> (Key.t * int) list
 
 val dirty_count : t -> int
 val window : t -> float
+
+(** {1 Hot-block byte cache}
+
+    The front the durable segment store reads through: whole block
+    payloads retained up to a byte capacity with O(1) LRU eviction.
+    A zero capacity disables retention entirely (every find misses,
+    stores are dropped) — the cold-read benchmark configuration. *)
+
+type bytes_cache
+
+val bytes_cache : capacity:int -> bytes_cache
+
+val cache_store : bytes_cache -> Key.t -> string -> unit
+(** Insert or refresh a payload (becomes MRU); evicts LRU entries
+    until the capacity holds.  Payloads above the capacity are not
+    retained. *)
+
+val cache_find : bytes_cache -> Key.t -> string option
+(** Hit promotes to MRU and counts toward {!cache_hits}. *)
+
+val cache_remove : bytes_cache -> Key.t -> unit
+
+val cache_used : bytes_cache -> int
+(** Retained payload bytes. *)
+
+val cache_count : bytes_cache -> int
+val cache_hits : bytes_cache -> int
+val cache_misses : bytes_cache -> int
+val cache_evictions : bytes_cache -> int

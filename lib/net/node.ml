@@ -9,6 +9,12 @@ let default_config = { replicas = 3; probe_interval = 0.5; rpc_timeout = 0.25 }
 
 let join_attempts = 5
 
+(* How often a serving disk-backed node group-commits and releases the
+   acks riding the window.  Not a [config] field: the mem path never
+   uses it, and the window is a property of the store seam, not of the
+   DHT protocol the config describes. *)
+let flush_interval = 0.005
+
 module Make (T : Transport.S) = struct
   module L = Linkset.Make (T)
 
@@ -19,7 +25,13 @@ module Make (T : Transport.S) = struct
     my_id : Key.t;
     ring : Ring.t;
     router : Router.t;
-    shard : Shard.t;
+    store : Blockstore.t;
+    pending : (int * (unit -> unit)) Queue.t;
+        (** acks awaiting durability, per instance: each domain queues
+            only completions for its own linkset and drains only its
+            own queue after a group commit.  Seqs are pushed in
+            monotone order (handlers run sequentially per domain), so
+            draining stops at the first still-volatile head. *)
     lock : Mutex.t;  (** guards [ring] and [router] (shared by siblings) *)
     mutable probe_rank : int;
     mutable stopped : bool;
@@ -27,9 +39,47 @@ module Make (T : Transport.S) = struct
   }
 
   let ring t = t.ring
-  let shard t = t.shard
+  let store t = t.store
   let id t = t.my_id
   let requests_served t = t.served
+
+  (* Run [k] once the store has made [seq] durable.  A mem store (and
+     sequence 0, "nothing was appended") is durable now, so [k] runs
+     inline — the pre-seam ack path, frame-for-frame. *)
+  let ack_when_durable t seq k =
+    if Blockstore.durable_seq t.store >= seq then k ()
+    else begin
+      let first = Queue.is_empty t.pending in
+      Queue.push (seq, k) t.pending;
+      (* For the round's first deferred op, ask for the commit now
+         rather than at the end of the poll round: the fdatasync
+         starts while the loop is still draining frames and its
+         latency overlaps theirs.  Later ops ride the round-end flush
+         — signalling each one would chop the group commit back into
+         per-op syncs. *)
+      if first then Blockstore.flush_async t.store
+    end
+
+  (* The group-commit turn: wake the store's background flusher (it
+     stages one write and one fdatasync covering the whole window, off
+     this thread), release every ack the watermark already covers,
+     push the replies, and give compaction its chance.  Mem stores
+     never need any of it. *)
+  let flush_store t =
+    if Blockstore.is_disk t.store then begin
+      if Blockstore.needs_flush t.store then Blockstore.flush_async t.store;
+      let d = Blockstore.durable_seq t.store in
+      let drained = ref false in
+      while
+        (not (Queue.is_empty t.pending)) && fst (Queue.peek t.pending) <= d
+      do
+        let _, k = Queue.pop t.pending in
+        k ();
+        drained := true
+      done;
+      if !drained then L.flush_all t.ls;
+      ignore (Blockstore.maybe_compact t.store)
+    end
 
   (* The membership view is shared by every sibling (one per domain),
      so all ring/router access is bracketed; the bracket must NOT
@@ -79,28 +129,33 @@ module Make (T : Transport.S) = struct
   let members t = locked t (fun () -> members_locked t)
 
   (* Fan a stored block out to the next [depth] distinct successors
-     and ack the originator once every forward has concluded. *)
-  let fan_out t l req ~key ~depth ~make_msg ~make_ack =
+     and ack the originator once every forward has concluded AND the
+     local copy is durable ([local_seq] — the coordinator's own copy
+     rides the group-commit window like any other write). *)
+  let fan_out t l req ~key ~depth ~local_seq ~make_msg ~make_ack =
     let targets =
       locked t (fun () ->
           Ring.successors t.ring key (depth + 1)
           |> List.filter (fun n -> n <> t.me)
           |> List.filteri (fun i _ -> i < depth))
     in
-    match targets with
-    | [] -> L.reply l ~req (make_ack 1)
-    | _ ->
-        let remaining = ref (List.length targets) and copies = ref 1 in
-        List.iter
-          (fun dst ->
-            L.rpc t.ls ~dst ~timeout:t.cfg.rpc_timeout (make_msg ()) (fun r ->
-                (match r with
-                | Some (Wire.Put_ack _ | Wire.Remove_ack _) -> incr copies
-                | Some _ -> ()
-                | None -> suspect t dst);
-                decr remaining;
-                if !remaining = 0 then L.reply l ~req (make_ack !copies)))
-          targets
+    let remaining = ref (List.length targets + 1) and copies = ref 0 in
+    let finish () =
+      decr remaining;
+      if !remaining = 0 then L.reply l ~req (make_ack !copies)
+    in
+    ack_when_durable t local_seq (fun () ->
+        incr copies;
+        finish ());
+    List.iter
+      (fun dst ->
+        L.rpc t.ls ~dst ~timeout:t.cfg.rpc_timeout (make_msg ()) (fun r ->
+            (match r with
+            | Some (Wire.Put_ack _ | Wire.Remove_ack _) -> incr copies
+            | Some _ -> ()
+            | None -> suspect t dst);
+            finish ()))
+      targets
 
   let handle t l req msg =
     t.served <- t.served + 1;
@@ -131,21 +186,25 @@ module Make (T : Transport.S) = struct
         in
         L.reply l ~req reply
     | Wire.Get { key } -> (
-        match Shard.get t.shard ~key with
+        match Blockstore.get t.store ~key with
         | Some data -> L.reply l ~req (Wire.Found { data })
         | None -> L.reply l ~req Wire.Missing)
     | Wire.Put { key; depth; data } ->
-        Shard.put t.shard ~key ~data;
-        if depth <= 0 then L.reply l ~req (Wire.Put_ack { copies = 1 })
+        let seq = Blockstore.put t.store ~key ~data in
+        if depth <= 0 then
+          ack_when_durable t seq (fun () ->
+              L.reply l ~req (Wire.Put_ack { copies = 1 }))
         else
-          fan_out t l req ~key ~depth
+          fan_out t l req ~key ~depth ~local_seq:seq
             ~make_msg:(fun () -> Wire.Put { key; depth = 0; data })
             ~make_ack:(fun copies -> Wire.Put_ack { copies })
     | Wire.Remove { key; depth } ->
-        let removed = Shard.remove t.shard ~key in
-        if depth <= 0 then L.reply l ~req (Wire.Remove_ack { removed })
+        let removed, seq = Blockstore.remove t.store ~key in
+        if depth <= 0 then
+          ack_when_durable t seq (fun () ->
+              L.reply l ~req (Wire.Remove_ack { removed }))
         else
-          fan_out t l req ~key ~depth
+          fan_out t l req ~key ~depth ~local_seq:seq
             ~make_msg:(fun () -> Wire.Remove { key; depth = 0 })
             ~make_ack:(fun _ -> Wire.Remove_ack { removed })
     | Wire.Join { node; id } ->
@@ -174,8 +233,11 @@ module Make (T : Transport.S) = struct
     L.set_on_peer_down t.ls (fun peer -> suspect t peer);
     T.on_accept ep (fun conn -> ignore (L.attach t.ls conn))
 
-  let create ep ?(policy = Router.Fingers) ~config ~id ~peers () =
+  let create ep ?(policy = Router.Fingers) ?store ~config ~id ~peers () =
     let me = T.node ep in
+    let store =
+      match store with Some s -> s | None -> Blockstore.mem_store ()
+    in
     let ring = Ring.create () in
     Ring.add ring ~id ~node:me;
     List.iter
@@ -194,7 +256,8 @@ module Make (T : Transport.S) = struct
         my_id = id;
         ring;
         router;
-        shard = Shard.create ();
+        store;
+        pending = Queue.create ();
         lock = Mutex.create ();
         probe_rank = 0;
         stopped = false;
@@ -213,7 +276,16 @@ module Make (T : Transport.S) = struct
      probe; membership flows through whichever sibling a Join or a
      broken stream happens to reach. *)
   let sibling t ep =
-    let s = { t with ls = L.create ep; probe_rank = 0; stopped = false; served = 0 } in
+    let s =
+      {
+        t with
+        ls = L.create ep;
+        pending = Queue.create ();
+        probe_rank = 0;
+        stopped = false;
+        served = 0;
+      }
+    in
     wire s ep;
     s
 
@@ -266,7 +338,19 @@ module Make (T : Transport.S) = struct
         T.schedule ep ~delay:t.cfg.probe_interval tick
       end
     in
-    T.schedule ep ~delay:t.cfg.probe_interval tick
+    T.schedule ep ~delay:t.cfg.probe_interval tick;
+    (* Disk-backed nodes also run the group-commit clock; callers that
+       drive [T.poll] themselves may call [flush_store] more often (the
+       daemon does, after every poll), this tick is the floor. *)
+    if Blockstore.is_disk t.store then begin
+      let rec ftick () =
+        if not t.stopped then begin
+          flush_store t;
+          T.schedule ep ~delay:flush_interval ftick
+        end
+      in
+      T.schedule ep ~delay:flush_interval ftick
+    end
 
   let stop t = t.stopped <- true
 end

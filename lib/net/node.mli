@@ -1,8 +1,9 @@
 (** The live node runtime: one D2 storage node behind a transport.
 
     [Node.serve] wires together a membership ring view, a compiled
-    {!D2_dht.Router} for greedy forwarding, and a local {!Shard}
-    behind any {!Transport.S}:
+    {!D2_dht.Router} for greedy forwarding, and a local {!Blockstore}
+    (the in-RAM {!Shard} or the durable {!D2_segstore.Store}) behind
+    any {!Transport.S}:
 
     - {b Lookups} are iterative (§5): a node that owns the key answers
       [Owner (range, self)] — exactly what the client's range cache
@@ -48,6 +49,7 @@ module Make (T : Transport.S) : sig
   val create :
     T.t ->
     ?policy:D2_dht.Router.policy ->
+    ?store:Blockstore.t ->
     config:config ->
     id:Key.t ->
     peers:(int * Key.t) list ->
@@ -57,7 +59,12 @@ module Make (T : Transport.S) : sig
       [peers] (self included automatically; duplicate or colliding
       entries are skipped).  [policy] (default [Fingers]) selects the
       routing-link policy the node's redirects follow — set it
-      uniformly across a cluster ([D2_ROUTE_POLICY] in [d2d]). *)
+      uniformly across a cluster ([D2_ROUTE_POLICY] in [d2d]).
+      [store] (default a fresh in-RAM {!Blockstore.mem_store}) is the
+      block backend; with a disk store, Put/Remove acks are withheld
+      until a group commit makes the write durable — drive
+      {!flush_store} (the daemon does, after every poll; [serve] also
+      ticks it) or acks stall. *)
 
   val sibling : t -> T.t -> t
   (** [sibling t ep] is a worker-domain view of the same logical node:
@@ -74,8 +81,16 @@ module Make (T : Transport.S) : sig
   val stop : t -> unit
   (** Stop announcing and probing.  In-flight handlers finish. *)
 
+  val flush_store : t -> unit
+  (** One group-commit turn: flush the disk store (a single
+      write + fdatasync covering every operation buffered since the
+      last turn), release the acks the commit covers, and let
+      compaction run.  Instant no-op for mem stores — call it freely
+      from any poll loop.  Each instance (node or sibling) drains only
+      its own deferred acks. *)
+
   val ring : t -> D2_dht.Ring.t
-  val shard : t -> Shard.t
+  val store : t -> Blockstore.t
   val id : t -> Key.t
   val requests_served : t -> int
 end

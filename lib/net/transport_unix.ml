@@ -96,6 +96,11 @@ and t = {
   mutable accept_cb : conn -> unit;
   mutable conns : conn list;
   timers : Theap.t;
+  (* Self-pipe: {!wake} (any thread) writes a byte, a blocked {!poll}
+     wakes and drains it.  How a background fsync completion gets the
+     loop to release the acks it was holding. *)
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
 }
 
 external fd_int : Unix.file_descr -> int = "%identity"
@@ -268,6 +273,10 @@ let create ~node ~addr_of ?(listen = true) ?(reuseport = false) () =
           Pollset.set ps fd ~read:true ~write:false;
           Some fd
   in
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  Pollset.set ps wake_r ~read:true ~write:false;
   {
     unode = node;
     addr_of;
@@ -277,13 +286,32 @@ let create ~node ~addr_of ?(listen = true) ?(reuseport = false) () =
     accept_cb = ignore;
     conns = [];
     timers = Theap.create ();
+    wake_r;
+    wake_w;
   }
+
+(* Thread-safe; a full pipe means a wake is already pending, and a
+   closed one that the endpoint is shut down — both mean "done". *)
+let wake t =
+  try ignore (Unix.write t.wake_w (Bytes.make 1 '\001') 0 1)
+  with Unix.Unix_error _ -> ()
+
+let drain_wake t =
+  let buf = Bytes.create 64 in
+  let continue = ref true in
+  while !continue do
+    match Unix.read t.wake_r buf 0 64 with
+    | n -> if n < 64 then continue := false
+    | exception Unix.Unix_error _ -> continue := false
+  done
 
 let shutdown t =
   (match t.listen_fd with
   | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
   | None -> ());
   List.iter close t.conns;
+  (try Unix.close t.wake_w with Unix.Unix_error _ -> ());
+  (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
   Pollset.close t.ps
 
 (* Consume the 8-byte identity hello that opens every inbound stream;
@@ -357,9 +385,11 @@ let poll t ~timeout =
       let lfd_int =
         match t.listen_fd with Some fd -> fd_int fd | None -> -1
       in
+      let wake_int = fd_int t.wake_r in
       for i = 0 to n - 1 do
         let fdi = fd_int (Pollset.ready_fd t.ps i) in
-        if fdi = lfd_int then begin
+        if fdi = wake_int then drain_wake t
+        else if fdi = lfd_int then begin
           if Pollset.readable t.ps i then accept_ready t
         end
         else

@@ -43,5 +43,11 @@ val loopback : port_base:int -> n:int -> int -> Unix.sockaddr option
 val default_port_base : unit -> int
 (** [D2_NET_PORT_BASE] or 7000. *)
 
+val wake : t -> unit
+(** Interrupt a blocked {!Transport.S.poll} (self-pipe write; safe
+    from any thread).  The hook a store's background flusher uses to
+    get deferred acks released the moment their records hit disk,
+    instead of at the next timer tick. *)
+
 val shutdown : t -> unit
 (** Close the listen socket and every connection. *)

@@ -63,6 +63,16 @@ MICRO_LIMITS = {
     "zipf_sample": 150.0,
     "fleet_cache_probe": 100.0,
     "fleet_step": 600.0,
+    # Durable-store gates (stores live on tmpfs, so these bound the
+    # store's own code path, not device sync latency).  A quiet run
+    # reports ~260/~420/~100/~590; the ceilings catch a lost write
+    # buffer (per-op write(2) is ~10x), a per-put fsync (~100x), a
+    # cache that stopped caching, and a recovery that re-reads
+    # per-record instead of scanning chunks.
+    "store_append_batch": 1500.0,
+    "store_get_disk": 2500.0,
+    "store_get_cached": 500.0,
+    "store_recovery_replay": 3000.0,
 }
 
 

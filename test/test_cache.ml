@@ -271,6 +271,78 @@ let test_block_cancel () =
   Alcotest.(check int) "cancelled" 0 (Block_cache.dirty_count c);
   Alcotest.(check int) "nothing flushes" 0 (List.length (Block_cache.flush_due c ~now:60.0))
 
+(* {1 Hot-block byte cache (disk store front)} *)
+
+let test_bytes_cache_basics () =
+  let c = Block_cache.bytes_cache ~capacity:100 in
+  Alcotest.(check (option string)) "cold" None
+    (Block_cache.cache_find c (k_of_byte 1));
+  Block_cache.cache_store c (k_of_byte 1) "forty-byte-ish payload";
+  Alcotest.(check (option string)) "hit" (Some "forty-byte-ish payload")
+    (Block_cache.cache_find c (k_of_byte 1));
+  Alcotest.(check int) "used" 22 (Block_cache.cache_used c);
+  Alcotest.(check int) "count" 1 (Block_cache.cache_count c);
+  Alcotest.(check int) "hits" 1 (Block_cache.cache_hits c);
+  Alcotest.(check int) "misses" 1 (Block_cache.cache_misses c);
+  (* Overwrite replaces the payload and re-accounts the bytes. *)
+  Block_cache.cache_store c (k_of_byte 1) "short";
+  Alcotest.(check (option string)) "overwrite" (Some "short")
+    (Block_cache.cache_find c (k_of_byte 1));
+  Alcotest.(check int) "used shrank" 5 (Block_cache.cache_used c);
+  Alcotest.(check int) "still one entry" 1 (Block_cache.cache_count c);
+  Block_cache.cache_remove c (k_of_byte 1);
+  Alcotest.(check (option string)) "removed" None
+    (Block_cache.cache_find c (k_of_byte 1));
+  Alcotest.(check int) "empty" 0 (Block_cache.cache_used c)
+
+let test_bytes_cache_lru_eviction () =
+  let c = Block_cache.bytes_cache ~capacity:100 in
+  Block_cache.cache_store c (k_of_byte 1) (String.make 40 'a');
+  Block_cache.cache_store c (k_of_byte 2) (String.make 40 'b');
+  (* Touch 1 so 2 becomes the LRU, then overflow. *)
+  ignore (Block_cache.cache_find c (k_of_byte 1));
+  Block_cache.cache_store c (k_of_byte 3) (String.make 40 'c');
+  Alcotest.(check (option string)) "lru evicted" None
+    (Block_cache.cache_find c (k_of_byte 2));
+  Alcotest.(check bool) "recent kept" true
+    (Block_cache.cache_find c (k_of_byte 1) <> None);
+  Alcotest.(check bool) "new kept" true
+    (Block_cache.cache_find c (k_of_byte 3) <> None);
+  Alcotest.(check int) "one eviction" 1 (Block_cache.cache_evictions c);
+  Alcotest.(check bool) "capacity held" true (Block_cache.cache_used c <= 100)
+
+let test_bytes_cache_degenerate () =
+  (* Capacity 0 disables the cache entirely — no storage, no hit/miss
+     accounting noise. *)
+  let c = Block_cache.bytes_cache ~capacity:0 in
+  Block_cache.cache_store c (k_of_byte 1) "x";
+  Alcotest.(check (option string)) "nothing stored" None
+    (Block_cache.cache_find c (k_of_byte 1));
+  Alcotest.(check int) "no misses counted" 0 (Block_cache.cache_misses c);
+  (* A block bigger than the whole cache is not admitted (it would
+     evict everything for a single use). *)
+  let c = Block_cache.bytes_cache ~capacity:10 in
+  Block_cache.cache_store c (k_of_byte 1) (String.make 11 'x');
+  Alcotest.(check int) "oversized ignored" 0 (Block_cache.cache_count c)
+
+let test_bytes_cache_capacity_never_exceeded () =
+  let c = Block_cache.bytes_cache ~capacity:1000 in
+  let rng = Rng.create 7 in
+  for _ = 1 to 500 do
+    Block_cache.cache_store c
+      (k_of_byte (Rng.int rng 256))
+      (String.make (1 + Rng.int rng 300) 'z');
+    if Block_cache.cache_used c > 1000 then Alcotest.fail "capacity exceeded"
+  done;
+  (* The accounting matches the entries actually retained. *)
+  let total = ref 0 in
+  for b = 0 to 255 do
+    match Block_cache.cache_find c (k_of_byte b) with
+    | Some d -> total := !total + String.length d
+    | None -> ()
+  done;
+  Alcotest.(check int) "used = sum of retained" !total (Block_cache.cache_used c)
+
 (* {1 Retrieval cache (LRU)} *)
 
 module Retrieval_cache = D2_cache.Retrieval_cache
@@ -349,5 +421,14 @@ let () =
           Alcotest.test_case "write-back flush" `Quick test_block_writeback_flush;
           Alcotest.test_case "overwrite absorbed" `Quick test_block_write_absorbed;
           Alcotest.test_case "cancel" `Quick test_block_cancel;
+        ] );
+      ( "bytes_cache",
+        [
+          Alcotest.test_case "basics" `Quick test_bytes_cache_basics;
+          Alcotest.test_case "lru eviction" `Quick test_bytes_cache_lru_eviction;
+          Alcotest.test_case "degenerate capacities" `Quick
+            test_bytes_cache_degenerate;
+          Alcotest.test_case "capacity bound + accounting" `Quick
+            test_bytes_cache_capacity_never_exceeded;
         ] );
     ]

@@ -190,7 +190,7 @@ let run_pipelined window =
     List.map
       (fun n ->
         let blocks = ref [] in
-        D2_net.Shard.iter (Node.shard n) (fun k d ->
+        D2_net.Blockstore.iter (Node.store n) (fun k d ->
             blocks := (Key.to_string k, d) :: !blocks);
         List.sort compare !blocks)
       nodes
@@ -327,7 +327,7 @@ let test_basic_lifecycle () =
     (fun n ->
       Alcotest.(check bool)
         "replica present" true
-        (D2_net.Shard.mem (Node.shard n) ~key))
+        (D2_net.Blockstore.mem_block (Node.store n) ~key))
     nodes;
   (match Client.get client ~key with
   | `Found d -> Alcotest.(check string) "data" "hello" d
