@@ -207,8 +207,15 @@ let net_frame_encode_test () =
         | 1 ->
             D2_net.Wire.Owner
               { node = i; lo = keys.(i land 63); hi = keys.((i + 1) land 63) }
-        | 2 -> D2_net.Wire.Put { key = keys.(i land 63); depth = 2; data = payload }
-        | _ -> D2_net.Wire.Put_ack { copies = 3 })
+        | 2 ->
+            D2_net.Wire.Put
+              {
+                key = keys.(i land 63);
+                depth = 2;
+                vv = D2_net.Wire.vv_empty;
+                data = payload;
+              }
+        | _ -> D2_net.Wire.Put_ack { copies = 3; vv = D2_net.Wire.vv_empty })
   in
   Test.make ~name:"net_frame_encode" (Staged.stage (fun () ->
       let acc = ref 0 in
@@ -232,7 +239,12 @@ let net_mem_rpc_test () =
   let net = Mem.create_net ~engine ~topology ~loss:0.0 ~seed:0x2 () in
   let peers = D2_net.Bootstrap.peers 3 in
   let config =
-    { D2_net.Node.replicas = 3; probe_interval = 60.0; rpc_timeout = 5.0 }
+    {
+      D2_net.Node.replicas = 3;
+      probe_interval = 60.0;
+      rpc_timeout = 5.0;
+      repair_interval = 0.0;
+    }
   in
   let nodes =
     List.map
@@ -258,6 +270,97 @@ let net_mem_rpc_test () =
       match Client.get client ~key with
       | `Found _ -> ()
       | `Missing | `Failed -> failwith "net_mem_rpc: get failed"))
+
+(* Version-vector merge over a batch of prebuilt pairs: the kernel the
+   replica write path and every digest comparison run per entry. *)
+let vv_merge_test () =
+  let open Bechamel in
+  let module Vv = D2_sync.Version_vector in
+  let vrng = Rng.create 0x77aa in
+  let mk () =
+    let v = ref Vv.empty in
+    for _ = 1 to 1 + Rng.int vrng 6 do
+      v := Vv.bump !v ~node:(Rng.int vrng 16)
+    done;
+    !v
+  in
+  let pairs = Array.init micro_batch (fun _ -> (mk (), mk ())) in
+  Test.make ~name:"vv_merge" (Staged.stage (fun () ->
+      let acc = ref 0 in
+      for i = 0 to micro_batch - 1 do
+        let a, b = pairs.(i) in
+        acc := !acc + Vv.cardinal (Vv.merge a b)
+      done;
+      ignore (Sys.opaque_identity !acc)))
+
+(* Root-level digest build over a 4096-entry version map: one full
+   CRC-32C fold into 16 buckets, the fixed cost every repair session
+   pays per round regardless of how little diverged. *)
+let digest_build_4k_test () =
+  let open Bechamel in
+  let module Vv = D2_sync.Version_vector in
+  let module Vmap = D2_sync.Vmap in
+  let module Digest = D2_sync.Digest in
+  let vmap = Vmap.create () in
+  let krng = Rng.create 0xd16 in
+  for i = 0 to 4095 do
+    ignore
+      (Vmap.stamp_put vmap ~key:(Key.random krng) ~node:(i land 31)
+         ~incoming:Vv.empty)
+  done;
+  Test.make ~name:"digest_build_4k" (Staged.stage (fun () ->
+      let children =
+        Digest.children ~iter:(fun f -> Vmap.iter vmap f) ~prefix:0 ~bits:0
+      in
+      ignore (Sys.opaque_identity children)))
+
+(* One quorum-2 get through the full stack on a 3-node cluster: the
+   owner consults a replica and folds version vectors before
+   answering, so this gates the Get_q path net_mem_rpc never takes. *)
+let quorum_get_test () =
+  let open Bechamel in
+  let module Mem = D2_net.Transport_mem in
+  let module Node = D2_net.Node.Make (D2_net.Transport_mem) in
+  let module Client = D2_net.Client.Make (D2_net.Transport_mem) in
+  let engine = Engine.create () in
+  let topology = D2_simnet.Topology.create ~rng:(Rng.create 0x9047) ~n:4 () in
+  let net = Mem.create_net ~engine ~topology ~loss:0.0 ~seed:0x5 () in
+  let peers = D2_net.Bootstrap.peers 3 in
+  let config =
+    {
+      D2_net.Node.replicas = 3;
+      probe_interval = 60.0;
+      rpc_timeout = 5.0;
+      repair_interval = 0.0;
+    }
+  in
+  let nodes =
+    List.map
+      (fun (i, id) -> Node.create (Mem.endpoint net ~node:i) ~config ~id ~peers ())
+      peers
+  in
+  List.iter Node.serve nodes;
+  Engine.run engine ~until:2.0;
+  let client =
+    Client.create (Mem.endpoint net ~node:3) ~replicas:3 ~quorum_r:2
+      ~rpc_timeout:5.0 ~seeds:[ 0; 1; 2 ] ()
+  in
+  let krng = Rng.create 0x9b in
+  let keys = Array.init 64 (fun _ -> Key.random krng) in
+  let data = String.make 256 'q' in
+  Array.iter
+    (fun key ->
+      match Client.put client ~key ~data with
+      | `Ok _ -> ()
+      | `Failed -> failwith "quorum_get: seed put failed")
+    keys;
+  let idx = ref 0 in
+  Test.make ~name:"quorum_get" (Staged.stage (fun () ->
+      let key = keys.(!idx land 63) in
+      incr idx;
+      match Client.get client ~key with
+      | `Found _ -> ()
+      | `Missing | `Failed -> failwith "quorum_get: get failed"))
 
 (* Write coalescing: queue windows of 16 frames on one link and flush
    each window as a single transport send, then drain the virtual
@@ -312,7 +415,12 @@ let net_pipelined_rpc_test () =
   let net = Mem.create_net ~engine ~topology ~loss:0.0 ~seed:0x9 () in
   let peers = D2_net.Bootstrap.peers 3 in
   let config =
-    { D2_net.Node.replicas = 3; probe_interval = 60.0; rpc_timeout = 5.0 }
+    {
+      D2_net.Node.replicas = 3;
+      probe_interval = 60.0;
+      rpc_timeout = 5.0;
+      repair_interval = 0.0;
+    }
   in
   let nodes =
     List.map
@@ -670,6 +778,10 @@ let micro_tests ~full () =
       (`Quick, micro_batch, net_frame_encode_test ());
       (* one put + one get per staged run *)
       (`Quick, 2, net_mem_rpc_test ());
+      (`Quick, micro_batch, vv_merge_test ());
+      (`Quick, 1, digest_build_4k_test ());
+      (* one quorum-2 get per staged run *)
+      (`Quick, 1, quorum_get_test ());
       (`Quick, micro_batch, net_write_coalesce_test ());
       (* one window of 16 pipelined gets per staged run *)
       (`Quick, pipeline_window, net_pipelined_rpc_test ());

@@ -82,8 +82,9 @@ let env_float name fallback =
           fallback)
   | None -> fallback
 
-let run node nodes port_base replicas probe_interval rpc_timeout duration
-    domains policy_str store_kind store_dir fsync_str segment_mb compact_live =
+let run node nodes port_base replicas probe_interval rpc_timeout
+    repair_interval duration domains policy_str store_kind store_dir fsync_str
+    segment_mb compact_live =
   let policy =
     match D2_dht.Router.policy_of_string policy_str with
     | Some p -> p
@@ -115,7 +116,9 @@ let run node nodes port_base replicas probe_interval rpc_timeout duration
   let addr_of = T.loopback ~port_base ~n:nodes in
   let reuseport = domains > 1 in
   let ep = T.create ~node ~addr_of ~reuseport () in
-  let config = { D2_net.Node.replicas; probe_interval; rpc_timeout } in
+  let config =
+    { D2_net.Node.replicas; probe_interval; rpc_timeout; repair_interval }
+  in
   (* Each node keeps its segments under <store-dir>/node-<i>, so every
      daemon of a loopback cluster can share one --store-dir and a
      restarted node finds its own data again. *)
@@ -268,6 +271,16 @@ let timeout_term =
     value & opt float 0.25
     & info [ "rpc-timeout" ] ~docv:"SECS" ~doc:"Per-RPC reply deadline.")
 
+let repair_term =
+  Arg.(
+    value
+    & opt float (env_float "D2_REPAIR_INTERVAL" 1.0)
+    & info [ "repair-interval" ] ~docv:"SECS"
+        ~doc:"Anti-entropy period: every SECS this node reconciles its \
+              primary range with one successor (digest exchange, then \
+              block transfers), rotating through the replica set.  0 \
+              disables repair (default from D2_REPAIR_INTERVAL, else 1).")
+
 let duration_term =
   Arg.(
     value & opt float 0.0
@@ -343,7 +356,7 @@ let cmd =
     (Cmd.info "d2d" ~doc)
     Term.(
       const run $ node_term $ nodes_term $ port_base_term $ replicas_term
-      $ probe_term $ timeout_term $ duration_term $ domains_term
+      $ probe_term $ timeout_term $ repair_term $ duration_term $ domains_term
       $ policy_term $ store_term $ store_dir_term $ fsync_term
       $ segment_mb_term $ compact_live_term)
 

@@ -51,6 +51,16 @@ let default_inflight () =
           16)
   | None -> 16
 
+let env_quorum name =
+  match Sys.getenv_opt name with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some q when q >= 1 -> q
+      | _ ->
+          Printf.eprintf "d2load: ignoring malformed %s\n" name;
+          1)
+  | None -> 1
+
 let default_alpha () =
   match Sys.getenv_opt "D2_ROUTE_ALPHA" with
   | Some s -> (
@@ -244,10 +254,15 @@ let verify client trace keymap ~ops_limit ~window =
     total !missing !mismatched !failed;
   !missing = 0 && !mismatched = 0 && !failed = 0 && total > 0
 
-let run nodes port_base replicas duration users target_mb seed rpc_timeout
-    inflight alpha sweep min_ops_s ops_limit verify_seed volume =
+let run nodes port_base replicas quorum_r quorum_w duration users target_mb
+    seed rpc_timeout inflight alpha sweep min_ops_s ops_limit verify_seed
+    volume =
   if alpha < 1 then (
     Printf.eprintf "d2load: --alpha must be >= 1\n";
+    exit 2);
+  if quorum_r < 1 || quorum_r > replicas || quorum_w < 1 || quorum_w > replicas
+  then (
+    Printf.eprintf "d2load: quorums must be in [1, --replicas]\n";
     exit 2);
   (* Block payloads (~8 KB) exceed the minor-allocation cutoff and
      land on the major heap; at 100k ops/s the default pacing spends a
@@ -274,7 +289,7 @@ let run nodes port_base replicas duration users target_mb seed rpc_timeout
       ~listen:false ()
   in
   let client =
-    Client.create ep ~replicas ~rpc_timeout ~alpha
+    Client.create ep ~replicas ~quorum_r ~quorum_w ~rpc_timeout ~alpha
       ~seeds:(List.init nodes Fun.id)
       ()
   in
@@ -360,6 +375,23 @@ let replicas_term =
   Arg.(
     value & opt int 3
     & info [ "replicas" ] ~docv:"R" ~doc:"Fan-out depth requested on puts.")
+
+let quorum_r_term =
+  Arg.(
+    value
+    & opt int (env_quorum "D2_QUORUM_R")
+    & info [ "quorum-r" ] ~docv:"Q"
+        ~doc:"Read quorum: at 2+ every get consults Q replicas through the \
+              owner and returns the version-dominating copy, read-repairing \
+              stale replicas (default from D2_QUORUM_R, else 1).")
+
+let quorum_w_term =
+  Arg.(
+    value
+    & opt int (env_quorum "D2_QUORUM_W")
+    & info [ "quorum-w" ] ~docv:"Q"
+        ~doc:"Write quorum: a put acked by fewer than Q replicas counts as \
+              failed and is retried (default from D2_QUORUM_W, else 1).")
 
 let duration_term =
   Arg.(
@@ -448,9 +480,9 @@ let cmd =
   Cmd.v
     (Cmd.info "d2load" ~doc)
     Term.(
-      const run $ nodes_term $ port_base_term $ replicas_term $ duration_term
-      $ users_term $ target_mb_term $ seed_term $ timeout_term $ inflight_term
-      $ alpha_term $ sweep_term $ min_ops_s_term $ ops_term $ verify_seed_term
-      $ volume_term)
+      const run $ nodes_term $ port_base_term $ replicas_term $ quorum_r_term
+      $ quorum_w_term $ duration_term $ users_term $ target_mb_term $ seed_term
+      $ timeout_term $ inflight_term $ alpha_term $ sweep_term $ min_ops_s_term
+      $ ops_term $ verify_seed_term $ volume_term)
 
 let () = exit (Cmd.eval cmd)

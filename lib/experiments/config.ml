@@ -53,3 +53,6 @@ let balance_nodes = function Quick -> 50 | Paper -> 247
 
 let bakeoff_nodes = function Quick -> 2048 | Paper -> 10240
 let bakeoff_trials = function Quick -> 400 | Paper -> 2000
+
+let repair_nodes = function Quick -> 12 | Paper -> 25
+let repair_blocks = function Quick -> 80 | Paper -> 240

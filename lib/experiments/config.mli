@@ -48,3 +48,9 @@ val bakeoff_nodes : scale -> int
 
 val bakeoff_trials : scale -> int
 (** Lookups per (policy, distribution) bake-off cell. *)
+
+val repair_nodes : scale -> int
+(** Live-cluster size for the anti-entropy availability experiment. *)
+
+val repair_blocks : scale -> int
+(** Blocks loaded before the kill schedule in that experiment. *)

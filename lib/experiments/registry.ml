@@ -38,6 +38,8 @@ let all =
     entry "ablation_hotspot" "Retrieval caches vs hot spots (§6)" Ablations.hotspot;
     entry "bakeoff_routing" "Routing-policy bake-off (4 policies x 2 ID dists)"
       Bakeoff.run;
+    entry "repair_bandwidth"
+      "Anti-entropy repair bandwidth vs availability (§12)" Repair_avail.run;
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

@@ -1,0 +1,8 @@
+(** Anti-entropy bandwidth vs availability (§12): a deterministic
+    two-kill schedule on the live mem-transport cluster, swept over
+    repair intervals plus a repair-off control.  Rows report the
+    repair traffic (sessions, frames, bytes, copies moved) against the
+    end-state availability (replica groups below r, blocks at full
+    replication, blocks a quorum-2 read can serve). *)
+
+val run : Config.scale -> D2_util.Report.t list

@@ -37,6 +37,9 @@ let stored_bytes = function
   | Disk s -> Store.stored_bytes s
 
 let iter t f = match t with Mem s -> Shard.iter s f | Disk s -> Store.iter s f
+
+let iter_keys t f =
+  match t with Mem s -> Shard.iter_keys s f | Disk s -> Store.iter_keys s f
 let close = function Mem _ -> () | Disk s -> Store.close s
 let shard = function Mem s -> Some s | Disk _ -> None
 let store = function Mem _ -> None | Disk s -> Some s

@@ -53,6 +53,11 @@ val count : t -> int
 val stored_bytes : t -> int
 val iter : t -> (Key.t -> string -> unit) -> unit
 
+val iter_keys : t -> (Key.t -> unit) -> unit
+(** Visit every stored key without reading payloads — a pure index
+    walk on [Disk], so seeding the repair subsystem's version map at
+    boot never preads block data. *)
+
 val close : t -> unit
 (** Flush + checkpoint + close ([Disk]); no-op for [Mem]. *)
 

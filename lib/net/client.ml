@@ -10,6 +10,8 @@ module Make (T : Transport.S) = struct
     seeds : int array;
     mutable seed_idx : int;
     replicas : int;
+    quorum_r : int;
+    quorum_w : int;
     rpc_timeout : float;
     max_hops : int;
     retries : int;
@@ -20,16 +22,23 @@ module Make (T : Transport.S) = struct
     mutable inflight : int;
   }
 
-  let create ep ?ttl ?(replicas = 3) ?(rpc_timeout = 0.25) ?(max_hops = 32)
-      ?(retries = 3) ?(quantum = 0.01) ?(alpha = 1) ~seeds () =
+  let create ep ?ttl ?(replicas = 3) ?(quorum_r = 1) ?(quorum_w = 1)
+      ?(rpc_timeout = 0.25) ?(max_hops = 32) ?(retries = 3) ?(quantum = 0.01)
+      ?(alpha = 1) ~seeds () =
     if seeds = [] then invalid_arg "Client.create: seeds must be non-empty";
     if alpha < 1 then invalid_arg "Client.create: alpha must be >= 1";
+    if quorum_r < 1 || quorum_r > replicas then
+      invalid_arg "Client.create: quorum_r outside 1..replicas";
+    if quorum_w < 1 || quorum_w > replicas then
+      invalid_arg "Client.create: quorum_w outside 1..replicas";
     {
       ls = L.create ep;
       cache = Lookup_cache.create ?ttl ();
       seeds = Array.of_list seeds;
       seed_idx = 0;
       replicas;
+      quorum_r;
+      quorum_w;
       rpc_timeout;
       max_hops;
       retries;
@@ -200,26 +209,40 @@ module Make (T : Transport.S) = struct
     in
     go t.retries
 
+  (* A write is good once [quorum_w] replicas acked it; fewer acks
+     (slow or dead replicas inside the coordinator's fan-out window)
+     re-resolves and retries — the version map makes the replay
+     idempotent on replicas that did take the first attempt. *)
   let put t ~key ~data =
     if String.length data > Wire.max_payload then
       invalid_arg "Client.put: data exceeds Wire.max_payload";
     with_owner t key ~f:(fun owner ->
         match
-          rpc t owner (Wire.Put { key; depth = t.replicas - 1; data })
+          rpc t owner
+            (Wire.Put { key; depth = t.replicas - 1; vv = Wire.vv_empty; data })
         with
-        | Some (Wire.Put_ack { copies }) -> `Done (`Ok copies)
-        | Some _ | None -> `Retry)
+        | Some (Wire.Put_ack { copies; _ }) when copies >= t.quorum_w ->
+            `Done (`Ok copies)
+        | Some (Wire.Put_ack _) | None -> `Retry
+        | Some _ -> `Retry)
 
   let get t ~key =
     with_owner t key ~f:(fun owner ->
-        match rpc t owner (Wire.Get { key }) with
+        let msg =
+          if t.quorum_r >= 2 then Wire.Get_q { key; q = t.quorum_r }
+          else Wire.Get { key }
+        in
+        match rpc t owner msg with
         | Some (Wire.Found { data }) -> `Done (`Found data)
         | Some Wire.Missing -> `Stale `Missing
         | Some _ | None -> `Retry)
 
   let remove t ~key =
     with_owner t key ~f:(fun owner ->
-        match rpc t owner (Wire.Remove { key; depth = t.replicas - 1 }) with
+        match
+          rpc t owner
+            (Wire.Remove { key; depth = t.replicas - 1; vv = Wire.vv_empty })
+        with
         | Some (Wire.Remove_ack { removed }) -> `Done (`Ok removed)
         | Some _ | None -> `Retry)
 
@@ -304,16 +327,21 @@ module Make (T : Transport.S) = struct
       invalid_arg "Client.put_async: data exceeds Wire.max_payload";
     awith_owner t key ~failed:`Failed ~k ~f:(fun owner k' ->
         arpc t owner
-          (Wire.Put { key; depth = t.replicas - 1; data })
+          (Wire.Put { key; depth = t.replicas - 1; vv = Wire.vv_empty; data })
           (fun r ->
             k'
               (match r with
-              | Some (Wire.Put_ack { copies }) -> `Done (`Ok copies)
+              | Some (Wire.Put_ack { copies; _ }) when copies >= t.quorum_w ->
+                  `Done (`Ok copies)
               | Some _ | None -> `Retry)))
 
   let get_async t ~key k =
     awith_owner t key ~failed:`Failed ~k ~f:(fun owner k' ->
-        arpc t owner (Wire.Get { key }) (fun r ->
+        let msg =
+          if t.quorum_r >= 2 then Wire.Get_q { key; q = t.quorum_r }
+          else Wire.Get { key }
+        in
+        arpc t owner msg (fun r ->
             k'
               (match r with
               | Some (Wire.Found { data }) -> `Done (`Found data)
@@ -323,7 +351,7 @@ module Make (T : Transport.S) = struct
   let remove_async t ~key k =
     awith_owner t key ~failed:`Failed ~k ~f:(fun owner k' ->
         arpc t owner
-          (Wire.Remove { key; depth = t.replicas - 1 })
+          (Wire.Remove { key; depth = t.replicas - 1; vv = Wire.vv_empty })
           (fun r ->
             k'
               (match r with

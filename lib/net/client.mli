@@ -24,6 +24,8 @@ module Make (T : Transport.S) : sig
     T.t ->
     ?ttl:float ->
     ?replicas:int ->
+    ?quorum_r:int ->
+    ?quorum_w:int ->
     ?rpc_timeout:float ->
     ?max_hops:int ->
     ?retries:int ->
@@ -37,6 +39,18 @@ module Make (T : Transport.S) : sig
       fan-out depth requested on puts; [quantum] bounds each poll step
       while an operation waits.  [ttl] is the cache TTL (default
       4500 s — virtual seconds under {!Transport_mem}).
+
+      [quorum_w] (default 1) is the write quorum: a put whose ack
+      reports fewer than [quorum_w] stored copies is treated as a
+      failure and retried through the ladder (replays are idempotent —
+      replicas resolve the duplicate through its version vector).
+      [quorum_r] (default 1) is the read quorum: at 1, gets are the
+      plain owner read; at 2+ they become [Get_q] — the owner consults
+      [quorum_r] replicas, answers with the version-dominating copy,
+      and read-repairs stale replicas inline — so a read survives an
+      owner that crashed and restarted empty before repair caught up.
+      @raise Invalid_argument if either quorum is outside
+      [1..replicas].
 
       [alpha] (default 1) enables α-way parallel lookups: a cache miss
       races [alpha] independent iterative redirect-chains, each

@@ -2,10 +2,33 @@ module Key = D2_keyspace.Key
 module Ring = D2_dht.Ring
 module Router = D2_dht.Router
 module Rng = D2_util.Rng
+module Vv = D2_sync.Version_vector
+module Vmap = D2_sync.Vmap
+module Digest = D2_sync.Digest
+module Repair = D2_sync.Repair
 
-type config = { replicas : int; probe_interval : float; rpc_timeout : float }
+type config = {
+  replicas : int;
+  probe_interval : float;
+  rpc_timeout : float;
+  repair_interval : float;
+}
 
-let default_config = { replicas = 3; probe_interval = 0.5; rpc_timeout = 0.25 }
+let default_config =
+  {
+    replicas = 3;
+    probe_interval = 0.5;
+    rpc_timeout = 0.25;
+    repair_interval = 1.0;
+  }
+
+type repair_stats = {
+  mutable repair_frames : int;
+  mutable repair_bytes : int;
+  mutable pushed : int;
+  mutable pulled : int;
+  mutable sessions : int;
+}
 
 let join_attempts = 5
 
@@ -33,7 +56,10 @@ module Make (T : Transport.S) = struct
             monotone order (handlers run sequentially per domain), so
             draining stops at the first still-volatile head. *)
     lock : Mutex.t;  (** guards [ring] and [router] (shared by siblings) *)
+    vmap : Vmap.t;  (** per-key version state, shared by siblings *)
+    repair : repair_stats;  (** anti-entropy counters, shared by siblings *)
     mutable probe_rank : int;
+    mutable repair_rank : int;
     mutable stopped : bool;
     mutable served : int;
   }
@@ -42,6 +68,8 @@ module Make (T : Transport.S) = struct
   let store t = t.store
   let id t = t.my_id
   let requests_served t = t.served
+  let vmap t = t.vmap
+  let repair_stats t = t.repair
 
   (* Run [k] once the store has made [seq] durable.  A mem store (and
      sequence 0, "nothing was appended") is durable now, so [k] runs
@@ -157,6 +185,94 @@ module Make (T : Transport.S) = struct
             finish ()))
       targets
 
+  (* Install a stamped copy arriving from elsewhere (fan-out, repair
+     push, read-repair): the version map resolves it against the local
+     entry under the key's partition lock, and only a winning copy
+     touches the blockstore — a stale or duplicate delivery is
+     version-ignored, never re-applied.  Returns whether the bytes were
+     installed, and the store sequence the caller's ack must wait for. *)
+  let apply_copy t ~key ~vv ~deleted ~data =
+    match Vmap.apply t.vmap ~key ~vv ~deleted with
+    | `Store _ ->
+        if deleted then begin
+          let _, seq = Blockstore.remove t.store ~key in
+          (true, seq)
+        end
+        else (true, Blockstore.put t.store ~key ~data)
+    | `Ignore _ -> (false, 0)
+
+  (* Quorum read: the owner fans [Fetch] to the next [q-1] replica
+     holders, folds every copy that answers (its own included) through
+     the version order, replies with the dominating copy, and pushes
+     that copy back to any replica that reported an older one —
+     read-repair, off the reply path. *)
+  let serve_get_q t l req ~key ~q =
+    let local =
+      match Vmap.find t.vmap ~key with
+      | Some e -> (e.Vmap.vv, e.Vmap.deleted, Blockstore.get t.store ~key)
+      | None -> (Vv.empty, false, Blockstore.get t.store ~key)
+    in
+    let targets =
+      if q <= 1 then []
+      else
+        locked t (fun () ->
+            Ring.successors t.ring key q
+            |> List.filter (fun n -> n <> t.me)
+            |> List.filteri (fun i _ -> i < q - 1))
+    in
+    let replies = ref [ (t.me, local) ] in
+    let remaining = ref (List.length targets) in
+    let finish () =
+      let winner =
+        List.fold_left
+          (fun ((_, (avv, _, _)) as a) ((_, (bvv, _, _)) as b) ->
+            match Vv.winner avv bvv with `Left -> a | `Right -> b)
+          (List.hd !replies) (List.tl !replies)
+      in
+      let _, (wvv, wdel, wdata) = winner in
+      (match (wdel, wdata) with
+      | false, Some data -> L.reply l ~req (Wire.Found { data })
+      | _ -> L.reply l ~req Wire.Missing);
+      (* Read-repair: any replica not already holding a copy at least
+         as new as the winner gets the winning copy pushed (the
+         receiving side's version map resolves a concurrent pair to
+         the same deterministic winner); no ack awaited. *)
+      if wdel || wdata <> None then
+        List.iter
+          (fun (node, (rvv, _, _)) ->
+            if not (Vv.dominates rvv wvv) then
+              if node = t.me then
+                ignore
+                  (apply_copy t ~key ~vv:wvv ~deleted:wdel
+                     ~data:(Option.value wdata ~default:""))
+              else
+                L.rpc t.ls ~dst:node ~timeout:t.cfg.rpc_timeout
+                  (Wire.Push
+                     {
+                       key;
+                       vv = wvv;
+                       deleted = wdel;
+                       data = Option.value wdata ~default:"";
+                     })
+                  (fun _ -> ()))
+          !replies
+    in
+    if !remaining = 0 then finish ()
+    else
+      List.iter
+        (fun dst ->
+          L.rpc t.ls ~dst ~timeout:t.cfg.rpc_timeout (Wire.Fetch { key })
+            (fun r ->
+              (match r with
+              | Some (Wire.Fetch_ack { vv; deleted; data }) ->
+                  if not (Vv.is_empty vv && data = None) then
+                    replies := (dst, (vv, deleted, data)) :: !replies
+              | Some _ -> ()
+              | None -> suspect t dst);
+              decr remaining;
+              if !remaining = 0 then finish ()))
+        targets
+
   let handle t l req msg =
     t.served <- t.served + 1;
     match msg with
@@ -189,24 +305,46 @@ module Make (T : Transport.S) = struct
         match Blockstore.get t.store ~key with
         | Some data -> L.reply l ~req (Wire.Found { data })
         | None -> L.reply l ~req Wire.Missing)
-    | Wire.Put { key; depth; data } ->
-        let seq = Blockstore.put t.store ~key ~data in
-        if depth <= 0 then
+    | Wire.Put { key; depth; vv; data } ->
+        (* Coordinator or fan-out copy?  A coordinator put either fans
+           out ([depth > 0]) or comes unstamped from a client
+           ([replicas = 1] clusters put at depth 0 with an empty
+           vector); a fan-out copy always carries the coordinator's
+           stamp.  The coordinator stamps exactly once, so every
+           replica of this write records the same vector. *)
+        if depth > 0 || Vv.is_empty vv then begin
+          let vv = Vmap.stamp_put t.vmap ~key ~node:t.me ~incoming:vv in
+          let seq = Blockstore.put t.store ~key ~data in
+          if depth <= 0 then
+            ack_when_durable t seq (fun () ->
+                L.reply l ~req (Wire.Put_ack { copies = 1; vv }))
+          else
+            fan_out t l req ~key ~depth ~local_seq:seq
+              ~make_msg:(fun () -> Wire.Put { key; depth = 0; vv; data })
+              ~make_ack:(fun copies -> Wire.Put_ack { copies; vv })
+        end
+        else begin
+          let _, seq = apply_copy t ~key ~vv ~deleted:false ~data in
           ack_when_durable t seq (fun () ->
-              L.reply l ~req (Wire.Put_ack { copies = 1 }))
-        else
-          fan_out t l req ~key ~depth ~local_seq:seq
-            ~make_msg:(fun () -> Wire.Put { key; depth = 0; data })
-            ~make_ack:(fun copies -> Wire.Put_ack { copies })
-    | Wire.Remove { key; depth } ->
-        let removed, seq = Blockstore.remove t.store ~key in
-        if depth <= 0 then
+              L.reply l ~req (Wire.Put_ack { copies = 1; vv }))
+        end
+    | Wire.Remove { key; depth; vv } ->
+        if depth > 0 || Vv.is_empty vv then begin
+          let vv = Vmap.stamp_remove t.vmap ~key ~node:t.me ~incoming:vv in
+          let removed, seq = Blockstore.remove t.store ~key in
+          if depth <= 0 then
+            ack_when_durable t seq (fun () ->
+                L.reply l ~req (Wire.Remove_ack { removed }))
+          else
+            fan_out t l req ~key ~depth ~local_seq:seq
+              ~make_msg:(fun () -> Wire.Remove { key; depth = 0; vv })
+              ~make_ack:(fun _ -> Wire.Remove_ack { removed })
+        end
+        else begin
+          let stored, seq = apply_copy t ~key ~vv ~deleted:true ~data:"" in
           ack_when_durable t seq (fun () ->
-              L.reply l ~req (Wire.Remove_ack { removed }))
-        else
-          fan_out t l req ~key ~depth ~local_seq:seq
-            ~make_msg:(fun () -> Wire.Remove { key; depth = 0 })
-            ~make_ack:(fun _ -> Wire.Remove_ack { removed })
+              L.reply l ~req (Wire.Remove_ack { removed = stored }))
+        end
     | Wire.Join { node; id } ->
         let reply =
           locked t (fun () ->
@@ -223,6 +361,42 @@ module Make (T : Transport.S) = struct
     | Wire.Probe ->
         let epoch = locked t (fun () -> Ring.epoch t.ring) in
         L.reply l ~req (Wire.Probe_ack { node = t.me; epoch })
+    | Wire.Sync_digests { lo; hi; prefix; bits } ->
+        let children =
+          Digest.children ~iter:(Vmap.iter_range t.vmap ~lo ~hi) ~prefix ~bits
+        in
+        L.reply l ~req (Wire.Sync_digests_ack { children })
+    | Wire.Sync_keys { lo; hi; prefix; bits } ->
+        let items =
+          Digest.items ~iter:(Vmap.iter_range t.vmap ~lo ~hi) ~prefix ~bits
+        in
+        (* A bucket this deep holding more than the frame cap would
+           take ~2^28 hash collisions; truncating (sorted, so both
+           sides drop the same tail region) keeps the frame bounded
+           and the next session finishes the job. *)
+        let items = List.filteri (fun i _ -> i < Wire.max_sync_items) items in
+        L.reply l ~req (Wire.Sync_keys_ack { items })
+    | Wire.Fetch { key } ->
+        let reply =
+          match Vmap.find t.vmap ~key with
+          | Some e when e.Vmap.deleted ->
+              Wire.Fetch_ack { vv = e.Vmap.vv; deleted = true; data = None }
+          | Some e ->
+              Wire.Fetch_ack
+                {
+                  vv = e.Vmap.vv;
+                  deleted = false;
+                  data = Blockstore.get t.store ~key;
+                }
+          | None ->
+              Wire.Fetch_ack { vv = Vv.empty; deleted = false; data = None }
+        in
+        L.reply l ~req reply
+    | Wire.Push { key; vv; deleted; data } ->
+        let stored, seq = apply_copy t ~key ~vv ~deleted ~data in
+        ack_when_durable t seq (fun () ->
+            L.reply l ~req (Wire.Push_ack { stored }))
+    | Wire.Get_q { key; q } -> serve_get_q t l req ~key ~q
     | _ ->
         (* Replies never reach the request handler ([Wire.is_request]
            dispatch); a peer sending one as a request is confused. *)
@@ -248,6 +422,11 @@ module Make (T : Transport.S) = struct
     let router =
       Router.create ~ring ~policy ~rng:(Rng.create ((me * 0x9e3779b1) lor 1))
     in
+    let vmap = Vmap.create () in
+    (* Blocks already in the store (a disk store after restart) enter
+       the version map under the empty vector: visible to digests and
+       quorum reads, superseded by any stamped copy a peer holds. *)
+    Blockstore.iter_keys store (fun key -> Vmap.seed vmap ~key);
     let t =
       {
         ls = L.create ep;
@@ -259,7 +438,17 @@ module Make (T : Transport.S) = struct
         store;
         pending = Queue.create ();
         lock = Mutex.create ();
+        vmap;
+        repair =
+          {
+            repair_frames = 0;
+            repair_bytes = 0;
+            pushed = 0;
+            pulled = 0;
+            sessions = 0;
+          };
         probe_rank = 0;
+        repair_rank = 0;
         stopped = false;
         served = 0;
       }
@@ -282,6 +471,7 @@ module Make (T : Transport.S) = struct
         ls = L.create ep;
         pending = Queue.create ();
         probe_rank = 0;
+        repair_rank = 0;
         stopped = false;
         served = 0;
       }
@@ -308,6 +498,154 @@ module Make (T : Transport.S) = struct
     if dst <> t.me then
       L.rpc t.ls ~dst ~timeout:t.cfg.rpc_timeout Wire.Probe (fun r ->
           match r with Some _ -> () | None -> suspect t dst)
+
+  (* {2 Anti-entropy}
+
+     Each repair tick reconciles this node's primary range — the keys
+     it owns, which its r-1 successors must replicate — with one
+     successor, rotating through them across ticks.  The session walks
+     the digest trie (one [Sync_digests] RPC per narrowing round, one
+     [Sync_keys] per leaf), then streams the transfers: [Fetch] for
+     entries the peer holds newer, [Push] for entries we hold newer.
+     Because the owner drives sync for its own range, every failure
+     mode funnels through the same loop: a successor that died takes
+     its replicas with it, and the owner's next tick re-replicates to
+     the node that ring maintenance promoted into the chain; a node
+     restarted empty is refilled by its predecessors' sessions (and
+     pulls its own range back from its successors). *)
+
+  type session = {
+    peer : int;
+    lo : Key.t;
+    hi : Key.t;
+    probes : Repair.next Queue.t;
+    pulls : Key.t Queue.t;
+    pushes : (Key.t * Vv.t * bool) Queue.t;
+  }
+
+  (* One repair RPC, with traffic accounting: every frame sent or
+     received on the repair path is counted, so the experiment can
+     price an interval setting in bytes on the wire. *)
+  let repair_rpc t ~dst msg cb =
+    t.repair.repair_frames <- t.repair.repair_frames + 1;
+    t.repair.repair_bytes <- t.repair.repair_bytes + Wire.frame_length msg;
+    L.rpc t.ls ~dst ~timeout:t.cfg.rpc_timeout msg (fun r ->
+        (match r with
+        | Some reply ->
+            t.repair.repair_frames <- t.repair.repair_frames + 1;
+            t.repair.repair_bytes <-
+              t.repair.repair_bytes + Wire.frame_length reply
+        | None -> ());
+        cb r)
+
+  let range_iter t s = Vmap.iter_range t.vmap ~lo:s.lo ~hi:s.hi
+
+  (* Sequential session driver: one outstanding RPC, digest narrowing
+     first, then pulls, then pushes.  A timeout or unexpected reply
+     abandons the session — the next tick starts over. *)
+  let rec session_step t s =
+    if not t.stopped then
+      match Queue.take_opt s.probes with
+      | Some (Repair.Digest p) ->
+          repair_rpc t ~dst:s.peer
+            (Wire.Sync_digests
+               { lo = s.lo; hi = s.hi; prefix = p.prefix; bits = p.bits })
+            (function
+              | Some (Wire.Sync_digests_ack { children = remote }) ->
+                  let local =
+                    Digest.children ~iter:(range_iter t s) ~prefix:p.Repair.prefix
+                      ~bits:p.Repair.bits
+                  in
+                  List.iter
+                    (fun n -> Queue.push n s.probes)
+                    (Repair.refine p ~local ~remote);
+                  session_step t s
+              | _ -> ())
+      | Some (Repair.Keys p) ->
+          repair_rpc t ~dst:s.peer
+            (Wire.Sync_keys
+               { lo = s.lo; hi = s.hi; prefix = p.prefix; bits = p.bits })
+            (function
+              | Some (Wire.Sync_keys_ack { items = remote }) ->
+                  let local =
+                    Digest.items ~iter:(range_iter t s) ~prefix:p.Repair.prefix
+                      ~bits:p.Repair.bits
+                    |> List.filteri (fun i _ -> i < Wire.max_sync_items)
+                  in
+                  let { Repair.pull; push } = Repair.diff ~local ~remote in
+                  List.iter (fun k -> Queue.push k s.pulls) pull;
+                  List.iter (fun e -> Queue.push e s.pushes) push;
+                  session_step t s
+              | _ -> ())
+      | None -> (
+          match Queue.take_opt s.pulls with
+          | Some key ->
+              repair_rpc t ~dst:s.peer (Wire.Fetch { key })
+                (function
+                  | Some (Wire.Fetch_ack { vv; deleted; data }) ->
+                      if deleted || data <> None then begin
+                        let stored, _ =
+                          apply_copy t ~key ~vv ~deleted
+                            ~data:(Option.value data ~default:"")
+                        in
+                        if stored then t.repair.pulled <- t.repair.pulled + 1
+                      end;
+                      session_step t s
+                  | _ -> ())
+          | None -> (
+              match Queue.take_opt s.pushes with
+              | Some (key, vv, deleted) -> (
+                  let data =
+                    if deleted then Some "" else Blockstore.get t.store ~key
+                  in
+                  match data with
+                  | None ->
+                      (* Version entry without bytes (lost block):
+                         nothing to ship; the peer's copy, if any,
+                         flows back on a later pull. *)
+                      session_step t s
+                  | Some data ->
+                      repair_rpc t ~dst:s.peer
+                        (Wire.Push { key; vv; deleted; data })
+                        (function
+                          | Some (Wire.Push_ack { stored }) ->
+                              if stored then
+                                t.repair.pushed <- t.repair.pushed + 1;
+                              session_step t s
+                          | _ -> ()))
+              | None -> ()))
+
+  let repair_tick t =
+    let target =
+      locked t (fun () ->
+          let span = min (t.cfg.replicas - 1) (Ring.size t.ring - 1) in
+          if span < 1 then None
+          else begin
+            t.repair_rank <- (t.repair_rank mod span) + 1;
+            let peer =
+              Ring.nth_successor_of_node t.ring ~node:t.me t.repair_rank
+            in
+            if peer = t.me then None
+            else
+              Some (peer, Ring.predecessor_id t.ring ~node:t.me, t.my_id)
+          end)
+    in
+    match target with
+    | None -> ()
+    | Some (peer, lo, hi) ->
+        t.repair.sessions <- t.repair.sessions + 1;
+        let s =
+          {
+            peer;
+            lo;
+            hi;
+            probes = Queue.create ();
+            pulls = Queue.create ();
+            pushes = Queue.create ();
+          }
+        in
+        Queue.push (Repair.Digest Repair.root) s.probes;
+        session_step t s
 
   let probe_tick t =
     (* Successor first (the replica chain depends on it), then one
@@ -339,6 +677,19 @@ module Make (T : Transport.S) = struct
       end
     in
     T.schedule ep ~delay:t.cfg.probe_interval tick;
+    (* Anti-entropy clock: one repair session per interval, rotating
+       across the successor set.  An interval of 0 disables repair
+       (the control arm of the availability experiment, and tests that
+       pin exact frame counts). *)
+    if t.cfg.repair_interval > 0.0 then begin
+      let rec rtick () =
+        if not t.stopped then begin
+          repair_tick t;
+          T.schedule ep ~delay:t.cfg.repair_interval rtick
+        end
+      in
+      T.schedule ep ~delay:t.cfg.repair_interval rtick
+    end;
     (* Disk-backed nodes also run the group-commit clock; callers that
        drive [T.poll] themselves may call [flush_store] more often (the
        daemon does, after every poll), this tick is the floor. *)

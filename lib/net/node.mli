@@ -38,10 +38,20 @@ type config = {
   replicas : int;  (** copies per block, owner included (paper: 3) *)
   probe_interval : float;  (** seconds between liveness probes *)
   rpc_timeout : float;  (** per-RPC reply deadline, seconds *)
+  repair_interval : float;
+      (** seconds between anti-entropy sessions (0 disables repair) *)
 }
 
 val default_config : config
-(** 3 replicas, 0.5 s probes, 0.25 s RPC timeout. *)
+(** 3 replicas, 0.5 s probes, 0.25 s RPC timeout, 1 s repair. *)
+
+type repair_stats = {
+  mutable repair_frames : int;  (** frames sent or received on repair RPCs *)
+  mutable repair_bytes : int;  (** their encoded bytes, both directions *)
+  mutable pushed : int;  (** copies a peer installed from our pushes *)
+  mutable pulled : int;  (** copies we installed from peer fetches *)
+  mutable sessions : int;  (** repair sessions started *)
+}
 
 module Make (T : Transport.S) : sig
   type t
@@ -93,4 +103,13 @@ module Make (T : Transport.S) : sig
   val store : t -> Blockstore.t
   val id : t -> Key.t
   val requests_served : t -> int
+
+  val vmap : t -> D2_sync.Vmap.t
+  (** The node's version map (key -> vector + tombstone), shared with
+      siblings; seeded from the store at [create], stamped by every
+      write, folded by repair digests. *)
+
+  val repair_stats : t -> repair_stats
+  (** Live anti-entropy counters (shared with siblings); the
+      availability experiment reads them to price repair bandwidth. *)
 end

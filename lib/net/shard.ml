@@ -74,4 +74,9 @@ let stored_bytes t =
 let iter t f =
   Array.iter (fun p -> locked p (fun p -> Key.Table.iter f p.tbl)) t.parts
 
+let iter_keys t f =
+  Array.iter
+    (fun p -> locked p (fun p -> Key.Table.iter (fun k _ -> f k) p.tbl))
+    t.parts
+
 let partitions t = Array.length t.parts

@@ -37,3 +37,7 @@ val stored_bytes : t -> int
 
 val iter : t -> (Key.t -> string -> unit) -> unit
 (** Visit every held block (re-replication sweeps, tests). *)
+
+val iter_keys : t -> (Key.t -> unit) -> unit
+(** Visit every held key without touching the payloads (version-map
+    seeding at boot). *)

@@ -31,7 +31,18 @@ and net = {
   lrng : Rng.t;
   endpoints : t option array;
   mutable conns : conn list;
-  mutable partition : (int -> int -> bool) option;
+  mutable cuts : cut list;
+}
+
+(* One partition episode.  Keeping the history (not just the current
+   predicate) lets a delivery ask "was this link severed at any point
+   while the frame was in flight?" — a frame on the wire when the cable
+   is cut is lost even if the cut heals before the frame's nominal
+   arrival time. *)
+and cut = {
+  pred : int -> int -> bool;
+  cut_start : float;
+  mutable cut_stop : float option;  (** [None] while the cut is active *)
 }
 
 let create_net ~engine ~topology ?loss ?(seed = 0x6e67) () =
@@ -45,7 +56,7 @@ let create_net ~engine ~topology ?loss ?(seed = 0x6e67) () =
     lrng = Rng.create seed;
     endpoints = Array.make (Topology.size topology) None;
     conns = [];
-    partition = None;
+    cuts = [];
   }
 
 let engine net = net.eng
@@ -62,10 +73,25 @@ let endpoint net ~node =
 let is_up net node =
   match net.endpoints.(node) with Some ep -> ep.up | None -> false
 
-let set_partition net sep = net.partition <- sep
+let set_partition net sep =
+  let now = Engine.now net.eng in
+  List.iter
+    (fun c -> if c.cut_stop = None then c.cut_stop <- Some now)
+    net.cuts;
+  match sep with
+  | None -> ()
+  | Some pred -> net.cuts <- { pred; cut_start = now; cut_stop = None } :: net.cuts
 
-let separated net a b =
-  match net.partition with None -> false | Some sep -> sep a b
+(* Was (a, b) severed at any point in (since, now]?  A cut overlaps
+   that window iff it had not ended by [since] (every recorded cut
+   started at or before now). *)
+let severed_since net a b ~since =
+  List.exists
+    (fun c ->
+      (match c.cut_stop with None -> true | Some stop -> stop > since)
+      && c.cut_start <= Engine.now net.eng
+      && c.pred a b)
+    net.cuts
 
 let node t = t.enode
 let now t = Engine.now t.net.eng
@@ -84,13 +110,15 @@ let delay_of net src dst = Topology.one_way net.topo src dst
    (the FIN crossing the wire).  Droppable by partition like any other
    delivery — the far side then lingers until its own sends time out. *)
 let shutdown_remote c =
+  let sent = Engine.now c.cnet.eng in
   match c.remote with
   | None -> ()
   | Some r ->
       ignore
         (Engine.schedule_in c.cnet.eng ~delay:(delay_of c.cnet c.src c.dst)
            (fun () ->
-             if r.copen && not (separated c.cnet c.src c.dst) then begin
+             if r.copen && not (severed_since c.cnet c.src c.dst ~since:sent)
+             then begin
                r.copen <- false;
                r.close_cb ()
              end))
@@ -118,11 +146,13 @@ let send c buf ~off ~len =
     else begin
       let data = Bytes.sub buf off len in
       let net = c.cnet in
+      let sent = Engine.now net.eng in
       ignore
         (Engine.schedule_in net.eng ~delay:(delay_of net c.src c.dst) (fun () ->
              match c.remote with
              | Some r
-               when r.copen && is_up net c.dst && not (separated net c.src c.dst)
+               when r.copen && is_up net c.dst
+                    && not (severed_since net c.src c.dst ~since:sent)
                ->
                  Bytebuf.write r.inbox data ~off:0 ~len:(Bytes.length data);
                  r.readable_cb ()
@@ -167,12 +197,14 @@ let connect t ~dst =
         a.remote <- Some b;
         net.conns <- a :: b :: net.conns;
         (* The SYN crosses the wire like any delivery: the server side
-           only comes alive if the path is clear and the peer still up
-           when it arrives. *)
+           only comes alive if the path stayed clear for the whole
+           flight and the peer is still up when it arrives. *)
+        let sent = Engine.now net.eng in
         ignore
           (Engine.schedule_in net.eng ~delay:(delay_of net t.enode dst) (fun () ->
                if b.copen then
-                 if dep.up && not (separated net t.enode dst) then dep.accept_cb b
+                 if dep.up && not (severed_since net t.enode dst ~since:sent)
+                 then dep.accept_cb b
                  else b.copen <- false));
         Some a
 

@@ -44,4 +44,10 @@ val is_up : net -> int -> bool
 
 val set_partition : net -> (int -> int -> bool) option -> unit
 (** [Some sep] blackholes every delivery between pairs for which
-    [sep src dst] is true; [None] heals. *)
+    [sep src dst] is true; [None] heals.  The cut applies to frames
+    already in flight as well: a delivery is dropped if its link was
+    severed at {e any} point between send and arrival (a frame on the
+    wire when the cable is cut is lost, even if the cut heals before
+    the frame's nominal arrival time).  Each call replaces the active
+    predicate; episodes are remembered for exactly this in-flight
+    check. *)

@@ -58,7 +58,11 @@ module Theap = struct
 end
 
 let hello_magic = "D2N1"
-let hello_len = 8
+
+(* 4 magic + u32 node + u8 protocol version.  The version byte makes a
+   mixed-version cluster fail at connect time with a readable error
+   instead of dying mid-stream on an unknown tag or shifted layout. *)
+let hello_len = 9
 
 let default_port_base () =
   match Sys.getenv_opt "D2_NET_PORT_BASE" with
@@ -225,6 +229,7 @@ let hello_frame node =
   let b = Bytes.create hello_len in
   Bytes.blit_string hello_magic 0 b 0 4;
   Bytes.set_int32_be b 4 (Int32.of_int node);
+  Bytes.set_uint8 b 8 Wire.protocol_version;
   b
 
 let connect t ~dst =
@@ -314,7 +319,7 @@ let shutdown t =
   (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
   Pollset.close t.ps
 
-(* Consume the 8-byte identity hello that opens every inbound stream;
+(* Consume the 9-byte identity hello that opens every inbound stream;
    fires [accept_cb] once complete.  Any payload bytes that arrived in
    the same segment stay in the socket buffer for [recv_into]. *)
 let pump_hello t c =
@@ -326,10 +331,23 @@ let pump_hello t c =
         if c.hello_got = hello_len then
           if Bytes.sub_string c.hello_buf 0 4 <> hello_magic then break c
           else begin
-            c.cpeer <-
-              Int32.to_int (Bytes.get_int32_be c.hello_buf 4) land 0xffff_ffff;
-            c.accepted <- true;
-            t.accept_cb c
+            let peer_version = Bytes.get_uint8 c.hello_buf 8 in
+            if peer_version <> Wire.protocol_version then begin
+              Printf.eprintf
+                "d2net: rejecting peer %ld: protocol version %d, ours is %d \
+                 (mixed-version cluster?)\n\
+                 %!"
+                (Int32.logand (Bytes.get_int32_be c.hello_buf 4) 0xffff_ffffl)
+                peer_version Wire.protocol_version;
+              break c
+            end
+            else begin
+              c.cpeer <-
+                Int32.to_int (Bytes.get_int32_be c.hello_buf 4)
+                land 0xffff_ffff;
+              c.accepted <- true;
+              t.accept_cb c
+            end
           end
     | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
     | exception Unix.Unix_error _ -> break c

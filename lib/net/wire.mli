@@ -18,12 +18,22 @@
     an allocation. *)
 
 module Key = D2_keyspace.Key
+module Vv = D2_sync.Version_vector
+
+val protocol_version : int
+(** Frame-set revision, exchanged in the transport hello; peers with a
+    different version are rejected at connect time with a clear error
+    instead of failing mid-stream on an unknown tag. *)
 
 val max_payload : int
 (** Largest block payload a frame may carry (8192, {!D2_trace.Op.block_size}). *)
 
 val max_members : int
 (** Largest membership list a [Join_ack] may carry (4096 nodes). *)
+
+val max_sync_items : int
+(** Largest entry list a [Sync_keys_ack] may carry (256); a bigger
+    bucket is narrowed by another digest round instead. *)
 
 val max_frame : int
 (** Upper bound on a whole frame, length prefix included. *)
@@ -39,18 +49,49 @@ type msg =
   | Get of { key : Key.t }
   | Found of { data : string }
   | Missing
-  | Put of { key : Key.t; depth : int; data : string }
+  | Put of { key : Key.t; depth : int; vv : Vv.t; data : string }
       (** [depth > 0]: the receiver coordinates and fans the block out
           to its [depth] follow-up replica holders; [depth = 0]: store
-          locally only (a fan-out copy). *)
-  | Put_ack of { copies : int }
-  | Remove of { key : Key.t; depth : int }
+          locally only (a fan-out copy).  A client sends [vv] empty and
+          the coordinator stamps it; fan-out copies carry the stamped
+          vector so every replica records the same version. *)
+  | Put_ack of { copies : int; vv : Vv.t }
+      (** [vv] is the version the coordinator stamped — clients thread
+          it into a later overwrite to supersede their own write. *)
+  | Remove of { key : Key.t; depth : int; vv : Vv.t }
   | Remove_ack of { removed : bool }
   | Join of { node : int; id : Key.t }
   | Join_ack of { members : (int * Key.t) list }
   | Probe
   | Probe_ack of { node : int; epoch : int }
   | Error of { code : int; message : string }
+  | Sync_digests of { lo : Key.t; hi : Key.t; prefix : int; bits : int }
+      (** Anti-entropy probe: digest the ([prefix], [bits]) bucket of
+          your entries in ring range [(lo, hi]]. *)
+  | Sync_digests_ack of { children : (int * int) array }
+      (** 16 child buckets as (CRC-32C sum, entry count) pairs. *)
+  | Sync_keys of { lo : Key.t; hi : Key.t; prefix : int; bits : int }
+      (** Leaf exchange: list the bucket's (key, version, tombstone)
+          entries. *)
+  | Sync_keys_ack of { items : (Key.t * Vv.t * bool) list }
+  | Fetch of { key : Key.t }
+      (** Versioned read of one local entry (repair pull / quorum
+          sub-read); unlike [Get] it never redirects and returns the
+          vector. *)
+  | Fetch_ack of { vv : Vv.t; deleted : bool; data : string option }
+      (** [data = None] with [vv] empty: entry unknown. *)
+  | Push of { key : Key.t; vv : Vv.t; deleted : bool; data : string }
+      (** Store this versioned copy if it does not lose to yours
+          (repair push / read-repair). *)
+  | Push_ack of { stored : bool }
+  | Get_q of { key : Key.t; q : int }
+      (** Quorum read: the owner answers from [q] replicas (itself
+          plus [q-1] successors), returns the dominating copy and
+          read-repairs stale replicas. *)
+
+val vv_empty : Vv.t
+(** Convenience re-export of {!D2_sync.Version_vector.empty} for
+    callers that send unstamped writes. *)
 
 val is_request : msg -> bool
 (** Requests expect a reply; everything else is a reply. *)

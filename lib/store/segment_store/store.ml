@@ -547,6 +547,11 @@ let iter t f =
             ~dst_off:0;
           f key (Bytes.unsafe_to_string buf)))
 
+let iter_keys t f =
+  locked t (fun () ->
+      check_open t;
+      Log_index.iter t.index (fun ~key ~seg:_ ~off:_ ~len:_ -> f key))
+
 let fsyncs t = t.n_fsyncs
 let rotations t = t.n_rotations
 let compactions t = t.n_compactions

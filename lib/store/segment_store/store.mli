@@ -154,6 +154,10 @@ val file_bytes : t -> int
 val segment_count : t -> int
 val iter : t -> (Key.t -> string -> unit) -> unit
 
+val iter_keys : t -> (Key.t -> unit) -> unit
+(** Visit every live key with no segment reads — an index-only walk,
+    for callers that need the key set but not the payloads. *)
+
 val fsyncs : t -> int
 val rotations : t -> int
 val compactions : t -> int

@@ -1,0 +1,53 @@
+(** Bucketed range digests for anti-entropy.
+
+    A repair session compares two nodes' views of one ring range
+    without shipping the keys: each (key, version, tombstone) entry is
+    hashed through the segment store's hardware CRC-32C kernel (the
+    checksum the log records already pay for, so the fold costs one
+    table-free pass per entry), entries are bucketed by successive
+    4-bit slices of the key's hash, and a bucket's digest is the sum
+    of its entries' CRCs — addition makes the fold independent of
+    iteration order, so two stores holding the same entries produce
+    the same digest no matter how their hash tables happen to iterate.
+
+    A mismatched bucket is narrowed by re-digesting its 16 children
+    one level deeper ({!fanout} buckets per round over {!max_bits}
+    hash bits), so a single divergent key is isolated in
+    O(log16 n) round trips; once a bucket is small enough the session
+    switches to exchanging its key list ({!items}). *)
+
+module Key = D2_keyspace.Key
+
+val fanout : int
+(** Children per digest level (16 = 4 hash bits per round). *)
+
+val fanout_bits : int
+
+val max_bits : int
+(** Hash bits available for bucketing (28); a probe at [max_bits]
+    cannot recurse further and must exchange keys. *)
+
+val entry_crc : Key.t -> Version_vector.t -> bool -> int
+(** CRC-32C over the key bytes, the encoded vector, and the tombstone
+    flag — the unit the bucket sums are built from. *)
+
+val in_bucket : Key.t -> prefix:int -> bits:int -> bool
+(** Whether the key's hash starts with [prefix] (its top [bits] bits). *)
+
+val children :
+  iter:((Key.t -> Vmap.entry -> unit) -> unit) ->
+  prefix:int ->
+  bits:int ->
+  (int * int) array
+(** [fanout] child buckets of the node ([prefix], [bits]) as
+    (CRC sum mod 2^32, entry count) pairs, folded from whatever range
+    iterator the caller supplies (normally {!Vmap.iter_range}
+    partially applied). *)
+
+val items :
+  iter:((Key.t -> Vmap.entry -> unit) -> unit) ->
+  prefix:int ->
+  bits:int ->
+  (Key.t * Version_vector.t * bool) list
+(** The bucket's entries, sorted by key so both sides enumerate a
+    mismatched bucket in the same order. *)

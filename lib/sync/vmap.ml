@@ -1,0 +1,95 @@
+module Key = D2_keyspace.Key
+module Vv = Version_vector
+
+type entry = { vv : Vv.t; deleted : bool }
+
+type partition = { tbl : entry Key.Table.t; lock : Mutex.t }
+type t = { parts : partition array; mask : int }
+
+let default_partitions = 32
+
+let create ?(partitions = default_partitions) () =
+  if partitions < 1 then invalid_arg "Vmap.create: partitions < 1";
+  let n = ref 1 in
+  while !n < partitions do
+    n := !n * 2
+  done;
+  {
+    parts =
+      Array.init !n (fun _ -> { tbl = Key.Table.create 64; lock = Mutex.create () });
+    mask = !n - 1;
+  }
+
+let part t key = t.parts.(Key.hash key land t.mask)
+
+let locked p f =
+  Mutex.lock p.lock;
+  match f p with
+  | v ->
+      Mutex.unlock p.lock;
+      v
+  | exception e ->
+      Mutex.unlock p.lock;
+      raise e
+
+let find t ~key = locked (part t key) (fun p -> Key.Table.find_opt p.tbl key)
+
+let count t =
+  Array.fold_left
+    (fun acc p -> acc + locked p (fun p -> Key.Table.length p.tbl))
+    0 t.parts
+
+let stamp t ~key ~node ~incoming ~deleted =
+  locked (part t key) (fun p ->
+      let cur =
+        match Key.Table.find_opt p.tbl key with
+        | Some e -> e.vv
+        | None -> Vv.empty
+      in
+      let vv = Vv.bump (Vv.merge cur incoming) ~node in
+      Key.Table.replace p.tbl key { vv; deleted };
+      vv)
+
+let stamp_put t ~key ~node ~incoming =
+  stamp t ~key ~node ~incoming ~deleted:false
+
+let stamp_remove t ~key ~node ~incoming =
+  stamp t ~key ~node ~incoming ~deleted:true
+
+let apply t ~key ~vv ~deleted =
+  locked (part t key) (fun p ->
+      match Key.Table.find_opt p.tbl key with
+      | None ->
+          Key.Table.replace p.tbl key { vv; deleted };
+          `Store vv
+      | Some local -> (
+          let merged = Vv.merge local.vv vv in
+          match Vv.compare_vv vv local.vv with
+          | Vv.Equal | Vv.Dominated -> `Ignore merged
+          | Vv.Dominates ->
+              Key.Table.replace p.tbl key { vv = merged; deleted };
+              `Store merged
+          | Vv.Concurrent ->
+              (* Both sides of a concurrent pair compute the same
+                 winner, so after one exchange in either direction the
+                 replicas hold the same (merged vector, bytes). *)
+              if Vv.winner vv local.vv = `Left then begin
+                Key.Table.replace p.tbl key { vv = merged; deleted };
+                `Store merged
+              end
+              else begin
+                Key.Table.replace p.tbl key
+                  { vv = merged; deleted = local.deleted };
+                `Ignore merged
+              end))
+
+let seed t ~key =
+  locked (part t key) (fun p ->
+      if not (Key.Table.mem p.tbl key) then
+        Key.Table.replace p.tbl key { vv = Vv.empty; deleted = false })
+
+let iter t f =
+  Array.iter (fun p -> locked p (fun p -> Key.Table.iter f p.tbl)) t.parts
+
+let iter_range t ~lo ~hi f =
+  iter t (fun key e -> if Key.in_interval key ~lo ~hi then f key e)

@@ -1,0 +1,64 @@
+(** Per-node version state: key -> (version vector, tombstone flag).
+
+    The node runtime keeps one [Vmap] beside its blockstore.  Writes
+    stamp it ({!stamp_put} on the coordinating node, {!apply} on a
+    replica receiving a stamped copy), removes leave tombstones (a
+    deleted key must keep its vector or anti-entropy would resurrect
+    it from a replica that missed the remove), and the repair digests
+    fold over it ({!iter} / {!iter_range}).
+
+    Thread-safe the same way {!D2_net.Shard} is: keys hash across
+    independently locked partitions, so the domain-sharded runtime's
+    write path updates versions in parallel.  {!apply} runs its
+    compare-and-resolve under the key's partition lock, so two domains
+    applying copies of the same key serialize correctly. *)
+
+module Key = D2_keyspace.Key
+
+type t
+
+type entry = { vv : Version_vector.t; deleted : bool }
+
+val create : ?partitions:int -> unit -> t
+(** [partitions] (default 32) is rounded up to a power of two. *)
+
+val find : t -> key:Key.t -> entry option
+
+val count : t -> int
+(** Entries held, tombstones included. *)
+
+val stamp_put : t -> key:Key.t -> node:int -> incoming:Version_vector.t -> Version_vector.t
+(** Coordinator write path: merge [incoming] (empty for a client put)
+    into the key's current vector, bump [node], record the result as
+    live, and return it — the vector the fan-out copies and the
+    client's ack carry. *)
+
+val stamp_remove : t -> key:Key.t -> node:int -> incoming:Version_vector.t -> Version_vector.t
+(** Same, but records a tombstone. *)
+
+val apply :
+  t ->
+  key:Key.t ->
+  vv:Version_vector.t ->
+  deleted:bool ->
+  [ `Store of Version_vector.t | `Ignore of Version_vector.t ]
+(** Replica path: resolve an incoming stamped copy against the local
+    entry.  [`Store vv'] — the incoming copy wins (it dominates, or
+    it is concurrent and wins the deterministic tiebreak): the caller
+    must install the incoming bytes (or tombstone), and the entry now
+    carries [vv'] (the merge of both vectors).  [`Ignore vv'] — the
+    local copy stands (entry still merged to [vv'], so a stale copy
+    cannot resurface later).  Either way both replicas of a concurrent
+    pair converge on the same (vector, bytes). *)
+
+val seed : t -> key:Key.t -> unit
+(** Register a key recovered from a restarted store under the empty
+    vector (only when no entry exists): the block becomes visible to
+    digests — so a sole-surviving copy still propagates — but loses
+    to any stamped copy a peer holds. *)
+
+val iter : t -> (Key.t -> entry -> unit) -> unit
+
+val iter_range : t -> lo:Key.t -> hi:Key.t -> (Key.t -> entry -> unit) -> unit
+(** Entries with key in the half-open ring interval [(lo, hi]]
+    ({!Key.in_interval}); the whole map when [lo = hi]. *)

@@ -11,6 +11,13 @@
 # directories, and a byte-exact verification that every acked
 # pre-crash block survived.  The combined report lands in
 # $SMOKE_DURABLE_LOG.
+#
+# A third leg exercises anti-entropy repair: one daemon of a 3-node
+# disk cluster is kill -9'd mid-load, its store directory wiped, and
+# the daemon restarted empty; a quorum-2 verification must pass while
+# the node refills, and on shutdown the restarted daemon must report a
+# non-empty store — every block it holds arrived over digest repair /
+# read-repair, not recovery.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -96,9 +103,13 @@ VERIFY_OPS="${SMOKE_VERIFY_OPS:-4000}"
 VERIFY_SEED="${SMOKE_VERIFY_SEED:-77}"
 RESTART_LOGS="$(mktemp -d)"
 
+REPAIR_STORE="${SMOKE_REPAIR_STORE_DIR:-$(mktemp -d)/store}"
+REPAIR_LOGS="$(mktemp -d)"
+
 cleanup_durable() {
   cleanup
-  rm -rf "$TMPFS_STORE" "$DISK_STORE" "$RESTART_LOGS"
+  rm -rf "$TMPFS_STORE" "$DISK_STORE" "$RESTART_LOGS" \
+    "$REPAIR_STORE" "$REPAIR_LOGS"
 }
 trap cleanup_durable EXIT
 
@@ -176,8 +187,83 @@ grep -h 'recovered' "$RESTART_LOGS"/d2d-*.log
   --port-base $((PORT_BASE + 40)) --ops "$VERIFY_OPS" \
   --verify-seed "$VERIFY_SEED" | tee -a "$DUR_LOG"
 stop_cluster TERM
+
+# ---------------------------------------------------------------------
+# Repair leg: lose one node's store entirely, refill it over the wire.
+# ---------------------------------------------------------------------
+
+echo "== repair (store on ${REPAIR_STORE}, repair-interval 0.5s) ==" \
+  | tee -a "$DUR_LOG"
+export D2_REPAIR_INTERVAL=0.5
+boot_disk_cluster $((PORT_BASE + 60)) "$REPAIR_STORE" batch
+
+# Pin the expected state with a deterministic run, then kill -9 one
+# daemon while an interfering load (disjoint volume) is in flight.
+./_build/default/bin/d2load.exe --nodes "$NODES" \
+  --port-base $((PORT_BASE + 60)) --ops "$VERIFY_OPS" --seed "$VERIFY_SEED" \
+  | tee -a "$DUR_LOG"
+./_build/default/bin/d2load.exe --nodes "$NODES" \
+  --port-base $((PORT_BASE + 60)) --duration 3 --volume /killme \
+  >> "$DUR_LOG" 2>&1 &
+killload=$!
+sleep 0.5
+victim=2
+echo "net_smoke: kill -9 node $victim mid-load, wiping its store" \
+  | tee -a "$DUR_LOG"
+kill -9 "${pids[$victim]}" 2>/dev/null || true
+wait "$killload" 2>/dev/null || true  # its ops may have died with the node
+rm -rf "$REPAIR_STORE/node-$victim"
+
+# Restart the victim with an empty store directory.  It rejoins via a
+# fresh Join and the anti-entropy loop starts streaming its ranges
+# back from the survivors.
+./_build/default/bin/d2d.exe --node "$victim" --nodes "$NODES" \
+  --port-base $((PORT_BASE + 60)) --duration 120 --domains "$DOMAINS" \
+  --store disk --store-dir "$REPAIR_STORE" --fsync batch \
+  > "$REPAIR_LOGS/d2d-$victim-restart.log" 2>&1 &
+pids+=("$!")
+unset D2_REPAIR_INTERVAL
+
+# A quorum-2 read survives the refilling node (the owner consults a
+# second replica and read-repairs stale copies inline), so the full
+# byte-exact verification must pass without waiting for repair to
+# finish.  Retry a few times to ride out the rejoin window.
+verified=""
+for attempt in 1 2 3 4 5 6; do
+  sleep 2
+  if ./_build/default/bin/d2load.exe --nodes "$NODES" \
+       --port-base $((PORT_BASE + 60)) --ops "$VERIFY_OPS" \
+       --verify-seed "$VERIFY_SEED" --quorum-r 2 >> "$DUR_LOG" 2>&1; then
+    verified=yes
+    break
+  fi
+  echo "net_smoke: quorum verify attempt $attempt failed; retrying" \
+    | tee -a "$DUR_LOG"
+done
+if [ -z "$verified" ]; then
+  echo "net_smoke: quorum-2 verify never passed after node wipe" >&2
+  exit 1
+fi
+tail -2 "$DUR_LOG"
+
+# Let a few more repair rounds run, then require the restarted daemon
+# to be holding blocks it could only have received over repair.
+sleep 3
+stop_cluster TERM
+cat "$REPAIR_LOGS/d2d-$victim-restart.log" >> "$DUR_LOG" || true
+repaired_blocks="$(sed -n \
+  's/.*served [0-9]* requests, \([0-9]*\) blocks.*/\1/p' \
+  "$REPAIR_LOGS/d2d-$victim-restart.log" | tail -1)"
+if [ -z "${repaired_blocks:-}" ] || [ "$repaired_blocks" -le 0 ]; then
+  echo "net_smoke: restarted node $victim reported no repaired blocks" >&2
+  cat "$REPAIR_LOGS/d2d-$victim-restart.log" >&2 || true
+  exit 1
+fi
+echo "net_smoke: node $victim refilled to $repaired_blocks blocks via repair" \
+  | tee -a "$DUR_LOG"
+
 trap - EXIT
 cleanup_durable
 
-echo "net_smoke: OK (incl. durability: kill -9 -> recover -> verify)"
+echo "net_smoke: OK (incl. durability + repair: wipe one node -> anti-entropy refill -> quorum verify)"
 exit 0

@@ -13,7 +13,7 @@ let expected_ids =
     "fig12"; "fig13"; "fig14"; "fig15"; "fig16"; "fig17"; "table3"; "table4";
     "ablation_pointers"; "ablation_routing"; "ablation_cache_ttl"; "ablation_replicas";
     "ablation_hybrid"; "ablation_erasure"; "ablation_stp"; "ablation_hotspot";
-    "bakeoff_routing";
+    "bakeoff_routing"; "repair_bandwidth";
   ]
 
 let test_registry_complete () =
@@ -59,7 +59,8 @@ let run_cheap id =
         reports
 
 let test_cheap_experiments () =
-  List.iter run_cheap [ "table1"; "fig3"; "ablation_routing"; "ablation_hotspot" ]
+  List.iter run_cheap
+    [ "table1"; "fig3"; "ablation_routing"; "ablation_hotspot"; "repair_bandwidth" ]
 
 (* Parallel runner: outcomes come back in input order with output and
    captured logs byte-identical to a sequential run regardless of the

@@ -6,7 +6,17 @@ module Wire = D2_net.Wire
 module Key = D2_keyspace.Key
 module Rng = D2_util.Rng
 
+module Vv = D2_sync.Version_vector
+
 let key_of_rng rng = Key.random rng
+
+let random_vv rng =
+  let n = match Rng.int rng 4 with 0 -> 0 | 1 -> 1 | _ -> Rng.int rng 8 in
+  let vv = ref Vv.empty in
+  for _ = 1 to n * 3 do
+    vv := Vv.bump !vv ~node:(Rng.int rng 24)
+  done;
+  !vv
 
 let random_payload rng =
   (* Bias towards the edges: empty, one byte, and the max 8 KB block. *)
@@ -20,7 +30,7 @@ let random_payload rng =
   String.init n (fun _ -> Char.chr (Rng.int rng 256))
 
 let random_msg rng =
-  match Rng.int rng 15 with
+  match Rng.int rng 24 with
   | 0 -> Wire.Lookup { key = key_of_rng rng }
   | 1 ->
       Wire.Owner
@@ -31,9 +41,16 @@ let random_msg rng =
   | 5 -> Wire.Missing
   | 6 ->
       Wire.Put
-        { key = key_of_rng rng; depth = Rng.int rng 8; data = random_payload rng }
-  | 7 -> Wire.Put_ack { copies = Rng.int rng 16 }
-  | 8 -> Wire.Remove { key = key_of_rng rng; depth = Rng.int rng 8 }
+        {
+          key = key_of_rng rng;
+          depth = Rng.int rng 8;
+          vv = random_vv rng;
+          data = random_payload rng;
+        }
+  | 7 -> Wire.Put_ack { copies = Rng.int rng 16; vv = random_vv rng }
+  | 8 ->
+      Wire.Remove
+        { key = key_of_rng rng; depth = Rng.int rng 8; vv = random_vv rng }
   | 9 -> Wire.Remove_ack { removed = Rng.bool rng }
   | 10 -> Wire.Join { node = Rng.int rng 100_000; id = key_of_rng rng }
   | 11 ->
@@ -42,12 +59,61 @@ let random_msg rng =
         { members = List.init n (fun i -> (i * 3, key_of_rng rng)) }
   | 12 -> Wire.Probe
   | 13 -> Wire.Probe_ack { node = Rng.int rng 100_000; epoch = Rng.int rng 1_000 }
-  | _ ->
+  | 14 ->
       Wire.Error
         {
           code = Rng.int rng 100;
           message = String.init (Rng.int rng 64) (fun _ -> Char.chr (32 + Rng.int rng 90));
         }
+  | 15 ->
+      Wire.Sync_digests
+        {
+          lo = key_of_rng rng;
+          hi = key_of_rng rng;
+          prefix = Rng.int rng 0x10000;
+          bits = Rng.int rng 29;
+        }
+  | 16 ->
+      Wire.Sync_digests_ack
+        {
+          children =
+            Array.init 16 (fun _ ->
+                (Rng.int rng 0x4000_0000, Rng.int rng 10_000));
+        }
+  | 17 ->
+      Wire.Sync_keys
+        {
+          lo = key_of_rng rng;
+          hi = key_of_rng rng;
+          prefix = Rng.int rng 0x10000;
+          bits = Rng.int rng 29;
+        }
+  | 18 ->
+      let n = Rng.int rng 20 in
+      Wire.Sync_keys_ack
+        {
+          items =
+            List.init n (fun _ ->
+                (key_of_rng rng, random_vv rng, Rng.bool rng));
+        }
+  | 19 -> Wire.Fetch { key = key_of_rng rng }
+  | 20 ->
+      Wire.Fetch_ack
+        {
+          vv = random_vv rng;
+          deleted = Rng.bool rng;
+          data = (if Rng.bool rng then Some (random_payload rng) else None);
+        }
+  | 21 ->
+      Wire.Push
+        {
+          key = key_of_rng rng;
+          vv = random_vv rng;
+          deleted = Rng.bool rng;
+          data = random_payload rng;
+        }
+  | 22 -> Wire.Push_ack { stored = Rng.bool rng }
+  | _ -> Wire.Get_q { key = key_of_rng rng; q = 1 + Rng.int rng 7 }
 
 let equal_msg (a : Wire.msg) (b : Wire.msg) =
   match (a, b) with
@@ -59,12 +125,15 @@ let equal_msg (a : Wire.msg) (b : Wire.msg) =
   | Wire.Get { key = k1 }, Wire.Get { key = k2 } -> Key.equal k1 k2
   | Wire.Found { data = d1 }, Wire.Found { data = d2 } -> String.equal d1 d2
   | Wire.Missing, Wire.Missing | Wire.Probe, Wire.Probe -> true
-  | ( Wire.Put { key = k1; depth = e1; data = d1 },
-      Wire.Put { key = k2; depth = e2; data = d2 } ) ->
-      Key.equal k1 k2 && e1 = e2 && String.equal d1 d2
-  | Wire.Put_ack { copies = c1 }, Wire.Put_ack { copies = c2 } -> c1 = c2
-  | Wire.Remove { key = k1; depth = e1 }, Wire.Remove { key = k2; depth = e2 } ->
-      Key.equal k1 k2 && e1 = e2
+  | ( Wire.Put { key = k1; depth = e1; vv = v1; data = d1 },
+      Wire.Put { key = k2; depth = e2; vv = v2; data = d2 } ) ->
+      Key.equal k1 k2 && e1 = e2 && v1 = v2 && String.equal d1 d2
+  | ( Wire.Put_ack { copies = c1; vv = v1 },
+      Wire.Put_ack { copies = c2; vv = v2 } ) ->
+      c1 = c2 && v1 = v2
+  | ( Wire.Remove { key = k1; depth = e1; vv = v1 },
+      Wire.Remove { key = k2; depth = e2; vv = v2 } ) ->
+      Key.equal k1 k2 && e1 = e2 && v1 = v2
   | Wire.Remove_ack { removed = r1 }, Wire.Remove_ack { removed = r2 } -> r1 = r2
   | Wire.Join { node = n1; id = i1 }, Wire.Join { node = n2; id = i2 } ->
       n1 = n2 && Key.equal i1 i2
@@ -77,6 +146,30 @@ let equal_msg (a : Wire.msg) (b : Wire.msg) =
   | Wire.Error { code = c1; message = m1 }, Wire.Error { code = c2; message = m2 }
     ->
       c1 = c2 && String.equal m1 m2
+  | ( Wire.Sync_digests { lo = l1; hi = h1; prefix = p1; bits = b1 },
+      Wire.Sync_digests { lo = l2; hi = h2; prefix = p2; bits = b2 } )
+  | ( Wire.Sync_keys { lo = l1; hi = h1; prefix = p1; bits = b1 },
+      Wire.Sync_keys { lo = l2; hi = h2; prefix = p2; bits = b2 } ) ->
+      Key.equal l1 l2 && Key.equal h1 h2 && p1 = p2 && b1 = b2
+  | ( Wire.Sync_digests_ack { children = c1 },
+      Wire.Sync_digests_ack { children = c2 } ) ->
+      c1 = c2
+  | Wire.Sync_keys_ack { items = i1 }, Wire.Sync_keys_ack { items = i2 } ->
+      List.length i1 = List.length i2
+      && List.for_all2
+           (fun (k1, v1, d1) (k2, v2, d2) ->
+             Key.equal k1 k2 && v1 = v2 && d1 = d2)
+           i1 i2
+  | Wire.Fetch { key = k1 }, Wire.Fetch { key = k2 } -> Key.equal k1 k2
+  | ( Wire.Fetch_ack { vv = v1; deleted = d1; data = b1 },
+      Wire.Fetch_ack { vv = v2; deleted = d2; data = b2 } ) ->
+      v1 = v2 && d1 = d2 && b1 = b2
+  | ( Wire.Push { key = k1; vv = v1; deleted = d1; data = b1 },
+      Wire.Push { key = k2; vv = v2; deleted = d2; data = b2 } ) ->
+      Key.equal k1 k2 && v1 = v2 && d1 = d2 && String.equal b1 b2
+  | Wire.Push_ack { stored = s1 }, Wire.Push_ack { stored = s2 } -> s1 = s2
+  | Wire.Get_q { key = k1; q = q1 }, Wire.Get_q { key = k2; q = q2 } ->
+      Key.equal k1 k2 && q1 = q2
   | _ -> false
 
 let roundtrip_prop seed =
@@ -217,7 +310,13 @@ let test_reader_capacity_floor () =
   let key = Key.random (Rng.create 0x51) in
   let frame =
     Wire.encode ~req:9
-      (Wire.Put { key; depth = 0; data = String.make Wire.max_payload 'x' })
+      (Wire.Put
+         {
+           key;
+           depth = 0;
+           vv = Vv.empty;
+           data = String.make Wire.max_payload 'x';
+         })
   in
   let flen = Bytes.length frame in
   let burst_n = ((4 * floor) / flen) + 1 in

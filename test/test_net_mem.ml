@@ -20,7 +20,12 @@ let cluster_n = 25
 (* Virtual RTTs reach a few hundred ms; leave headroom so a slow pair
    never reads as a dead one. *)
 let config =
-  { D2_net.Node.replicas = 3; probe_interval = 0.5; rpc_timeout = 2.0 }
+  {
+    D2_net.Node.replicas = 3;
+    probe_interval = 0.5;
+    rpc_timeout = 2.0;
+    repair_interval = 0.0;
+  }
 
 let data_of key = "blk:" ^ Key.to_string key
 

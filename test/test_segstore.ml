@@ -553,7 +553,12 @@ let test_e2e_crash_restart () =
       let dirs = List.init 3 (fun i -> Filename.concat root (string_of_int i)) in
       let sconfig = { Store.default_config with fsync = Store.Always } in
       let nconfig =
-        { D2_net.Node.replicas = 3; probe_interval = 0.5; rpc_timeout = 2.0 }
+        {
+          D2_net.Node.replicas = 3;
+          probe_interval = 0.5;
+          rpc_timeout = 2.0;
+          repair_interval = 0.0;
+        }
       in
       let open_stores () =
         List.map (fun d -> Store.create ~dir:d ~config:sconfig ()) dirs
